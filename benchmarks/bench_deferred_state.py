@@ -1,0 +1,123 @@
+"""Ablation: deferred local-copy state updates vs naive in-place mutation.
+
+Section 4.2.3 rejects the 'trivial solution' of running heap mutations as
+PyFunc-style operations because (a) in-place mutation breaks the
+all-or-nothing fallback guarantee and (b) the GIL-bound Python call
+serializes execution.  This bench measures both effects on the figure-1
+LSTM workload: correctness under assumption failure, and step time.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from harness import format_table, save_results
+
+_RESULTS = {}
+
+
+class _Carrier:
+    def __init__(self):
+        self.state = R.constant(np.zeros((8, 16), np.float32))
+
+
+def _make_step(deferred):
+    carrier = _Carrier()
+    weights = R.Variable(
+        np.random.default_rng(0).normal(
+            scale=0.2, size=(16, 16)).astype(np.float32), name="w")
+
+    def step(x):
+        state = carrier.state
+        for t in range(4):
+            state = R.tanh(R.matmul(state, weights.value()) + x)
+        carrier.state = state
+        return R.reduce_mean(state)
+
+    cfg = janus.JanusConfig(fail_on_not_convertible=True,
+                            deferred_state_update=deferred)
+    return janus.function(step, config=cfg), carrier
+
+
+@pytest.mark.parametrize("deferred", [True, False],
+                         ids=["deferred", "naive"])
+def test_throughput(deferred, benchmark):
+    step, _carrier = _make_step(deferred)
+    x = np.random.default_rng(1).normal(
+        size=(8, 16)).astype(np.float32) * 0.1
+    for _ in range(5):
+        step(x)
+    assert step.stats["graph_runs"] > 0
+
+    def one():
+        step(x)
+
+    benchmark.pedantic(one, rounds=5, iterations=4, warmup_rounds=1)
+    start = time.perf_counter()
+    for _ in range(40):
+        step(x)
+    elapsed = (time.perf_counter() - start) / 40
+    label = "deferred" if deferred else "naive"
+    _RESULTS.setdefault(label, {})["step_ms"] = elapsed * 1e3
+
+
+def test_all_or_nothing_difference(benchmark):
+    """Only the deferred design preserves exactly-once state semantics
+    across an assumption failure."""
+    benchmark.pedantic(lambda: None, rounds=1)
+
+    def run(deferred):
+        holder = type("H", (), {})()
+        holder.count = R.constant(np.float32(0.0))
+        holder.gate = R.constant(np.ones(1, np.float32))
+
+        def program():
+            holder.count = holder.count + 1.0
+            if R.reduce_sum(holder.gate) > 0.0:
+                return holder.count * 1.0
+            return holder.count * -1.0
+
+        jf = janus.function(program, config=janus.JanusConfig(
+            fail_on_not_convertible=True,
+            deferred_state_update=deferred))
+        calls = 0
+        for k in range(5):
+            holder.gate = R.constant(np.full(1, 1.0 + k, np.float32))
+            jf()
+            calls += 1
+        holder.gate = R.constant(-np.ones(1, np.float32))
+        jf()       # assumption failure mid-graph
+        calls += 1
+        counted = float(holder.count.numpy())
+        return calls, counted, jf.stats["fallbacks"]
+
+    calls_d, counted_d, fb_d = run(True)
+    calls_n, counted_n, fb_n = run(False)
+    _RESULTS.setdefault("deferred", {})["writes_per_call"] = \
+        counted_d / calls_d
+    _RESULTS.setdefault("naive", {})["writes_per_call"] = \
+        counted_n / calls_n
+    assert fb_d == 1 and fb_n == 1
+    assert counted_d == calls_d          # exactly-once
+    assert counted_n > calls_n           # double-applied on fallback
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for label in ("deferred", "naive"):
+        r = _RESULTS.get(label, {})
+        rows.append([label,
+                     "%.3f" % r.get("step_ms", float("nan")),
+                     "%.2f" % r.get("writes_per_call", float("nan"))])
+    print()
+    print(format_table(
+        ["state updates", "step (ms)", "heap writes per logical call"],
+        rows,
+        title="Deferred vs naive state updates (section 4.2.3 ablation)"))
+    print("writes-per-call > 1 under 'naive' shows the all-or-nothing "
+          "violation the paper's design removes.")
+    save_results("deferred_state_ablation", _RESULTS)

@@ -1,0 +1,99 @@
+"""Figure 8: data-parallel scalability on the simulated cluster.
+
+For ResNet, Inception, LM, and PPO: measure the real single-worker step
+on this machine, then apply the ring-allreduce cost model at the paper's
+cluster sizes (36 GPUs for the CNNs, 12 for LM, 6 for PPO).  Graph modes
+(JANUS / symbolic) overlap gradient communication with backward compute;
+imperative execution cannot — the exact mechanism behind the paper's
+scale-factor gap (JANUS 0.77/0.81/0.18 vs Eager 0.24/0.24/0.14).
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (AllReduceCostModel, DataParallelSimulator,
+                               measure_step, StepTiming)
+from harness import (MODEL_BENCHES, format_table, save_results)
+
+#: (model, worker counts) mirroring figure 8's x axes.
+SCALING = {
+    "ResNet": [1, 3, 6, 12, 24, 36],
+    "Inception": [1, 3, 6, 12, 24, 36],
+    "LM": [1, 2, 3, 6, 12],
+    "PPO": [1, 2, 3, 4, 5, 6],
+}
+
+#: Gradient sizes scaled up to the paper's model sizes (bytes): the cost
+#: model should see realistic communication volumes, not our CPU-scaled
+#: parameter counts.  ResNet50 ~25M params, Inception-v3 ~24M, LM 0.83B
+#: (the paper notes LM saturates the network), PPO small.
+PAPER_GRAD_BYTES = {
+    "ResNet": 25_000_000 * 4,
+    "Inception": 24_000_000 * 4,
+    "LM": 830_000_000 * 4,
+    "PPO": 1_000_000 * 4,
+}
+
+_RESULTS = {}
+
+
+def _measure(name, mode, benchmark):
+    spec = MODEL_BENCHES[name]
+    step, batches, model = spec.build(mode)
+    for i in range(4):
+        step(*batches[i % len(batches)])
+    timing = benchmark.pedantic(
+        lambda: measure_step(step, batches[0], warmup=1, iters=4,
+                             variables=model.variables,
+                             examples_per_step=spec.items_per_batch or 64),
+        rounds=1)
+    timing.grad_bytes = PAPER_GRAD_BYTES[name]
+    return timing
+
+
+@pytest.mark.parametrize("name", list(SCALING))
+@pytest.mark.parametrize("mode", ["imperative", "janus", "symbolic"])
+def test_scalability(name, mode, benchmark):
+    timing = _measure(name, mode, benchmark)
+    simulator = DataParallelSimulator(AllReduceCostModel())
+    overlap = mode in ("janus", "symbolic")
+    series = []
+    for workers in SCALING[name]:
+        series.append({
+            "workers": workers,
+            "throughput": simulator.throughput(timing, workers, overlap),
+            "scale_factor": simulator.scale_factor(timing, workers,
+                                                   overlap),
+        })
+    _RESULTS.setdefault(name, {})[mode] = series
+    assert series[0]["scale_factor"] == pytest.approx(1.0)
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for name, modes in _RESULTS.items():
+        max_workers = SCALING[name][-1]
+        for mode, series in modes.items():
+            last = series[-1]
+            rows.append([name, mode, max_workers,
+                         "%.0f" % last["throughput"],
+                         "%.2f" % last["scale_factor"]])
+    print()
+    print(format_table(
+        ["Model", "Framework", "GPUs", "items/s (simulated)",
+         "scale factor"],
+        rows, title="Figure 8 — simulated data-parallel scalability"))
+    save_results("fig8_scalability", _RESULTS)
+    # Shape assertions.  For compute-bound models the graph modes
+    # out-scale imperative execution (comm/compute overlap).  LM's 3.3 GB
+    # gradient exchange saturates the interconnect for *every* framework
+    # — the paper reports scale factor 0.18 across the board there.
+    for name, modes in _RESULTS.items():
+        if {"janus", "imperative"} <= set(modes):
+            graph_sf = modes["janus"][-1]["scale_factor"]
+            imp_sf = modes["imperative"][-1]["scale_factor"]
+            if name == "LM":
+                assert graph_sf < 0.5 and imp_sf < 0.5
+            else:
+                assert graph_sf >= imp_sf * 0.95, name

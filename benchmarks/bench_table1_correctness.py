@@ -1,0 +1,162 @@
+"""Table 1: correct support for DCF / DT / IF across converters.
+
+Three adversarial micro-programs — a flipping branch (DCF), a value whose
+type/shape changes (DT), and cross-call global-state mutation (IF) — run
+under each converter.  A cell is 'correct' when the converter's results
+match pure imperative execution on every call.  Expected matrix (the
+paper's): JANUS correct on all three; the trace-based converter silently
+wrong on all three; imperative trivially correct.
+"""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from repro.baselines import trace_function, TracingLimitation
+from harness import format_table, save_results
+
+_MATRIX = {}
+
+
+def _flipping_branch_program():
+    def f(x):
+        if float(R.reduce_sum(x).numpy()) > 0:
+            return x * 2.0
+        return x - 100.0
+    # JANUS needs a convertible (non-materializing) variant.
+
+    def f_convertible(x):
+        if R.reduce_sum(x) > 0.0:
+            return x * 2.0
+        return x - 100.0
+
+    inputs = [np.ones(2, np.float32), np.ones(2, np.float32),
+              np.ones(2, np.float32), -np.ones(2, np.float32),
+              np.ones(2, np.float32), -np.ones(2, np.float32)]
+    return f, f_convertible, inputs
+
+
+def _dynamic_shape_program():
+    def f(x):
+        total = R.constant(0.0)
+        for row in x:
+            total = total + R.reduce_sum(row)
+        return total
+
+    inputs = [np.ones((3, 2), np.float32), np.ones((3, 2), np.float32),
+              np.ones((3, 2), np.float32), np.ones((5, 2), np.float32),
+              np.ones((4, 2), np.float32)]
+    return f, f, inputs
+
+
+def _impure_program():
+    class Holder:
+        pass
+
+    def make():
+        h = Holder()
+        h.state = R.constant(np.float32(0.0))
+
+        def f(x):
+            h.state = h.state + R.reduce_sum(x)
+            return h.state
+        return f
+
+    inputs = [np.ones(1, np.float32)] * 6
+    return make, inputs
+
+
+def _val(out):
+    return np.asarray(out.numpy() if hasattr(out, "numpy") else out)
+
+
+def _run_converter(step, inputs):
+    outs = []
+    for x in inputs:
+        try:
+            outs.append(_val(step(x)))
+        except TracingLimitation:
+            return None
+        except Exception:
+            return None
+    return outs
+
+
+def _same(got, expected):
+    if got is None or len(got) != len(expected):
+        return False
+    return all(np.allclose(g, e, rtol=1e-4, atol=1e-5)
+               for g, e in zip(got, expected))
+
+
+def _record(feature, converter, ok):
+    _MATRIX.setdefault(converter, {})[feature] = ok
+
+
+class TestDynamicControlFlow:
+    def test_matrix_dcf(self, benchmark):
+        f, f_conv, inputs = _flipping_branch_program()
+        expected = [_val(f(R.constant(x))) for x in inputs]
+
+        jf = janus.function(f_conv)
+        got = benchmark.pedantic(lambda: _run_converter(jf, inputs),
+                                 rounds=1)
+        _record("DCF", "janus", _same(got, expected))
+
+        tf = trace_function(f)
+        _record("DCF", "tracing", _same(_run_converter(tf, inputs),
+                                        expected))
+        assert _MATRIX["janus"]["DCF"]
+        assert not _MATRIX["tracing"]["DCF"]  # silently wrong
+
+
+class TestDynamicTypes:
+    def test_matrix_dt(self, benchmark):
+        f, f_conv, inputs = _dynamic_shape_program()
+        expected = [_val(f(R.constant(x))) for x in inputs]
+
+        jf = janus.function(f_conv)
+        got = benchmark.pedantic(lambda: _run_converter(jf, inputs),
+                                 rounds=1)
+        _record("DT", "janus", _same(got, expected))
+
+        tf = trace_function(f)
+        _record("DT", "tracing", _same(_run_converter(tf, inputs),
+                                       expected))
+        assert _MATRIX["janus"]["DT"]
+        assert not _MATRIX["tracing"]["DT"]  # burned-in trip count
+
+
+class TestImpureFunctions:
+    def test_matrix_if(self, benchmark):
+        make, inputs = _impure_program()
+        expected = _run_converter(make(), inputs)   # imperative truth
+
+        jf = janus.function(make())
+        got = benchmark.pedantic(lambda: _run_converter(jf, inputs),
+                                 rounds=1)
+        _record("IF", "janus", _same(got, expected))
+
+        tf = trace_function(make())
+        _record("IF", "tracing", _same(_run_converter(tf, inputs),
+                                       expected))
+        assert _MATRIX["janus"]["IF"]
+        assert not _MATRIX["tracing"]["IF"]  # frozen heap state
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for converter in ("imperative", "janus", "tracing"):
+        cells = _MATRIX.get(converter, {})
+        if converter == "imperative":
+            cells = {"DCF": True, "DT": True, "IF": True}
+        rows.append([converter] + [
+            "correct" if cells.get(k) else "WRONG/unsupported"
+            for k in ("DCF", "DT", "IF")])
+    print()
+    print(format_table(["Converter", "DCF", "DT", "IF"], rows,
+                       title="Table 1 — correctness of converted "
+                             "dynamic features"))
+    save_results("table1_correctness", _MATRIX)

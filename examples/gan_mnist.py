@@ -1,0 +1,50 @@
+"""Adversarial nets on MNIST-shaped data: two JANUS training functions.
+
+The generator and discriminator steps are separate imperative functions
+sharing the same model object; each gets its own speculative graph.  The
+models track running losses on the Python heap, exercising the deferred
+state-update machinery every step.
+
+Run:  python examples/gan_mnist.py
+"""
+
+import numpy as np
+
+import repro as R
+from repro import data, janus, models, nn
+
+
+def main():
+    ds = data.mnist_like(n=256, batch_size=64, seed=0)
+    gan = models.gan_an.AdversarialNets(latent_dim=16, image_size=28,
+                                        hidden=64, seed=5)
+    d_step = janus.function(models.gan_an.make_d_loss_fn(gan),
+                            optimizer=nn.SGD(0.05))
+    g_step = janus.function(models.gan_an.make_g_loss_fn(gan),
+                            optimizer=nn.SGD(0.05))
+
+    rng = np.random.RandomState(0)
+    print("epoch  d_loss  g_loss")
+    for epoch in range(6):
+        d_losses, g_losses = [], []
+        for images, _labels in ds.batches(shuffle=True):
+            if images.shape[0] != 64:
+                continue
+            z = models.gan_an.sample_latent(rng, 64, 16)
+            d_losses.append(float(d_step(images, z).numpy()))
+            z = models.gan_an.sample_latent(rng, 64, 16)
+            g_losses.append(float(g_step(z).numpy()))
+        print("%5d  %.4f  %.4f"
+              % (epoch, np.mean(d_losses), np.mean(g_losses)))
+
+    print("\nd-step cache:", d_step.cache_stats())
+    print("g-step cache:", g_step.cache_stats())
+    samples = gan.generator(R.constant(
+        models.gan_an.sample_latent(rng, 4, 16)))
+    print("generated sample batch:", samples.shape,
+          "value range [%.2f, %.2f]"
+          % (samples.numpy().min(), samples.numpy().max()))
+
+
+if __name__ == "__main__":
+    main()

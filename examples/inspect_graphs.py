@@ -1,0 +1,73 @@
+"""Inspecting what the speculative generator produced.
+
+Every JanusFunction exposes its cached generated graphs; this example
+converts a small stateful program, prints a node census (which guards,
+heap accesses, and control-flow ops the graph contains), demonstrates an
+assumption failure with relaxation, and writes a Graphviz DOT rendering.
+
+Run:  python examples/inspect_graphs.py            # writes janus_graph.dot
+      dot -Tsvg janus_graph.dot -o janus_graph.svg  # optional rendering
+"""
+
+import numpy as np
+
+import repro as R
+from repro import janus
+from repro.graph import export
+
+
+class Accumulator:
+    def __init__(self):
+        self.history = R.constant(np.zeros((4,), np.float32))
+
+
+acc = Accumulator()
+
+
+@janus.function
+def step(x):
+    blended = acc.history * 0.9 + x * 0.1
+    if R.reduce_sum(blended) > -1e6:       # stable branch -> unrolled
+        acc.history = blended
+    total = R.constant(0.0)
+    for i in range(3):                      # stable loop -> unrolled
+        total = total + R.reduce_sum(blended) * float(i)
+    return total
+
+
+def census_table(graph):
+    census = export.node_census(graph)
+    width = max(len(k) for k in census)
+    return "\n".join("  %s %4d" % (k.ljust(width), census[k])
+                     for k in sorted(census))
+
+
+def main():
+    x = R.constant(np.ones(4, np.float32))
+    for _ in range(5):
+        step(x)
+
+    entry = next(iter(step.cache._entries.values()))
+    graph = entry.generated.graph
+    print("generated graph: %d nodes" % len(graph.nodes))
+    print("node census:")
+    print(census_table(graph))
+
+    print("\nprecheckable assumptions:")
+    for description, _check in entry.generated.prechecks:
+        print("  -", description)
+
+    path = export.save_dot(graph, "janus_graph.dot")
+    print("\nDOT rendering written to", path)
+
+    # Break the heap-shape assumption: fallback + relaxation + regrowth.
+    print("\nbreaking the heap-shape assumption (history: (4,) -> (6,))")
+    acc.history = R.constant(np.zeros((6,), np.float32))
+    step(R.constant(np.ones(6, np.float32)))
+    print("stats after failure:", step.cache_stats())
+    step(R.constant(np.ones(6, np.float32)))
+    print("stats after regeneration:", step.cache_stats())
+
+
+if __name__ == "__main__":
+    main()

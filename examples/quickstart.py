@@ -1,0 +1,71 @@
+"""Quickstart: speculative graph execution of an imperative program.
+
+Decorate an imperative training function with ``@janus.function``.  The
+first few calls execute imperatively under the profiler; then JANUS
+converts the program into an optimized symbolic dataflow graph and every
+subsequent call runs the graph — transparently, with identical results.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+import repro as R
+from repro import janus, nn
+
+
+def main():
+    nn.init.seed(0)
+    model = nn.Sequential([
+        nn.Dense(8, 32, activation=R.relu),
+        nn.Dense(32, 32, activation=R.relu),
+        nn.Dense(32, 2),
+    ])
+    optimizer = nn.SGD(0.1)
+
+    # An imperative training step: ordinary Python calling the op API.
+    # The decorator adds speculative graph conversion; with
+    # ``optimizer=...`` JANUS also inserts the gradient computation and
+    # parameter updates into the generated graph.
+    @janus.function(optimizer=optimizer)
+    def train_step(x, y):
+        logits = model(x)
+        return nn.losses.softmax_cross_entropy(logits, y)
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 8)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(np.int64)
+
+    print("step  loss     executor")
+    for step in range(10):
+        loss = train_step(x, y)
+        stats = train_step.stats
+        executor = "graph" if stats["graph_runs"] > step - 3 and \
+            stats["graph_runs"] > 0 else "imperative (profiling)"
+        print("%4d  %.4f   %s" % (step, float(loss.numpy()), executor))
+
+    print("\ncache statistics:", train_step.cache_stats())
+
+    # Throughput comparison against pure imperative execution.
+    def imperative_step(x, y):
+        with R.GradientTape() as tape:
+            loss = nn.losses.softmax_cross_entropy(model(x), y)
+        variables = model.trainable_variables
+        grads = tape.gradient(loss, variables)
+        optimizer.apply_gradients(zip(grads, variables))
+        return loss
+
+    for name, step_fn in (("janus", train_step),
+                          ("imperative", imperative_step)):
+        step_fn(x, y)
+        start = time.perf_counter()
+        for _ in range(50):
+            step_fn(x, y)
+        elapsed = time.perf_counter() - start
+        print("%-11s %6.2f steps/s" % (name, 50 / elapsed))
+
+
+if __name__ == "__main__":
+    main()

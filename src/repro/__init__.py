@@ -1,0 +1,60 @@
+"""repro — a from-scratch reproduction of JANUS (NSDI '19).
+
+JANUS transparently converts imperative Python deep-learning programs into
+speculatively-specialized symbolic dataflow graphs.  The package layout:
+
+* :mod:`repro.tensor` / :mod:`repro.ops` — numpy-backed tensor and kernel
+  substrate with a mode-polymorphic op API,
+* :mod:`repro.imperative` — the eager executor (TF-Eager stand-in),
+* :mod:`repro.graph` — symbolic graph IR, optimizer, and executor
+  (TF-graph stand-in),
+* :mod:`repro.janus` — the paper's contribution: profiler, speculative
+  graph generator, graph cache, and fallback machinery,
+* :mod:`repro.baselines` — the unsafe trace-based converter (defun-like),
+* :mod:`repro.nn` / :mod:`repro.models` — layers and the 11 evaluation
+  models, :mod:`repro.data` / :mod:`repro.envs` — synthetic datasets and
+  RL environments, :mod:`repro.distributed` — simulated multi-GPU cluster.
+
+Typical use::
+
+    import repro as R
+
+    @R.janus.function
+    def loss_fn(x, y):
+        y_ = 0.5 * x + 1.5
+        return (y_ - y) ** 2
+
+The decorated function executes imperatively while being profiled, then
+runs as an optimized symbolic graph whenever its context assumptions hold.
+"""
+
+from . import tensor  # noqa: F401
+from . import ops  # noqa: F401
+from . import imperative  # noqa: F401  (installs the eager context)
+
+from .tensor import (DType, Shape, TensorValue, float32, float64, int32,
+                     int64, bool_)
+from .imperative import Tensor, Variable, GradientTape, constant
+
+# Re-export the whole op API at package level: `R.matmul(...)`.
+from .ops.api import *  # noqa: F401,F403
+from .ops import api as _api
+
+__all__ = ["DType", "Shape", "TensorValue", "float32", "float64",
+           "int32", "int64", "bool_",
+           "Tensor", "Variable", "GradientTape", "constant"]
+__all__ += [name for name in dir(_api) if not name.startswith("_")]
+
+__version__ = "0.1.0"
+
+
+def __getattr__(name):
+    # Lazy subpackage access (repro.janus, repro.graph, ...) keeps import
+    # time low and avoids circular imports during bootstrap.
+    if name in ("graph", "janus", "nn", "models", "data", "envs",
+                "distributed", "baselines"):
+        import importlib
+        module = importlib.import_module("." + name, __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -1,0 +1,5 @@
+"""Baseline converters (trace-based defun analogue, Table 1)."""
+
+from .tracing import TracedFunction, TracingLimitation, trace_function
+
+__all__ = ["TracedFunction", "TracingLimitation", "trace_function"]

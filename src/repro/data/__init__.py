@@ -1,0 +1,13 @@
+"""Synthetic datasets matching the shapes of the paper's workloads."""
+
+from .synthetic import (ImageDataset, PairedImageDataset, mnist_like,
+                        imagenet_like, facades_like)
+from .text import TokenStream, markov_corpus, ptb_like, one_billion_like
+from .trees import TreeNode, sst_like, train_test_split
+
+__all__ = [
+    "ImageDataset", "PairedImageDataset", "mnist_like", "imagenet_like",
+    "facades_like",
+    "TokenStream", "markov_corpus", "ptb_like", "one_billion_like",
+    "TreeNode", "sst_like", "train_test_split",
+]

@@ -1,0 +1,126 @@
+"""Synthetic image datasets standing in for MNIST / ImageNet / Facades.
+
+The paper's evaluation measures throughput and convergence dynamics; the
+datasets only matter through their tensor shapes, class structure, and
+(for convergence plots) learnability.  Each generator therefore produces
+class-conditional images with enough signal that the models demonstrably
+learn, at shapes matching the originals (optionally scaled down for CPU).
+"""
+
+import numpy as np
+
+
+class ImageDataset:
+    """A finite, shuffled, batched set of (image, label) pairs."""
+
+    def __init__(self, images, labels, batch_size, seed=0,
+                 drop_remainder=False):
+        self.images = images
+        self.labels = labels
+        self.batch_size = batch_size
+        self.drop_remainder = drop_remainder
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def num_examples(self):
+        return self.images.shape[0]
+
+    def batches(self, shuffle=True):
+        """Yield (images, labels) batches; a final short batch exercises
+        the varying-shape path (paper table 2 note on dynamic types)."""
+        order = np.arange(self.num_examples)
+        if shuffle:
+            self._rng.shuffle(order)
+        step = self.batch_size
+        for start in range(0, self.num_examples, step):
+            idx = order[start:start + step]
+            if self.drop_remainder and idx.size < step:
+                return
+            yield self.images[idx], self.labels[idx]
+
+    def __iter__(self):
+        return self.batches()
+
+
+def _class_conditional_images(n, height, width, channels, num_classes,
+                              rng, noise=0.35):
+    """Images whose spatial frequency content encodes the class."""
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    ys = np.linspace(0, np.pi * 2, height, dtype=np.float32)
+    xs = np.linspace(0, np.pi * 2, width, dtype=np.float32)
+    grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+    images = np.empty((n, height, width, channels), np.float32)
+    for c in range(num_classes):
+        mask = labels == c
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        freq = 1.0 + c
+        phase = rng.uniform(0, np.pi, size=(count, 1, 1, 1)).astype(
+            np.float32)
+        base = np.sin(freq * grid_x + 0.5 * freq * grid_y)
+        base = base[None, :, :, None].astype(np.float32)
+        images[mask] = base + phase * 0.1
+    images += rng.normal(0, noise, size=images.shape).astype(np.float32)
+    return images, labels
+
+
+def mnist_like(n=512, batch_size=50, image_size=28, num_classes=10, seed=0):
+    """MNIST stand-in: 28x28x1 grayscale, 10 classes (LeNet, AN)."""
+    rng = np.random.default_rng(seed)
+    images, labels = _class_conditional_images(n, image_size, image_size, 1,
+                                               num_classes, rng)
+    return ImageDataset(images, labels, batch_size, seed=seed)
+
+
+def imagenet_like(n=256, batch_size=64, image_size=32, num_classes=100,
+                  seed=0):
+    """ImageNet stand-in (scaled): RGB, many classes (ResNet/Inception).
+
+    The real evaluation uses 224x224; image_size defaults to 32 so CPU
+    benchmarks finish, which preserves the coarse-kernel cost profile.
+    """
+    rng = np.random.default_rng(seed)
+    images, labels = _class_conditional_images(
+        n, image_size, image_size, 3, num_classes, rng)
+    return ImageDataset(images, labels, batch_size, seed=seed)
+
+
+def facades_like(n=64, batch_size=1, image_size=32, seed=0):
+    """Facades stand-in for pix2pix: paired (edges, photo) images.
+
+    The 'photo' is a deterministic nonlinear recoloring of the 'edge'
+    layout, so a conditional generator has real structure to learn.
+    """
+    rng = np.random.default_rng(seed)
+    edges = rng.uniform(-1, 1, size=(n, image_size, image_size, 1))
+    edges = np.sign(edges).astype(np.float32)
+    photo = np.tanh(np.cumsum(edges, axis=1) * 0.3).astype(np.float32)
+    photo = np.repeat(photo, 3, axis=3)
+    return PairedImageDataset(edges.astype(np.float32), photo, batch_size,
+                              seed=seed)
+
+
+class PairedImageDataset:
+    """Paired image translation data (pix2pix)."""
+
+    def __init__(self, inputs, targets, batch_size, seed=0):
+        self.inputs = inputs
+        self.targets = targets
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def num_examples(self):
+        return self.inputs.shape[0]
+
+    def batches(self, shuffle=True):
+        order = np.arange(self.num_examples)
+        if shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, self.num_examples, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.inputs[idx], self.targets[idx]
+
+    def __iter__(self):
+        return self.batches()

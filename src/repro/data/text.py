@@ -1,0 +1,55 @@
+"""Synthetic token streams standing in for PTB and the 1B-word corpus.
+
+Tokens are drawn from a first-order Markov chain with a Zipfian marginal,
+so language models have real transition structure to learn (perplexity
+falls measurably within a few epochs) while staying fully synthetic.
+"""
+
+import numpy as np
+
+
+class TokenStream:
+    """A corpus of token ids with batched BPTT iteration."""
+
+    def __init__(self, tokens, vocab_size):
+        self.tokens = tokens
+        self.vocab_size = vocab_size
+
+    def bptt_batches(self, batch_size, seq_len):
+        """Yield (inputs, targets) of shape (seq_len, batch_size).
+
+        Matches the classic PTB producer: the stream is folded into
+        ``batch_size`` parallel lanes and sliced along time.
+        """
+        n = self.tokens.size // batch_size
+        lanes = self.tokens[:n * batch_size].reshape(batch_size, n).T
+        for start in range(0, n - 1 - seq_len, seq_len):
+            x = lanes[start:start + seq_len]
+            y = lanes[start + 1:start + 1 + seq_len]
+            yield (np.ascontiguousarray(x, dtype=np.int64),
+                   np.ascontiguousarray(y, dtype=np.int64))
+
+
+def markov_corpus(n_tokens=20000, vocab_size=100, branching=4, seed=0):
+    """A Zipf-marginal Markov chain corpus."""
+    rng = np.random.default_rng(seed)
+    # Each token has a small set of likely successors.
+    successors = rng.integers(0, vocab_size, size=(vocab_size, branching))
+    weights = rng.dirichlet(np.ones(branching) * 0.4, size=vocab_size)
+    tokens = np.empty(n_tokens, np.int64)
+    state = int(rng.integers(0, vocab_size))
+    for i in range(n_tokens):
+        tokens[i] = state
+        nxt = rng.choice(branching, p=weights[state])
+        state = int(successors[state, nxt])
+    return TokenStream(tokens, vocab_size)
+
+
+def ptb_like(seed=0):
+    """PTB stand-in: ~10k vocab in the paper, scaled for CPU."""
+    return markov_corpus(n_tokens=20000, vocab_size=200, seed=seed)
+
+
+def one_billion_like(seed=0):
+    """1B-word-benchmark stand-in: bigger vocab and stream (LM model)."""
+    return markov_corpus(n_tokens=60000, vocab_size=800, seed=seed)

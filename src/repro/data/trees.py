@@ -1,0 +1,93 @@
+"""Synthetic sentiment trees standing in for SST (TreeRNN / TreeLSTM).
+
+Binary parse trees over a small vocabulary where leaf words carry a
+polarity and internal nodes compose polarities (with occasional negation
+words that flip their sibling subtree) — the compositional structure SST
+models learn, without the corpus.
+"""
+
+import numpy as np
+
+
+class TreeNode:
+    """A binary sentiment-tree node.
+
+    Leaves hold a ``word`` id; internal nodes hold children.  Every node
+    carries an integer ``label`` (0 = negative, 1 = positive) like SST's
+    binary setting.  The recursive models read these fields through
+    Python attribute access — the PyGetAttrOp path of paper figure 5.
+    """
+
+    __slots__ = ("word", "left", "right", "label")
+
+    def __init__(self, word=None, left=None, right=None, label=0):
+        self.word = word
+        self.left = left
+        self.right = right
+        self.label = label
+
+    @property
+    def is_leaf(self):
+        return self.left is None
+
+    def size(self):
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.size() + self.right.size()
+
+    def depth(self):
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+#: word-id space: [0, NEG_WORDS) negative, [NEG..2NEG) positive, last flip
+def sst_like(n_trees=120, vocab_size=60, min_leaves=3, max_leaves=9,
+             negation_rate=0.12, seed=0):
+    """Generate labelled binary sentiment trees."""
+    rng = np.random.default_rng(seed)
+    half = vocab_size // 2
+    trees = []
+    for _ in range(n_trees):
+        n_leaves = int(rng.integers(min_leaves, max_leaves + 1))
+        trees.append(_build_tree(n_leaves, half, vocab_size, negation_rate,
+                                 rng))
+    return trees
+
+
+def _word_polarity(word, half):
+    return 1 if word >= half else 0
+
+
+def _build_tree(n_leaves, half, vocab_size, negation_rate, rng):
+    if n_leaves == 1:
+        word = int(rng.integers(0, 2 * half))
+        return TreeNode(word=word, label=_word_polarity(word, half))
+    n_left = int(rng.integers(1, n_leaves))
+    left = _build_tree(n_left, half, vocab_size, negation_rate, rng)
+    right = _build_tree(n_leaves - n_left, half, vocab_size, negation_rate,
+                        rng)
+    # Composition: majority polarity of the leaf words under this node,
+    # occasionally flipped (negation) — learnable sentiment structure.
+    positives = _count_positive_leaves(left) + _count_positive_leaves(right)
+    label = 1 if positives * 2 >= n_leaves else 0
+    if rng.random() < negation_rate:
+        label = 1 - label
+    return TreeNode(left=left, right=right, label=label)
+
+
+def _count_positive_leaves(node):
+    if node.is_leaf:
+        return node.label
+    return (_count_positive_leaves(node.left)
+            + _count_positive_leaves(node.right))
+
+
+def train_test_split(trees, test_fraction=0.25, seed=0):
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(trees))
+    n_test = int(len(trees) * test_fraction)
+    test_idx = set(order[:n_test].tolist())
+    train = [t for i, t in enumerate(trees) if i not in test_idx]
+    test = [t for i, t in enumerate(trees) if i in test_idx]
+    return train, test

@@ -1,0 +1,11 @@
+"""Simulated data-parallel training (ring all-reduce, cluster model)."""
+
+from .allreduce import ring_allreduce, AllReduceCostModel
+from .cluster import (StepTiming, measure_step, DataParallelSimulator)
+from .horovod import DistributedOptimizer, ReplicaGroup
+
+__all__ = [
+    "ring_allreduce", "AllReduceCostModel",
+    "StepTiming", "measure_step", "DataParallelSimulator",
+    "DistributedOptimizer", "ReplicaGroup",
+]

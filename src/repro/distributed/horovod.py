@@ -1,0 +1,88 @@
+"""Horovod-style distributed optimizer over in-process worker replicas.
+
+The paper's integration (section 5) inserts AllReduce operations into the
+generated graph so every worker applies the *averaged* gradients.  Here a
+:class:`ReplicaGroup` holds W model replicas in one process;
+:class:`DistributedOptimizer` wraps each replica's optimizer and routes
+gradients through the real ring all-reduce before the update, so the
+replicas provably stay synchronized — the numerical half of the
+data-parallel story (timing is handled by the cluster simulator).
+"""
+
+import numpy as np
+
+from ..nn.optim import Optimizer
+from .allreduce import ring_allreduce
+
+
+class DistributedOptimizer(Optimizer):
+    """Wraps an optimizer; gradients are all-reduced before applying.
+
+    All participating workers must call :meth:`apply_gradients` through
+    the shared :class:`ReplicaGroup`, which batches the exchange.
+    """
+
+    def __init__(self, inner, group, rank):
+        super().__init__(name="Distributed(%s)" % inner.name)
+        self.inner = inner
+        self.group = group
+        self.rank = rank
+
+    def apply_gradients(self, grads_and_vars):
+        pairs = [(g, v) for g, v in grads_and_vars if g is not None]
+        averaged = self.group.exchange(self.rank, pairs)
+        self.inner.apply_gradients(averaged)
+
+
+class ReplicaGroup:
+    """Coordinates gradient exchange between in-process replicas."""
+
+    def __init__(self, num_workers):
+        self.num_workers = num_workers
+        self._pending = {}
+
+    def optimizer_for(self, rank, inner):
+        return DistributedOptimizer(inner, self, rank)
+
+    def exchange(self, rank, pairs):
+        """Register one worker's gradients; average once all arrive.
+
+        Synchronous semantics: workers are stepped round-robin by the
+        driver, so the exchange buffers rank submissions and performs the
+        ring all-reduce when the last worker of the step arrives.
+        """
+        self._pending[rank] = pairs
+        if len(self._pending) < self.num_workers:
+            # Defer: the driver applies updates after the barrier.
+            return []
+        all_pairs = [self._pending[r] for r in sorted(self._pending)]
+        self._pending = {}
+        n_grads = len(all_pairs[0])
+        averaged_per_rank = [[] for _ in range(self.num_workers)]
+        for gi in range(n_grads):
+            buffers = [np.asarray(_to_array(all_pairs[r][gi][0]))
+                       for r in range(self.num_workers)]
+            reduced = ring_allreduce(buffers, average=True)
+            for r in range(self.num_workers):
+                averaged_per_rank[r].append(
+                    (reduced[r], all_pairs[r][gi][1]))
+        self._deferred = averaged_per_rank
+        return averaged_per_rank[rank]
+
+    def flush(self, optimizers):
+        """Apply the deferred averaged updates for ranks 0..W-2."""
+        deferred = getattr(self, "_deferred", None)
+        if deferred is None:
+            return
+        for rank, opt in enumerate(optimizers):
+            if rank == self.num_workers - 1:
+                continue  # the last rank applied inside exchange()
+            opt.inner.apply_gradients(deferred[rank])
+        self._deferred = None
+
+
+def _to_array(grad):
+    from ..imperative.eager import Tensor
+    if isinstance(grad, Tensor):
+        return grad.value.array
+    return grad

@@ -1,0 +1,6 @@
+"""RL environments used by the DRL workloads (A3C, PPO)."""
+
+from .cartpole import CartPole
+from .pong import PongLite
+
+__all__ = ["CartPole", "PongLite"]

@@ -1,0 +1,60 @@
+"""CartPole physics reimplementation (OpenAI Gym classic control).
+
+Standard cart-pole dynamics integrated with explicit Euler at 50 Hz; the
+episode terminates when the pole exceeds 12 degrees or the cart leaves
+the track.  Interface mirrors gym's (reset/step) since that is all the
+DRL workloads consume (paper footnote 7: the framework only handles
+training; environment simulation is external).
+"""
+
+import math
+
+import numpy as np
+
+
+class CartPole:
+    GRAVITY = 9.8
+    CART_MASS = 1.0
+    POLE_MASS = 0.1
+    POLE_HALF_LENGTH = 0.5
+    FORCE_MAG = 10.0
+    DT = 0.02
+    THETA_LIMIT = 12 * 2 * math.pi / 360
+    X_LIMIT = 2.4
+
+    observation_size = 4
+    num_actions = 2
+
+    def __init__(self, seed=0, max_steps=200):
+        self._rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self.state = None
+        self.steps = 0
+
+    def reset(self):
+        self.state = self._rng.uniform(-0.05, 0.05, size=4).astype(
+            np.float32)
+        self.steps = 0
+        return self.state.copy()
+
+    def step(self, action):
+        x, x_dot, theta, theta_dot = self.state
+        force = self.FORCE_MAG if action == 1 else -self.FORCE_MAG
+        total_mass = self.CART_MASS + self.POLE_MASS
+        pole_ml = self.POLE_MASS * self.POLE_HALF_LENGTH
+        cos_t = math.cos(theta)
+        sin_t = math.sin(theta)
+        temp = (force + pole_ml * theta_dot ** 2 * sin_t) / total_mass
+        theta_acc = (self.GRAVITY * sin_t - cos_t * temp) / (
+            self.POLE_HALF_LENGTH *
+            (4.0 / 3.0 - self.POLE_MASS * cos_t ** 2 / total_mass))
+        x_acc = temp - pole_ml * theta_acc * cos_t / total_mass
+        x += self.DT * x_dot
+        x_dot += self.DT * x_acc
+        theta += self.DT * theta_dot
+        theta_dot += self.DT * theta_acc
+        self.state = np.array([x, x_dot, theta, theta_dot], np.float32)
+        self.steps += 1
+        done = (abs(x) > self.X_LIMIT or abs(theta) > self.THETA_LIMIT or
+                self.steps >= self.max_steps)
+        return self.state.copy(), 1.0, done, {}

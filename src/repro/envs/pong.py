@@ -1,0 +1,71 @@
+"""A simplified Pong environment (PPO workload substrate).
+
+The real evaluation uses Atari Pong through gym; the DRL code path only
+needs an episodic environment with image-like observations, a discrete
+action space, and occasionally-sparse rewards.  This paddle-vs-wall Pong
+provides all three with cheap, deterministic physics: the agent's paddle
+moves up/down/stays to intercept a bouncing ball; a hit scores +1, a
+miss scores -1 and ends the rally; an episode is ``rallies`` rallies.
+"""
+
+import numpy as np
+
+
+class PongLite:
+    observation_shape = (16, 16, 1)
+    num_actions = 3  # stay, up, down
+
+    def __init__(self, seed=0, rallies=5, paddle_height=4):
+        self._rng = np.random.default_rng(seed)
+        self.rallies = rallies
+        self.paddle_height = paddle_height
+        self.size = 16
+        self._reset_rally()
+        self.rallies_played = 0
+
+    def _reset_rally(self):
+        self.ball = np.array([self.size // 2, self.size // 2], np.float32)
+        angle = self._rng.uniform(-0.7, 0.7)
+        self.vel = np.array([1.0, np.tan(angle)], np.float32)
+        self.paddle = self.size // 2
+
+    def reset(self):
+        self._reset_rally()
+        self.rallies_played = 0
+        return self._observation()
+
+    def _observation(self):
+        frame = np.zeros(self.observation_shape, np.float32)
+        by, bx = int(np.clip(self.ball[1], 0, self.size - 1)), \
+            int(np.clip(self.ball[0], 0, self.size - 1))
+        frame[by, bx, 0] = 1.0
+        top = int(np.clip(self.paddle - self.paddle_height // 2, 0,
+                          self.size - self.paddle_height))
+        frame[top:top + self.paddle_height, self.size - 1, 0] = 0.5
+        return frame
+
+    def step(self, action):
+        if action == 1:
+            self.paddle = max(self.paddle_height // 2, self.paddle - 1)
+        elif action == 2:
+            self.paddle = min(self.size - self.paddle_height // 2,
+                              self.paddle + 1)
+        self.ball += self.vel
+        # bounce off top/bottom and the left wall
+        if self.ball[1] <= 0 or self.ball[1] >= self.size - 1:
+            self.vel[1] = -self.vel[1]
+            self.ball[1] = np.clip(self.ball[1], 0, self.size - 1)
+        if self.ball[0] <= 0:
+            self.vel[0] = -self.vel[0]
+            self.ball[0] = 0
+        reward = 0.0
+        done = False
+        if self.ball[0] >= self.size - 1:
+            hit = abs(self.ball[1] - self.paddle) <= self.paddle_height / 2
+            reward = 1.0 if hit else -1.0
+            self.rallies_played += 1
+            if self.rallies_played >= self.rallies:
+                done = True
+            else:
+                self._reset_rally()
+        return self._observation(), reward, done, {}

@@ -1,0 +1,19 @@
+"""Symbolic dataflow graphs: IR, builder, optimizer, autodiff, executor."""
+
+from .core import Graph, Node, NodeOutput, GraphFunction, collect_variables
+from .builder import GraphBuilder
+from .executor import GraphExecutor, RunState
+from .passes import (PassManager, DeadCodeElimination,
+                     CommonSubexpressionElimination, ConstantFolding,
+                     ArithmeticSimplification, DEFAULT_PASSES)
+from . import autodiff
+from . import control_primitives
+from . import export
+
+__all__ = [
+    "Graph", "Node", "NodeOutput", "GraphFunction", "collect_variables",
+    "GraphBuilder", "GraphExecutor", "RunState",
+    "PassManager", "DeadCodeElimination", "CommonSubexpressionElimination",
+    "ConstantFolding", "ArithmeticSimplification", "DEFAULT_PASSES",
+    "autodiff", "control_primitives", "export",
+]

@@ -1,0 +1,281 @@
+"""Graph-building execution context.
+
+While a :class:`GraphBuilder` is the active context, every call into the
+op API adds symbolic nodes instead of computing — the same mechanism the
+JANUS graph generator, the symbolic baseline, and symbolic autodiff all
+use to emit graphs.
+"""
+
+import numpy as np
+
+from ..errors import GraphError
+from ..ops.dispatch import ExecutionContext
+from ..tensor import TensorValue, PyRef
+from ..tensor.shape import Shape
+from .core import Graph, GraphFunction
+
+
+class GraphBuilder(ExecutionContext):
+    """Builds a :class:`Graph` through the dispatching op API."""
+
+    def __init__(self, graph=None, name="graph"):
+        self.graph = graph if graph is not None else Graph(name)
+        self._constant_cache = {}
+        self._var_read_cache = {}
+        self._var_last_write = {}   # variable -> assign Node (hazard dep)
+        self._py_hazards = {}       # (id(obj), key) -> last access Node
+
+    # -- ExecutionContext interface -----------------------------------------
+
+    def convert(self, value, dtype=None):
+        from ..imperative.eager import Tensor
+        from ..imperative.variable import Variable
+        from .core import NodeOutput
+        if isinstance(value, NodeOutput):
+            if value.node.graph is not self.graph:
+                raise GraphError("symbolic value belongs to another graph")
+            return value
+        if isinstance(value, Variable):
+            return self.read_variable(value)
+        if isinstance(value, Tensor):
+            return self.constant(value.value)
+        if isinstance(value, PyRef):
+            return self.pyref_constant(value)
+        return self.constant(TensorValue.of(value, dtype=dtype))
+
+    def execute(self, op_def, inputs, attrs):
+        num = op_def.num_outputs
+        if callable(num):
+            num = num(attrs)
+        node = self.graph.new_node(op_def.name, op_def=op_def, attrs=attrs,
+                                   inputs=inputs)
+        in_shapes = [i.shape for i in inputs]
+        in_dtypes = [i.dtype for i in inputs]
+        try:
+            specs = op_def.shape_fn(attrs, in_shapes, in_dtypes)
+        except Exception:
+            specs = [(Shape.unknown(), in_dtypes[0] if in_dtypes else None)
+                     ] * num
+        for shape, dt in specs:
+            node.add_output(shape, dt)
+        if len(node.outputs) == 1:
+            return node.outputs[0]
+        return tuple(node.outputs)
+
+    # -- graph-construction primitives -----------------------------------------
+
+    def placeholder(self, name, shape=None, dtype=None):
+        """A graph input; ``dtype=None`` marks a PyRef (non-tensor) input."""
+        node = self.graph.new_node("placeholder",
+                                   attrs={"ph_name": name}, name=name)
+        node.add_output(Shape.of(shape) if shape is not None
+                        else Shape.unknown(), dtype)
+        self.graph.placeholders.append(node)
+        return node.outputs[0]
+
+    def constant(self, value):
+        value = value if isinstance(value, TensorValue) \
+            else TensorValue.of(value)
+        key = None
+        if value.array.nbytes <= 256:
+            key = (value.dtype.name, value.array.shape,
+                   value.array.tobytes())
+            cached = self._constant_cache.get(key)
+            if cached is not None:
+                return cached
+        node = self.graph.new_node("constant")
+        node.constant_value = value
+        out = node.add_output(value.shape, value.dtype)
+        if key is not None:
+            self._constant_cache[key] = out
+        return out
+
+    def pyref_constant(self, ref):
+        node = self.graph.new_node("constant")
+        node.constant_value = ref
+        return node.add_output(Shape.scalar(), None)
+
+    def read_variable(self, variable):
+        """Read a Variable; read-after-write inside the graph sees the write."""
+        pending = self._var_last_write.get(variable)
+        if pending is not None:
+            return pending.inputs[0]
+        cached = self._var_read_cache.get(variable)
+        if cached is not None:
+            return cached
+        node = self.graph.new_node("var_read", name="read_%s" % variable.name)
+        node.variable = variable
+        out = node.add_output(variable.shape, variable.dtype)
+        self._var_read_cache[variable] = out
+        return out
+
+    def assign_variable(self, variable, value):
+        """Deferred variable assignment (applied at commit, section 4.2.3)."""
+        value = self.convert(value)
+        deps = []
+        prev = self._var_last_write.get(variable)
+        if prev is not None:
+            deps.append(prev)
+        node = self.graph.new_node("var_assign", inputs=[value],
+                                   control_inputs=deps,
+                                   name="assign_%s" % variable.name)
+        node.variable = variable
+        node.add_output(variable.shape, variable.dtype)
+        self._var_last_write[variable] = node
+        self._var_read_cache.pop(variable, None)
+        return node.outputs[0]
+
+    # -- Python-heap access ops (paper section 4.2.3) ----------------------------
+
+    def _hazard_dep(self, obj, key, node, is_write):
+        hkey = (id(obj), key)
+        prev = self._py_hazards.get(hkey)
+        if prev is not None and (is_write or prev.op_name.startswith("py_set")):
+            node.control_inputs.append(prev)
+        if is_write or prev is None or prev.op_name.startswith("py_set"):
+            self._py_hazards[hkey] = node
+
+    def py_get_attr(self, obj_value, attr_name, expected=None):
+        """Read ``obj.attr`` from the Python heap (or its local copy)."""
+        node = self.graph.new_node("py_get_attr",
+                                   attrs={"name": attr_name},
+                                   name="getattr_%s" % attr_name)
+        obj, inputs = self._resolve_py_object(obj_value)
+        node.py_object = obj
+        node.inputs = inputs
+        shape, dtype = self._expected_spec(node, expected)
+        self._hazard_dep(self._hazard_obj(obj, inputs), attr_name, node,
+                         is_write=False)
+        return node.add_output(shape, dtype)
+
+    def py_set_attr(self, obj_value, attr_name, value):
+        value = self.convert(value)
+        node = self.graph.new_node("py_set_attr",
+                                   attrs={"name": attr_name},
+                                   name="setattr_%s" % attr_name)
+        obj, inputs = self._resolve_py_object(obj_value)
+        node.py_object = obj
+        node.inputs = inputs + [value]
+        self._hazard_dep(self._hazard_obj(obj, inputs), attr_name, node,
+                         is_write=True)
+        return node.add_output(Shape.scalar(), None)
+
+    def py_get_subscr(self, obj_value, key, expected=None):
+        node = self.graph.new_node("py_get_subscr", attrs={"key": key},
+                                   name="getsubscr")
+        obj, inputs = self._resolve_py_object(obj_value)
+        node.py_object = obj
+        node.inputs = inputs
+        shape, dtype = self._expected_spec(node, expected)
+        self._hazard_dep(self._hazard_obj(obj, inputs), ("[]", key), node,
+                         is_write=False)
+        return node.add_output(shape, dtype)
+
+    def py_set_subscr(self, obj_value, key, value):
+        value = self.convert(value)
+        node = self.graph.new_node("py_set_subscr", attrs={"key": key},
+                                   name="setsubscr")
+        obj, inputs = self._resolve_py_object(obj_value)
+        node.py_object = obj
+        node.inputs = inputs + [value]
+        self._hazard_dep(self._hazard_obj(obj, inputs), ("[]", key), node,
+                         is_write=True)
+        return node.add_output(Shape.scalar(), None)
+
+    def _resolve_py_object(self, obj_value):
+        from .core import NodeOutput
+        if isinstance(obj_value, NodeOutput):
+            return None, [obj_value]
+        if isinstance(obj_value, PyRef):
+            return obj_value, []
+        return PyRef(obj_value), []
+
+    @staticmethod
+    def _hazard_obj(obj, inputs):
+        if obj is not None:
+            return obj.obj
+        return inputs[0].node  # dynamic object: key hazards on producer
+
+    @staticmethod
+    def _expected_spec(node, expected):
+        """Shape/dtype of a heap read under the profiled type assumption."""
+        if expected is None:
+            return Shape.unknown(), None
+        node.attrs["expected"] = expected
+        kind = expected[0]
+        if kind == "tensor":
+            _, dtype, shape = expected
+            return Shape.of(shape), dtype
+        if kind == "const":
+            _, dtype, value = expected
+            return Shape(np.asarray(value).shape), dtype
+        return Shape.scalar(), None
+
+    def py_call(self, fn, inputs, name=None):
+        """Run an arbitrary Python callable as a graph operation.
+
+        This is the paper's *naive* PyFuncOp strategy (section 4.2.3):
+        effectful, GIL-bound, and executed in place.  JANUS only emits it
+        when ``deferred_state_update`` is disabled (the ablation).
+        """
+        inputs = [self.convert(i) for i in inputs]
+        node = self.graph.new_node("py_call", inputs=inputs,
+                                   name=name or "py_call")
+        node.py_object = PyRef(fn)
+        node.add_output(Shape.scalar(), None)
+        return node.outputs[0]
+
+    # -- functional control flow -----------------------------------------------
+
+    def invoke(self, func, args, out_specs, name=None):
+        """Call a :class:`GraphFunction` (supports recursion, ref. [20])."""
+        args = [self.convert(a) for a in args]
+        node = self.graph.new_node("invoke", inputs=args,
+                                   name=name or ("invoke_%s" % func.name))
+        node.func = func
+        for shape, dtype in out_specs:
+            node.add_output(shape, dtype)
+        if len(node.outputs) == 1:
+            return node.outputs[0]
+        return tuple(node.outputs)
+
+    def cond(self, pred, true_func, false_func, captured, out_specs):
+        pred = self.convert(pred)
+        captured = [self.convert(c) for c in captured]
+        node = self.graph.new_node("cond", inputs=[pred] + captured,
+                                   name="cond")
+        node.branches = {"true": true_func, "false": false_func}
+        for shape, dtype in out_specs:
+            node.add_output(shape, dtype)
+        if len(node.outputs) == 1:
+            return node.outputs[0]
+        return tuple(node.outputs)
+
+    def while_loop(self, cond_func, body_func, loop_vars, out_specs=None):
+        loop_vars = [self.convert(v) for v in loop_vars]
+        node = self.graph.new_node("while_loop", inputs=loop_vars,
+                                   name="while")
+        node.attrs["cond_func"] = cond_func
+        node.attrs["body_func"] = body_func
+        if out_specs is None:
+            out_specs = [(v.shape, v.dtype) for v in loop_vars]
+        for shape, dtype in out_specs:
+            node.add_output(shape, dtype)
+        return tuple(node.outputs)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def mark_outputs(self, outputs):
+        from .core import NodeOutput
+        flat = []
+        for out in outputs:
+            if not isinstance(out, NodeOutput):
+                out = self.convert(out)
+            flat.append(out)
+        self.graph.outputs = flat
+        return flat
+
+    def finalize_function(self, name):
+        func = GraphFunction(name)
+        func.finalize(self.graph)
+        return func

@@ -1,0 +1,639 @@
+"""Dataflow graph executor.
+
+Compiles a graph into a flat instruction schedule and runs it over numpy
+buffers.  Three properties reproduce the paper's execution model:
+
+* **Low per-op overhead** — the schedule is precompiled (kernel, input
+  slots, output slots), so running a node costs one kernel call plus list
+  indexing, unlike the eager executor's full dispatch path.  This is the
+  BASE speedup of figure 7.
+* **Deferred, all-or-nothing state updates** (section 4.2.3) — variable
+  assignments and Python-heap writes go to per-run *local copies*; the
+  Python heap is only mutated in the commit phase after every assertion
+  has passed, so an :class:`~repro.errors.AssumptionFailed` abort never
+  leaves partial state behind and fallback is always safe.
+* **Inter-op parallelism** (+PARL of figure 7) — an optional level-wise
+  schedule runs independent nodes on a thread pool (numpy kernels release
+  the GIL for the heavy lifting).
+"""
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import numpy as np
+
+from ..errors import AssumptionFailed, ExecutionError, GraphError
+from ..tensor import TensorValue, PyRef
+
+_POOL_LOCK = threading.Lock()
+_POOL = None
+
+
+def _shared_pool():
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            workers = max(2, (os.cpu_count() or 2))
+            _POOL = ThreadPoolExecutor(max_workers=workers,
+                                       thread_name_prefix="repro-graph")
+        return _POOL
+
+
+class RunState:
+    """Per-top-level-run mutable state shared with nested subgraph runs."""
+
+    __slots__ = ("var_local", "py_local", "while_records", "stats",
+                 "invoke_memo", "py_read_cache")
+
+    def __init__(self):
+        self.var_local = {}        # Variable -> np.ndarray (local copy)
+        self.py_local = {}         # (id(obj), kind, key) -> raw value
+        self.while_records = {}    # Node -> stack of per-execution records
+        #: (id(func), arg identities) -> outputs, for effect-free invokes.
+        #: Gradient functions recompute their forward bodies (see
+        #: graph.autodiff); memoizing pure recursive calls within one run
+        #: collapses that recomputation from O(n * depth) to O(n) — the
+        #: executor-side counterpart of the InvokeOp bookkeeping in the
+        #: paper's reference [20].
+        self.invoke_memo = {}
+        #: (id(obj), kind, key) -> internalized heap read.  Heap state is
+        #: stable within a run (writes go to py_local, which shadows this
+        #: cache), so repeated reads — e.g. during gradient-side forward
+        #: recomputation — skip getattr/convert/assumption checking.
+        self.py_read_cache = {}
+        self.stats = {"nodes_executed": 0}
+
+    def commit(self, py_objects):
+        """Write local copies back to variables and the Python heap."""
+        for variable, array in self.var_local.items():
+            variable.storage = TensorValue(array, variable.dtype)
+        for (obj_id, kind, key), raw in self.py_local.items():
+            obj = py_objects[obj_id]
+            value = _externalize(raw)
+            if kind == "attr":
+                setattr(obj, key, value)
+            else:
+                obj[key] = value
+
+
+_Tensor = None
+_Variable = None
+
+
+def _lazy_types():
+    global _Tensor, _Variable
+    if _Tensor is None:
+        from ..imperative.eager import Tensor
+        from ..imperative.variable import Variable
+        _Tensor = Tensor
+        _Variable = Variable
+    return _Tensor, _Variable
+
+
+def _externalize(raw):
+    """Convert an executor-internal value into user-facing form."""
+    tensor_cls, _ = _lazy_types()
+    if isinstance(raw, PyRef):
+        return raw.obj
+    if isinstance(raw, np.ndarray):
+        return tensor_cls(TensorValue.of(raw))
+    return raw
+
+
+def _internalize(value):
+    """Convert a heap/user value into executor-internal form."""
+    if type(value) is np.ndarray:
+        return value
+    tensor_cls, variable_cls = _lazy_types()
+    if isinstance(value, tensor_cls):
+        return value.value.array
+    if isinstance(value, TensorValue):
+        return value.array
+    if isinstance(value, PyRef):
+        return value
+    if isinstance(value, variable_cls):
+        return PyRef(value)
+    if isinstance(value, bool):
+        return np.asarray(value, np.bool_)
+    if isinstance(value, int):
+        return np.asarray(value, np.int64)
+    if isinstance(value, float):
+        # Framework conversion rules: python floats are float32.
+        return np.asarray(value, np.float32)
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return np.asarray(value)
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, (list, tuple)):
+        try:
+            arr = np.asarray(value)
+        except (ValueError, TypeError):
+            return PyRef(value)
+        if arr.dtype.kind in "bif":
+            if arr.dtype == np.float64:
+                arr = arr.astype(np.float32)
+            return arr
+        return PyRef(value)
+    return PyRef(value)
+
+
+class GraphExecutor:
+    """A compiled, reusable schedule for one graph."""
+
+    def __init__(self, graph, parallel=False, _nested=False):
+        self.graph = graph
+        # Inter-op parallelism needs real cores; on a single-CPU host the
+        # level-parallel schedule only adds synchronization overhead.
+        self.parallel = (parallel and not _nested
+                         and (os.cpu_count() or 1) > 1)
+        self._nested = _nested
+        self._compile()
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self):
+        graph = self.graph
+        live = graph.live_nodes()
+        order = [n for n in graph.topological_order() if n in live]
+        self._slots = {}
+        slot_count = 0
+        for node in order:
+            for out in node.outputs:
+                self._slots[(id(node), out.index)] = slot_count
+                slot_count += 1
+        self._slot_count = slot_count
+        self._py_objects = {}
+
+        instructions = []
+        self._placeholder_slots = {}
+        for node in order:
+            in_slots = tuple(self._slots[(id(i.node), i.index)]
+                             for i in node.inputs)
+            out_slots = tuple(self._slots[(id(node), out.index)]
+                              for out in node.outputs)
+            instr = self._compile_node(node, in_slots, out_slots)
+            if instr is not None:
+                instructions.append(instr)
+        self._instructions = instructions
+        self._ph_slot_order = [
+            self._placeholder_slots[node.attrs["ph_name"]]
+            for node in graph.placeholders]
+        self._output_slots = [self._slots[(id(o.node), o.index)]
+                              for o in graph.outputs]
+        if self.parallel:
+            self._compile_levels(order)
+
+    def _compile_node(self, node, in_slots, out_slots):
+        op = node.op_name
+        if op == "placeholder":
+            self._placeholder_slots[node.attrs["ph_name"]] = out_slots[0]
+            index = len(self._placeholder_slots) - 1
+            return None  # filled during feed binding
+        if op == "constant":
+            value = node.constant_value
+            raw = value.array if isinstance(value, TensorValue) else value
+            slot = out_slots[0]
+
+            def run_const(values, run_state, raw=raw, slot=slot):
+                values[slot] = raw
+            return ("closure", run_const)
+        if op == "var_read":
+            variable = node.variable
+            slot = out_slots[0]
+
+            def run_read(values, run_state, variable=variable, slot=slot):
+                local = run_state.var_local.get(variable)
+                values[slot] = local if local is not None \
+                    else variable.storage.array
+            return ("closure", run_read)
+        if op == "var_assign":
+            return ("var_assign", node.variable, in_slots[0], out_slots[0])
+        if op in ("py_get_attr", "py_get_subscr"):
+            return self._compile_py_get(node, in_slots, out_slots)
+        if op in ("py_set_attr", "py_set_subscr"):
+            return self._compile_py_set(node, in_slots, out_slots)
+        if op == "py_call":
+            return ("py_call", node.py_object.obj, in_slots, out_slots)
+        if op == "invoke":
+            return ("invoke", node, in_slots, out_slots)
+        if op == "cond":
+            return ("cond", node, in_slots, out_slots)
+        if op == "while_loop":
+            return ("while", node, in_slots, out_slots)
+        if op == "while_grad":
+            return ("while_grad", node, in_slots, out_slots)
+        if op == "group":
+            return None
+        if node.op_def is not None:
+            return ("closure",
+                    self._make_op_closure(node.op_def.kernel, node.attrs,
+                                          in_slots, out_slots))
+        raise GraphError("cannot compile node %s" % node.debug_name)
+
+    @staticmethod
+    def _make_op_closure(kernel, attrs, in_slots, out_slots):
+        """A pre-bound callable for one registered-op node.
+
+        Binding slots and kernel at compile time removes the per-node
+        tuple unpacking and dispatch from the hot loop — the 'low per-op
+        overhead' property the symbolic executor owes its BASE speedup to.
+        """
+        asarray = np.asarray
+        ndarray = np.ndarray
+        if len(out_slots) == 1:
+            o0 = out_slots[0]
+            if len(in_slots) == 1:
+                a0 = in_slots[0]
+
+                def run1(values, run_state):
+                    r = kernel(attrs, values[a0])
+                    values[o0] = r if type(r) is ndarray else asarray(r)
+                return run1
+            if len(in_slots) == 2:
+                a0, a1 = in_slots
+
+                def run2(values, run_state):
+                    r = kernel(attrs, values[a0], values[a1])
+                    values[o0] = r if type(r) is ndarray else asarray(r)
+                return run2
+
+            def run_n(values, run_state):
+                r = kernel(attrs, *[values[s] for s in in_slots])
+                values[o0] = r if type(r) is ndarray else asarray(r)
+            return run_n
+
+        def run_multi(values, run_state):
+            results = kernel(attrs, *[values[s] for s in in_slots])
+            for slot, r in zip(out_slots, results):
+                values[slot] = r if type(r) is ndarray else asarray(r)
+        return run_multi
+
+    def _compile_py_get(self, node, in_slots, out_slots):
+        kind = "attr" if node.op_name == "py_get_attr" else "subscr"
+        key = node.attrs["name"] if kind == "attr" else node.attrs["key"]
+        obj = None
+        if node.py_object is not None:
+            obj = node.py_object.obj
+            self._py_objects[id(obj)] = obj
+        dyn_slot = in_slots[0] if in_slots else None
+        return ("py_get", kind, obj, dyn_slot, key,
+                node.attrs.get("expected"), out_slots[0], node)
+
+    def _compile_py_set(self, node, in_slots, out_slots):
+        kind = "attr" if node.op_name == "py_set_attr" else "subscr"
+        key = node.attrs["name"] if kind == "attr" else node.attrs["key"]
+        obj = None
+        value_slot = in_slots[-1]
+        if node.py_object is not None:
+            obj = node.py_object.obj
+            self._py_objects[id(obj)] = obj
+            dyn_slot = None
+        else:
+            dyn_slot = in_slots[0]
+        return ("py_set", kind, obj, dyn_slot, key, value_slot,
+                out_slots[0])
+
+    #: Ops heavy enough to amortize a thread-pool submission.
+    _HEAVY_OPS = frozenset([
+        "matmul", "conv2d", "conv2d_transpose", "conv2d_input_grad",
+        "conv2d_filter_grad", "max_pool", "max_pool_grad", "avg_pool",
+        "avg_pool_grad", "invoke", "gather_grad",
+    ])
+
+    def _compile_levels(self, order):
+        """Group instructions into dependency levels for parallel runs.
+
+        A level only runs on the thread pool when it contains at least two
+        *heavy* instructions — scattering sub-microsecond elementwise ops
+        across threads costs far more than it saves.  This mirrors how a
+        real dataflow runtime's inter-op parallelism only pays off for
+        coarse kernels (paper section 6.3.1: +PARL gains are largest for
+        TreeNNs with many concurrently executable matmuls).
+        """
+        node_level = {}
+        for node in order:
+            deps = [i.node for i in node.inputs] + list(node.control_inputs)
+            lvl = 0
+            for dep in deps:
+                lvl = max(lvl, node_level.get(dep, -1) + 1)
+            node_level[node] = lvl
+        live_nodes = [n for n in order
+                      if n.op_name not in ("placeholder", "group")]
+        if len(live_nodes) != len(self._instructions):
+            # conservative: fall back to sequential execution
+            self.parallel = False
+            return
+        levels = {}
+        for node, instr in zip(live_nodes, self._instructions):
+            levels.setdefault(node_level[node], []).append((node, instr))
+        self._levels = []
+        for key in sorted(levels):
+            members = levels[key]
+            heavy = sum(1 for node, _ in members
+                        if node.op_name in self._HEAVY_OPS)
+            run_parallel = heavy >= 2
+            self._levels.append((run_parallel,
+                                 [instr for _, instr in members]))
+        if not any(p for p, _ in self._levels):
+            self.parallel = False
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, feeds=(), run_state=None):
+        """Execute the graph.
+
+        ``feeds`` is a sequence of values bound positionally to the
+        graph's placeholders.  Returns the list of output values
+        (numpy arrays, or the wrapped object for PyRef outputs is kept as
+        PyRef — callers externalize).  A fresh top-level run commits
+        deferred state updates on success; nested runs share
+        ``run_state`` and never commit.
+        """
+        top_level = run_state is None
+        if top_level:
+            run_state = RunState()
+        values = [None] * self._slot_count
+        ph_slots = self._ph_slot_order
+        if len(feeds) != len(ph_slots):
+            raise ExecutionError("graph %s expects %d feeds, got %d"
+                                 % (self.graph.name, len(ph_slots),
+                                    len(feeds)))
+        for slot, value in zip(ph_slots, feeds):
+            values[slot] = value if type(value) is np.ndarray \
+                else _internalize(value)
+
+        if self.parallel:
+            self._run_parallel(values, run_state)
+        else:
+            execute = self._execute
+            for instr in self._instructions:
+                execute(instr, values, run_state)
+
+        outputs = [values[s] for s in self._output_slots]
+        if top_level:
+            run_state.commit(self._py_objects_transitive())
+            run_state.stats["nodes_executed"] += len(self._instructions)
+        return outputs
+
+    def _py_objects_transitive(self):
+        """Python objects referenced here and in nested subgraphs."""
+        cached = getattr(self, "_py_objects_cache", None)
+        if cached is not None:
+            # py_set on dynamic objects adds entries at run time; merge.
+            cached.update(self._py_objects)
+            return cached
+        objs = self._collect_py_objects()
+        self._py_objects_cache = objs
+        return objs
+
+    def _collect_py_objects(self):
+        objs = dict(self._py_objects)
+        seen = set()
+        stack = [self.graph]
+        while stack:
+            graph = stack.pop()
+            if id(graph) in seen:
+                continue
+            seen.add(id(graph))
+            for node in graph.nodes:
+                if node.py_object is not None:
+                    objs[id(node.py_object.obj)] = node.py_object.obj
+                for func in node._nested_functions():
+                    if func is not None and func.graph is not None:
+                        stack.append(func.graph)
+        return objs
+
+    def _run_parallel(self, values, run_state):
+        pool = _shared_pool()
+        for run_parallel, level in self._levels:
+            if not run_parallel or len(level) == 1:
+                for instr in level:
+                    self._execute(instr, values, run_state)
+                continue
+            futures = [pool.submit(self._execute, instr, values, run_state)
+                       for instr in level]
+            done, _ = wait(futures)
+            for future in done:
+                exc = future.exception()
+                if exc is not None:
+                    for f in futures:
+                        f.cancel()
+                    raise exc
+
+    # -- instruction dispatch -----------------------------------------------------
+
+    def _execute(self, instr, values, run_state):
+        kind = instr[0]
+        if kind == "closure":
+            instr[1](values, run_state)
+        elif kind == "var_assign":
+            _, variable, in_slot, out_slot = instr
+            value = values[in_slot]
+            run_state.var_local[variable] = value
+            values[out_slot] = value
+        elif kind == "py_get":
+            self._exec_py_get(instr, values, run_state)
+        elif kind == "py_set":
+            self._exec_py_set(instr, values, run_state)
+        elif kind == "py_call":
+            _, fn, in_slots, out_slots = instr
+            args = [_externalize(values[s]) for s in in_slots]
+            result = fn(*args)
+            # An arbitrary Python call may mutate the heap (the naive
+            # state-update ablation does): cached reads are now stale.
+            run_state.py_read_cache.clear()
+            if len(out_slots) == 1:
+                values[out_slots[0]] = _internalize(result)
+            else:
+                for slot, r in zip(out_slots, result):
+                    values[slot] = _internalize(r)
+        elif kind == "invoke":
+            _, node, in_slots, out_slots = instr
+            func = node.func
+            args = [values[s] for s in in_slots]
+            memo_key = _invoke_memo_key(func, args)
+            if memo_key is not None:
+                cached = run_state.invoke_memo.get(memo_key)
+                if cached is not None:
+                    for slot, r in zip(out_slots, cached):
+                        values[slot] = r
+                    return
+            sub = _function_executor(func)
+            results = sub.run(args, run_state)
+            if memo_key is not None:
+                run_state.invoke_memo[memo_key] = results
+            for slot, r in zip(out_slots, results):
+                values[slot] = r
+        elif kind == "cond":
+            self._exec_cond(instr, values, run_state)
+        elif kind == "while":
+            self._exec_while(instr, values, run_state)
+        elif kind == "while_grad":
+            self._exec_while_grad(instr, values, run_state)
+        else:
+            raise ExecutionError("unknown instruction %r" % (kind,))
+
+    def _exec_py_get(self, instr, values, run_state):
+        _, kind, obj, dyn_slot, key, expected, out_slot, node = instr
+        if obj is None:
+            ref = values[dyn_slot]
+            if not isinstance(ref, PyRef):
+                raise ExecutionError("py_get on non-PyRef input")
+            obj = ref.obj
+        local_key = (id(obj), kind, key)
+        raw = run_state.py_local.get(local_key)
+        if raw is None:
+            raw = run_state.py_read_cache.get(local_key)
+            if raw is None:
+                raw = _internalize(getattr(obj, key) if kind == "attr"
+                                   else obj[key])
+                if expected is not None:
+                    _check_expected(expected, raw, node)
+                run_state.py_read_cache[local_key] = raw
+        values[out_slot] = raw
+
+    def _exec_py_set(self, instr, values, run_state):
+        _, kind, obj, dyn_slot, key, value_slot, out_slot = instr
+        if obj is None:
+            ref = values[dyn_slot]
+            obj = ref.obj
+        run_state.py_local[(id(obj), kind, key)] = values[value_slot]
+        # keep the object reachable for commit
+        self._py_objects[id(obj)] = obj
+        values[out_slot] = PyRef(obj)
+
+    def _exec_cond(self, instr, values, run_state):
+        _, node, in_slots, out_slots = instr
+        pred = values[in_slots[0]]
+        branch = node.branches["true" if bool(np.all(pred)) \
+                               else "false"]
+        sub = _function_executor(branch)
+        results = sub.run([values[s] for s in in_slots[1:]], run_state)
+        for slot, r in zip(out_slots, results):
+            values[slot] = r
+
+    def _exec_while(self, instr, values, run_state):
+        _, node, in_slots, out_slots = instr
+        cond_exec = _function_executor(node.attrs["cond_func"])
+        body_exec = _function_executor(node.attrs["body_func"])
+        state = [values[s] for s in in_slots]
+        record = [] if node.attrs.get("record_grad") else None
+        iteration = 0
+        max_iters = node.attrs.get("max_iterations", 1_000_000)
+        while True:
+            keep_going = cond_exec.run(state, run_state)[0]
+            if not bool(np.all(keep_going)):
+                break
+            if record is not None:
+                record.append(list(state))
+            state = body_exec.run(state, run_state)
+            iteration += 1
+            if iteration > max_iters:
+                raise ExecutionError("while_loop exceeded %d iterations"
+                                     % max_iters)
+        if record is not None:
+            run_state.while_records.setdefault(node, []).append(record)
+        for slot, value in zip(out_slots, state):
+            values[slot] = value
+
+    def _exec_while_grad(self, instr, values, run_state):
+        _, node, in_slots, out_slots = instr
+        forward = node.attrs["forward_node"]
+        body_grad = _function_executor(node.attrs["body_grad_func"])
+        grad_var_count = node.attrs["grad_var_count"]
+        float_mask = node.attrs["float_mask"]
+        stack = run_state.while_records.get(forward)
+        if not stack:
+            raise ExecutionError("while_grad has no recorded iterations")
+        record = stack.pop()
+        state_grads = [values[s] for s in in_slots]
+        var_totals = [None] * grad_var_count
+        for iteration_state in reversed(record):
+            results = body_grad.run(list(iteration_state) + state_grads,
+                                    run_state)
+            n_float = sum(float_mask)
+            state_grads = results[:n_float]
+            for i, g in enumerate(results[n_float:]):
+                var_totals[i] = g if var_totals[i] is None \
+                    else var_totals[i] + g
+        outputs = list(state_grads) + [
+            g if g is not None else np.zeros(1, np.float32)
+            for g in var_totals]
+        for slot, value in zip(out_slots, outputs):
+            values[slot] = value
+
+
+def _check_expected(expected, raw, node):
+    kind = expected[0]
+    if kind == "const":
+        _, dtype, value = expected
+        if not isinstance(raw, np.ndarray) or \
+                raw.shape != np.asarray(value).shape or \
+                not np.array_equal(raw, value):
+            raise AssumptionFailed(
+                "heap read %s: value changed from its profiled constant"
+                % node.debug_name,
+                site=node.attrs.get("prof_site", node.debug_name),
+                observed=raw)
+        return
+    if kind == "tensor":
+        _, dtype, shape = expected
+        if not isinstance(raw, np.ndarray):
+            raise AssumptionFailed(
+                "heap read %s: expected a tensor, got %s"
+                % (node.debug_name, type(raw).__name__),
+                site=node.debug_name, observed=raw)
+        if dtype is not None and raw.dtype != dtype.np_dtype:
+            raise AssumptionFailed(
+                "heap read %s: dtype %s != expected %s"
+                % (node.debug_name, raw.dtype, dtype.name),
+                site=node.debug_name, observed=raw)
+        from ..tensor.shape import Shape
+        if shape is not None and not Shape.of(shape).matches_value(raw.shape):
+            raise AssumptionFailed(
+                "heap read %s: shape %s violates assumption %s"
+                % (node.debug_name, raw.shape, shape),
+                site=node.debug_name, observed=raw)
+    elif kind == "pyref":
+        type_name = expected[1]
+        obj = raw.obj if isinstance(raw, PyRef) else raw
+        if type(obj).__name__ != type_name:
+            raise AssumptionFailed(
+                "heap read %s: type %s != expected %s"
+                % (node.debug_name, type(obj).__name__, type_name),
+                site=node.debug_name, observed=raw)
+
+
+def _invoke_memo_key(func, args):
+    """Memo key for a pure invoke, or None when not memoizable.
+
+    Safe only for effect-free callees and identity-keyable arguments:
+    PyRefs key by object identity, tiny arrays by content.
+    """
+    if getattr(func, "_memo_effects", None) is None:
+        func._memo_effects = func.has_effects
+    if func._memo_effects:
+        return None
+    parts = [id(func)]
+    for a in args:
+        if isinstance(a, PyRef):
+            parts.append(("r", id(a.obj)))
+        elif isinstance(a, np.ndarray) and a.nbytes <= 64:
+            parts.append(("v", a.dtype.str, a.shape, a.tobytes()))
+        else:
+            return None
+    return tuple(parts)
+
+
+def _function_executor(func):
+    """Compiled (sequential) executor for a GraphFunction, cached."""
+    if func.graph is None:
+        raise GraphError("function %s invoked before finalization"
+                         % func.name)
+    cache = func.graph._executor_cache
+    executor = cache.get("nested")
+    if executor is None:
+        executor = GraphExecutor(func.graph, parallel=False, _nested=True)
+        cache["nested"] = executor
+    return executor

@@ -1,0 +1,267 @@
+"""Graph optimization passes (the paper's post-processor, section 3.1).
+
+These are the whole-graph optimizations that symbolic execution enables
+and imperative execution forfeits: dead-code elimination, common
+subexpression elimination, constant folding, and arithmetic
+simplification.  Speculative specialization (section 4.2.2) is what makes
+them bite — once profiled shapes and stable values are burned into the
+graph as constants, folding and simplification cascade.
+"""
+
+import numpy as np
+
+from ..tensor import TensorValue
+from .core import Graph
+
+
+class Pass:
+    """Base class: a transformation applied in place to a Graph."""
+
+    name = "pass"
+
+    def run(self, graph):
+        """Apply the pass; returns True when the graph changed."""
+        raise NotImplementedError
+
+
+def _remap_inputs(graph, replacements):
+    """Redirect every consumer edge according to ``replacements``.
+
+    ``replacements`` maps ``(id(node), index) -> NodeOutput``.
+    """
+    if not replacements:
+        return False
+
+    def lookup(out):
+        seen = set()
+        while (id(out.node), out.index) in replacements:
+            if (id(out.node), out.index) in seen:
+                break
+            seen.add((id(out.node), out.index))
+            out = replacements[(id(out.node), out.index)]
+        return out
+
+    changed = False
+    for node in graph.nodes:
+        for i, inp in enumerate(node.inputs):
+            new = lookup(inp)
+            if new is not inp:
+                node.inputs[i] = new
+                changed = True
+    for i, out in enumerate(graph.outputs):
+        new = lookup(out)
+        if new is not out:
+            graph.outputs[i] = new
+            changed = True
+    return changed
+
+
+class DeadCodeElimination(Pass):
+    """Remove nodes that neither feed outputs nor have side effects."""
+
+    name = "dce"
+
+    def run(self, graph):
+        live = graph.live_nodes()
+        dead = [n for n in graph.nodes if n not in live]
+        if not dead:
+            return False
+        graph.remove_nodes(dead)
+        return True
+
+
+class CommonSubexpressionElimination(Pass):
+    """Deduplicate structurally identical pure nodes."""
+
+    name = "cse"
+
+    def run(self, graph):
+        canonical = {}
+        replacements = {}
+        for node in graph.topological_order():
+            # Resolve this node's inputs through pending replacements so
+            # chained duplicates collapse in one run.
+            for i, inp in enumerate(node.inputs):
+                rep = replacements.get((id(inp.node), inp.index))
+                if rep is not None:
+                    node.inputs[i] = rep
+            sig = node.signature()
+            if sig is None:
+                if node.op_name == "constant" and \
+                        isinstance(node.constant_value, TensorValue):
+                    value = node.constant_value
+                    if value.array.nbytes <= 1 << 16:
+                        sig = ("constant", value.dtype.name,
+                               value.array.shape, value.array.tobytes())
+                if sig is None:
+                    continue
+            existing = canonical.get(sig)
+            if existing is None:
+                canonical[sig] = node
+                continue
+            for out, channel in zip(node.outputs, existing.outputs):
+                replacements[(id(out.node), out.index)] = channel
+        _remap_inputs(graph, replacements)
+        if replacements:
+            DeadCodeElimination().run(graph)
+        return bool(replacements)
+
+
+class ConstantFolding(Pass):
+    """Evaluate pure nodes whose inputs are all constants at build time."""
+
+    name = "constant_folding"
+
+    # Refuse to materialize folded constants bigger than this (bytes).
+    MAX_BYTES = 1 << 20
+
+    def run(self, graph):
+        replacements = {}
+        changed = False
+        for node in graph.topological_order():
+            for i, inp in enumerate(node.inputs):
+                rep = replacements.get((id(inp.node), inp.index))
+                if rep is not None:
+                    node.inputs[i] = rep
+            if node.op_def is None or node.op_def.stateful:
+                continue
+            if node.control_inputs:
+                continue
+            if not node.inputs and node.op_name not in ("fill", "range"):
+                continue
+            const_inputs = []
+            foldable = True
+            for inp in node.inputs:
+                src = inp.node
+                if src.op_name != "constant" or \
+                        not isinstance(src.constant_value, TensorValue):
+                    foldable = False
+                    break
+                const_inputs.append(src.constant_value.array)
+            if not foldable:
+                continue
+            try:
+                result = node.op_def.kernel(node.attrs, *const_inputs)
+            except Exception:
+                continue
+            results = result if isinstance(result, tuple) else (result,)
+            arrays = [np.asarray(r) for r in results]
+            if sum(a.nbytes for a in arrays) > self.MAX_BYTES:
+                continue
+            for out, arr in zip(node.outputs, arrays):
+                const = graph.new_node("constant")
+                const.constant_value = TensorValue.of(arr)
+                new_out = const.add_output(const.constant_value.shape,
+                                           const.constant_value.dtype)
+                replacements[(id(node), out.index)] = new_out
+            changed = True
+        if _remap_inputs(graph, replacements) or changed:
+            DeadCodeElimination().run(graph)
+            return True
+        return False
+
+
+def _scalar_constant(node_output):
+    node = node_output.node
+    if node.op_name != "constant":
+        return None
+    value = node.constant_value
+    if not isinstance(value, TensorValue) or value.array.size != 1:
+        return None
+    return float(value.array.reshape(()))
+
+
+class ArithmeticSimplification(Pass):
+    """Strength-reduce trivial arithmetic: x+0, x*1, x/1, x**1, x-0."""
+
+    name = "arithmetic_simplify"
+
+    def run(self, graph):
+        replacements = {}
+        for node in graph.topological_order():
+            for i, inp in enumerate(node.inputs):
+                rep = replacements.get((id(inp.node), inp.index))
+                if rep is not None:
+                    node.inputs[i] = rep
+            target = self._simplify(node)
+            if target is not None:
+                replacements[(id(node), 0)] = target
+        changed = _remap_inputs(graph, replacements)
+        if changed:
+            DeadCodeElimination().run(graph)
+        return changed
+
+    def _simplify(self, node):
+        op = node.op_name
+        if op not in ("add", "sub", "mul", "div", "pow"):
+            return None
+        a, b = node.inputs
+        out = node.outputs[0]
+        ca, cb = _scalar_constant(a), _scalar_constant(b)
+
+        def keeps(x):
+            # Only rewrite when the surviving operand already has the
+            # result's shape and dtype (no silent broadcasting change).
+            return (x.dtype is out.dtype
+                    and x.shape.is_fully_known and out.shape.is_fully_known
+                    and x.shape.dims == out.shape.dims)
+
+        if op == "add":
+            if cb == 0.0 and keeps(a):
+                return a
+            if ca == 0.0 and keeps(b):
+                return b
+        elif op == "sub":
+            if cb == 0.0 and keeps(a):
+                return a
+        elif op == "mul":
+            if cb == 1.0 and keeps(a):
+                return a
+            if ca == 1.0 and keeps(b):
+                return b
+        elif op == "div":
+            if cb == 1.0 and keeps(a):
+                return a
+        elif op == "pow":
+            if cb == 1.0 and keeps(a):
+                return a
+        return None
+
+
+DEFAULT_PASSES = (
+    CommonSubexpressionElimination,
+    ConstantFolding,
+    ArithmeticSimplification,
+    DeadCodeElimination,
+)
+
+
+class PassManager:
+    """Runs passes to a fixed point (bounded rounds)."""
+
+    def __init__(self, passes=None, max_rounds=4):
+        self.passes = [p() for p in (passes or DEFAULT_PASSES)]
+        self.max_rounds = max_rounds
+
+    def run(self, graph, recurse=True, _seen_graphs=None):
+        """Optimize a graph (and, optionally, nested function bodies)."""
+        if _seen_graphs is None:
+            _seen_graphs = set()
+        if id(graph) in _seen_graphs:
+            return graph
+        _seen_graphs.add(id(graph))
+        for _ in range(self.max_rounds):
+            changed = False
+            for pass_ in self.passes:
+                changed |= bool(pass_.run(graph))
+            if not changed:
+                break
+        if recurse:
+            for node in list(graph.nodes):
+                for func in node._nested_functions():
+                    if func is None or func.graph is None:
+                        continue
+                    self.run(func.graph, recurse=True,
+                             _seen_graphs=_seen_graphs)
+        graph._executor_cache.clear()
+        return graph

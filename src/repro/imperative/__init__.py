@@ -1,0 +1,8 @@
+"""Imperative executor: eager tensors, gradient tape, variables."""
+
+from .eager import Tensor, EagerContext, eager_context, constant
+from .tape import GradientTape
+from .variable import Variable
+
+__all__ = ["Tensor", "EagerContext", "eager_context", "constant",
+           "GradientTape", "Variable"]

@@ -1,0 +1,94 @@
+"""Mutable model state shared between execution modes.
+
+A :class:`Variable` owns a :class:`~repro.tensor.TensorValue` buffer.  The
+eager executor reads it into tensors (recording the read on any active
+tape) and assigns it in place; the graph executor reads the *same* buffer
+through ``var_read`` nodes and defers assignments to the all-or-nothing
+writeback phase.  Sharing one buffer between modes reproduces the paper's
+modification of TensorFlow Eager's parameter-storing mechanism (section 5).
+"""
+
+import threading
+
+from ..tensor import TensorValue
+
+_uid_lock = threading.Lock()
+_uid_counter = [0]
+
+
+def _next_uid():
+    with _uid_lock:
+        _uid_counter[0] += 1
+        return _uid_counter[0]
+
+
+class Variable:
+    """A named, mutable tensor buffer."""
+
+    def __init__(self, initial_value, name=None, trainable=True, dtype=None):
+        self.storage = TensorValue.of(initial_value, dtype=dtype)
+        self.uid = _next_uid()
+        self.name = name or ("variable_%d" % self.uid)
+        self.trainable = trainable
+
+    @property
+    def shape(self):
+        return self.storage.shape
+
+    @property
+    def dtype(self):
+        return self.storage.dtype
+
+    def value(self):
+        """Read the current value in the active execution mode.
+
+        Eagerly this returns a tape-recorded tensor; under a
+        graph-building or tracing context it produces a ``var_read``
+        node, so model parameters stay parameterized in every mode.
+        """
+        from ..ops.dispatch import current_context
+        return current_context().convert(self)
+
+    def numpy(self):
+        return self.storage.array
+
+    def assign(self, value):
+        """Assign in the active execution mode.
+
+        Eagerly this replaces the stored value immediately; under a
+        graph-building context it emits a deferred ``var_assign`` node.
+        """
+        from ..ops.dispatch import current_context
+        current_context().assign_variable(self, value)
+        return self
+
+    def _assign_raw(self, value):
+        """Immediate storage replacement (the eager context's backend)."""
+        self.storage = TensorValue.of(_unwrap(value), dtype=self.dtype)
+        return self
+
+    def assign_add(self, value):
+        from ..ops import api
+        return self.assign(api.add(api.read(self), value))
+
+    def assign_sub(self, value):
+        from ..ops import api
+        return self.assign(api.sub(api.read(self), value))
+
+    def __repr__(self):
+        return "Variable(%r, shape=%s, dtype=%s)" % (
+            self.name, tuple(self.storage.array.shape),
+            self.dtype.name)
+
+
+def _unwrap(value):
+    from .eager import Tensor
+    if isinstance(value, Tensor):
+        return value.value.array
+    if isinstance(value, TensorValue):
+        return value.array
+    return value
+
+
+def _to_array(value):
+    return TensorValue.of(_unwrap(value)).array

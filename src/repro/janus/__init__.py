@@ -1,0 +1,20 @@
+"""JANUS: speculative symbolic graph execution of imperative programs.
+
+The paper's primary contribution — see :mod:`repro.janus.api` for the
+execution model and :mod:`repro.janus.graphgen` for the conversion rules.
+"""
+
+from .api import JanusFunction, function
+from .config import (JanusConfig, get_config, set_config, ABLATION_STAGES)
+from .profiler import Profiler
+from .graphgen import GraphGenerator, GeneratedGraph
+from .cache import GraphCache
+from . import specialization
+from . import coverage
+
+__all__ = [
+    "JanusFunction", "function",
+    "JanusConfig", "get_config", "set_config", "ABLATION_STAGES",
+    "Profiler", "GraphGenerator", "GeneratedGraph", "GraphCache",
+    "specialization", "coverage",
+]

@@ -1,0 +1,218 @@
+"""The JANUS public API: the :func:`function` decorator.
+
+A decorated function follows the execution model of paper figure 2:
+
+1. the first ``profile_runs`` calls execute imperatively under the
+   Profiler (A);
+2. the Speculative Graph Generator then converts the program, specialized
+   to the profiled context assumptions (B), unless it uses imperative-only
+   features (C);
+3. subsequent calls with matching precheckable assumptions run the cached
+   symbolic graph (D);
+4. a failed runtime assertion aborts the graph *before any state update*
+   (all-or-nothing), falls back to the imperative executor, relaxes the
+   broken assumption, and regenerates (E).
+
+``@janus.function(optimizer=opt)`` marks a *training* function: the body
+returns a loss, and JANUS automatically appends gradient computation and
+parameter-update operations to the generated graph (and uses a gradient
+tape on the imperative path) — the paper's transparent handling of
+automatic differentiation (section 3).
+"""
+
+import functools
+
+from ..errors import AssumptionFailed, NotConvertible
+from ..graph.executor import GraphExecutor
+from ..imperative.tape import GradientTape
+from .cache import CacheEntry, GraphCache
+from .config import get_config
+from .graphgen import GraphGenerator
+from .profiler import Profiler
+
+
+class JanusFunction:
+    """A Python function accelerated by speculative graph execution."""
+
+    def __init__(self, func, optimizer=None, config=None):
+        self.func = func
+        self.optimizer = optimizer
+        self._config = config
+        self.profiler = Profiler()
+        self.cache = GraphCache()
+        self.imperative_only = False
+        self.not_convertible_reason = None
+        self.stats = {
+            "calls": 0, "imperative_runs": 0, "graph_runs": 0,
+            "fallbacks": 0, "graphs_generated": 0,
+        }
+        functools.update_wrapper(self, func)
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def config(self):
+        return self._config if self._config is not None else get_config()
+
+    def with_config(self, **overrides):
+        """A copy of this function under different JanusConfig flags."""
+        new = JanusFunction(self.func, optimizer=self.optimizer,
+                            config=self.config.copy(**overrides))
+        return new
+
+    # -- the execution model (figure 2) ---------------------------------------
+
+    def __call__(self, *args):
+        args = tuple(_ensure_tensor(a) for a in args)
+        self.stats["calls"] += 1
+        if self.imperative_only:
+            return self._run_imperative(args, profile=False)
+        if self.profiler.runs < self.config.profile_runs:
+            return self._run_imperative(args, profile=True)
+
+        signature = self.cache.signature_of(args)
+        entry = self.cache.lookup(signature)
+        if entry is not None and not entry.dirty:
+            if entry.generated.check_preconditions(args):
+                entry.hits += 1
+                return self._run_graph(entry, args, signature)
+            # Cache miss on precheck: relax + regenerate on the next call.
+            entry.misses += 1
+            self.cache.invalidate(signature)
+            self.profiler.record_args(list(args))
+            return self._run_imperative(args, profile=True)
+
+        generated = self._generate(signature)
+        if generated is None:
+            return self._run_imperative(args, profile=False)
+        executor = GraphExecutor(generated.graph,
+                                 parallel=self.config.parallel_execution)
+        entry = CacheEntry(generated, executor)
+        self.cache.store(signature, entry)
+        self.stats["graphs_generated"] += 1
+        if not generated.check_preconditions(args):
+            entry.misses += 1
+            self.profiler.record_args(list(args))
+            return self._run_imperative(args, profile=True)
+        entry.hits += 1
+        return self._run_graph(entry, args, signature)
+
+    def _generate(self, signature=None):
+        try:
+            generator = GraphGenerator(self.func, self.profiler,
+                                       self.config,
+                                       optimizer=self.optimizer,
+                                       signature=signature)
+            return generator.generate()
+        except NotConvertible as exc:
+            # Figure 2 (C): permanently imperative-only.
+            self.imperative_only = True
+            self.not_convertible_reason = str(exc)
+            if self.config.fail_on_not_convertible:
+                raise
+            return None
+
+    def _run_graph(self, entry, args, signature):
+        generated = entry.generated
+        feeds = generated.bind_feeds(args)
+        try:
+            flat = entry.executor.run(feeds)
+        except AssumptionFailed as exc:
+            # Figure 2 (E): no state was committed; fall back, relax,
+            # regenerate with the broken assumption removed.
+            entry.failures += 1
+            self.stats["fallbacks"] += 1
+            self._relax(exc)
+            self.cache.invalidate(signature)
+            return self._run_imperative(args, profile=True)
+        self.stats["graph_runs"] += 1
+        return generated.repack_outputs(flat)
+
+    def _relax(self, failure):
+        site = failure.site
+        if isinstance(site, tuple) and len(site) == 2:
+            kind, prof_site = site
+            if kind in ("branch", "loop"):
+                self.profiler.force_dynamic(prof_site)
+            elif kind in ("attr", "subscr"):
+                self.profiler.relax_attr_spec(prof_site, failure.observed)
+
+    def _run_imperative(self, args, profile):
+        self.stats["imperative_runs"] += 1
+        if self.optimizer is not None:
+            return self._imperative_training_step(args, profile)
+        if profile:
+            return self.profiler.profile_call(self.func, list(args))
+        return self.func(*args)
+
+    def _imperative_training_step(self, args, profile):
+        with GradientTape() as tape:
+            if profile:
+                loss = self.profiler.profile_call(self.func, list(args))
+            else:
+                loss = self.func(*args)
+        target = loss[0] if isinstance(loss, (tuple, list)) else loss
+        variables = list({id(v): v for v, _ in tape._var_reads}.values())
+        grads = tape.gradient(target, variables)
+        pairs = [(g, v) for g, v in zip(grads, variables) if g is not None]
+        self.optimizer.apply_gradients(pairs)
+        return loss
+
+    # -- introspection -------------------------------------------------------------
+
+    def cache_stats(self):
+        stats = dict(self.stats)
+        stats.update(self.cache.stats())
+        return stats
+
+    def __repr__(self):
+        mode = "imperative-only" if self.imperative_only else "speculative"
+        return "JanusFunction(%s, %s)" % (self.__name__, mode)
+
+    def __get__(self, instance, owner):
+        if instance is None:
+            return self
+        return _BoundJanusFunction(self, instance)
+
+
+class _BoundJanusFunction:
+    """Descriptor support: ``@janus.function`` on methods."""
+
+    def __init__(self, jf, instance):
+        self._jf = jf
+        self._instance = instance
+
+    def __call__(self, *args):
+        return self._jf(self._instance, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._jf, name)
+
+
+def _ensure_tensor(value):
+    """Numpy/scalar arguments become eager tensors (TF-Eager semantics)."""
+    import numpy as np
+    from ..imperative.eager import Tensor
+    from ..tensor import TensorValue
+    if isinstance(value, (np.ndarray, np.generic)):
+        return Tensor(TensorValue.of(np.asarray(value)))
+    return value
+
+
+def function(func=None, *, optimizer=None, config=None):
+    """Decorate an imperative DL program for speculative graph execution.
+
+    Usage::
+
+        @janus.function
+        def predict(x): ...
+
+        @janus.function(optimizer=sgd)
+        def train_step(x, y):
+            ...
+            return loss
+    """
+    if func is None:
+        return lambda f: JanusFunction(f, optimizer=optimizer,
+                                       config=config)
+    return JanusFunction(func, optimizer=optimizer, config=config)

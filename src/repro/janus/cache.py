@@ -1,0 +1,58 @@
+"""The graph cache (paper figure 2).
+
+Generated graphs are cached per *call signature* — the type-level summary
+of the arguments (tensor dtype/rank, Python value types).  Retrieval
+validates the entry's precheckable assumptions (constant values, shape
+specs, object identities); a failed precheck is a cache miss, after which
+the entry is relaxed and regenerated (figure 2, check 1).
+"""
+
+
+class CacheEntry:
+    """One generated graph plus everything needed to run and re-check it."""
+
+    __slots__ = ("generated", "executor", "hits", "misses", "failures",
+                 "dirty")
+
+    def __init__(self, generated, executor):
+        self.generated = generated
+        self.executor = executor
+        self.hits = 0
+        self.misses = 0
+        self.failures = 0
+        self.dirty = False
+
+
+class GraphCache:
+    """Signature-keyed cache of speculatively-generated graphs."""
+
+    def __init__(self):
+        self._entries = {}
+
+    def signature_of(self, args):
+        from . import specialization as spec
+        return tuple(spec.observe(a).signature() for a in args)
+
+    def lookup(self, signature):
+        return self._entries.get(signature)
+
+    def store(self, signature, entry):
+        self._entries[signature] = entry
+
+    def invalidate(self, signature):
+        self._entries.pop(signature, None)
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def stats(self):
+        return {
+            "entries": len(self._entries),
+            "hits": sum(e.hits for e in self._entries.values()),
+            "misses": sum(e.misses for e in self._entries.values()),
+            "assumption_failures": sum(e.failures
+                                       for e in self._entries.values()),
+        }

@@ -1,0 +1,87 @@
+"""JANUS runtime configuration.
+
+The flags map one-to-one onto the optimization stages of paper figure 7:
+
+* (BASE)  plain graph conversion — all flags off,
+* +UNRL   ``unroll_stable_control_flow``: unroll branches/loops whose
+  profile shows a single stable direction / trip count,
+* +SPCN   ``specialize_types``: burn profiled shapes and stable values
+  into the graph and run the optimization passes,
+* +PARL   ``parallel_execution``: level-parallel graph schedule.
+"""
+
+import copy
+
+
+class JanusConfig:
+    """Tunable behaviour of the speculative graph generator/executor."""
+
+    def __init__(self,
+                 profile_runs=3,
+                 unroll_stable_control_flow=True,
+                 specialize_types=True,
+                 optimize_graph=True,
+                 parallel_execution=True,
+                 deferred_state_update=True,
+                 max_unroll=256,
+                 max_recursion_inline=0,
+                 fail_on_not_convertible=False):
+        #: Imperative profiling iterations before generating a graph
+        #: (the paper found 3 sufficient — section 3.1 footnote).
+        self.profile_runs = profile_runs
+        self.unroll_stable_control_flow = unroll_stable_control_flow
+        self.specialize_types = specialize_types
+        self.optimize_graph = optimize_graph
+        self.parallel_execution = parallel_execution
+        #: When False, heap writes go through immediate py_call mutation —
+        #: the "naive PyFuncOp" strategy the paper rejects (section 4.2.3);
+        #: kept for the ablation benchmark.
+        self.deferred_state_update = deferred_state_update
+        #: Loops with stable trip counts above this stay dynamic.
+        self.max_unroll = max_unroll
+        self.max_recursion_inline = max_recursion_inline
+        #: Raise instead of silently falling back when a program cannot be
+        #: converted (useful in tests).
+        self.fail_on_not_convertible = fail_on_not_convertible
+
+    def copy(self, **overrides):
+        new = copy.copy(self)
+        for key, value in overrides.items():
+            if not hasattr(new, key):
+                raise AttributeError("unknown JanusConfig field %r" % key)
+            setattr(new, key, value)
+        return new
+
+    def ablation_stage(self):
+        """Label matching figure 7 (BASE / +UNRL / +SPCN / +PARL)."""
+        if self.parallel_execution:
+            return "+PARL"
+        if self.specialize_types:
+            return "+SPCN"
+        if self.unroll_stable_control_flow:
+            return "+UNRL"
+        return "BASE"
+
+
+#: Ablation presets, cumulative as in figure 7.
+ABLATION_STAGES = {
+    "BASE": dict(unroll_stable_control_flow=False, specialize_types=False,
+                 optimize_graph=False, parallel_execution=False),
+    "+UNRL": dict(unroll_stable_control_flow=True, specialize_types=False,
+                  optimize_graph=False, parallel_execution=False),
+    "+SPCN": dict(unroll_stable_control_flow=True, specialize_types=True,
+                  optimize_graph=True, parallel_execution=False),
+    "+PARL": dict(unroll_stable_control_flow=True, specialize_types=True,
+                  optimize_graph=True, parallel_execution=True),
+}
+
+_default_config = JanusConfig()
+
+
+def get_config():
+    return _default_config
+
+
+def set_config(config):
+    global _default_config
+    _default_config = config

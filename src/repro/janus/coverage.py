@@ -1,0 +1,113 @@
+"""Python-coverage gatekeeper (paper section 4.3 and appendix A).
+
+Before attempting conversion, the function's AST is scanned for features
+the speculative graph generator deliberately does not handle.  Programs
+using them are permanently routed to the imperative executor (figure 2
+path (C)) — they still run, just without graph acceleration, which is
+exactly the paper's "full Python coverage through the imperative
+executor" guarantee.
+"""
+
+import ast
+
+from ..errors import NotConvertible
+
+#: feature tag -> paper section that scopes it out.
+IMPERATIVE_ONLY_FEATURES = {
+    "yield": "4.3.2 (generators)",
+    "await": "4.3.2 (coroutines)",
+    "async-for": "4.3.2 (coroutines)",
+    "async-with": "4.3.2 (coroutines)",
+    "inline-class": "4.3.2 (in-line class definitions)",
+    "inline-import": "4.3.2 (in-line import statements)",
+    "nonlocal-write": "4.3.1 (invisible state mutation)",
+    "delete": "4.3.1 (invisible state mutation)",
+    "starred-call": "4.3.1 (dynamic call arity)",
+    "exception-handler": "Appendix A (except blocks stay imperative)",
+    "custom-setattr": "4.3.1 (custom accessor functions)",
+}
+
+
+class _CoverageScanner(ast.NodeVisitor):
+    def __init__(self):
+        self.violations = []
+
+    def _flag(self, node, feature):
+        self.violations.append((feature, getattr(node, "lineno", 0)))
+
+    def visit_Yield(self, node):
+        self._flag(node, "yield")
+
+    def visit_YieldFrom(self, node):
+        self._flag(node, "yield")
+
+    def visit_Await(self, node):
+        self._flag(node, "await")
+
+    def visit_AsyncFor(self, node):
+        self._flag(node, "async-for")
+
+    def visit_AsyncWith(self, node):
+        self._flag(node, "async-with")
+
+    def visit_AsyncFunctionDef(self, node):
+        self._flag(node, "await")
+
+    def visit_ClassDef(self, node):
+        self._flag(node, "inline-class")
+
+    def visit_Import(self, node):
+        self._flag(node, "inline-import")
+
+    def visit_ImportFrom(self, node):
+        self._flag(node, "inline-import")
+
+    def visit_Nonlocal(self, node):
+        self._flag(node, "nonlocal-write")
+
+    def visit_Delete(self, node):
+        self._flag(node, "delete")
+
+    def visit_Try(self, node):
+        # try/finally converts (appendix A); except handlers do not.
+        if node.handlers:
+            self._flag(node, "exception-handler")
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        if any(isinstance(a, ast.Starred) for a in node.args) or \
+                any(k.arg is None for k in node.keywords):
+            self._flag(node, "starred-call")
+        self.generic_visit(node)
+
+
+def scan(fdef):
+    """Return the list of (feature, lineno) coverage violations."""
+    scanner = _CoverageScanner()
+    for stmt in fdef.body:
+        scanner.visit(stmt)
+    return scanner.violations
+
+
+def check_convertible(fdef):
+    """Raise :class:`NotConvertible` when the AST uses scoped-out features."""
+    violations = scan(fdef)
+    if violations:
+        feature, lineno = violations[0]
+        raise NotConvertible(
+            "line %d uses %s — imperative-only per paper %s"
+            % (lineno, feature, IMPERATIVE_ONLY_FEATURES[feature]),
+            feature=feature)
+
+
+def has_custom_accessors(obj):
+    """True when the object's class overrides attribute access.
+
+    Such objects break the local-copy model of deferred state updates
+    (paper section 4.3.1), so programs touching them stay imperative.
+    """
+    cls = type(obj)
+    for name in ("__setattr__", "__getattr__", "__getattribute__"):
+        if name in cls.__dict__:
+            return True
+    return False

@@ -1,0 +1,232 @@
+"""AST-level instrumentation for non-intrusive runtime profiling.
+
+The paper modifies CPython to instrument at bytecode level (section 5);
+the equivalent here rewrites the function's AST so that every profiling
+event — branch direction, loop trip count, callee identity, attribute
+access, return value — flows through a recorder object injected as the
+``__janus_prof__`` global.  The rewritten clone shares the original's
+globals and closure cells, so its behaviour (including nonlocal writes)
+is identical to the original's; it is only ever used during the
+profiling iterations.
+
+Site identifiers are ``(function_key, lineno, col, kind)`` tuples, which
+the graph generator later uses to look up profiled facts for the exact
+syntactic element it is converting.
+"""
+
+import ast
+import inspect
+import textwrap
+import types
+
+from ..errors import NotConvertible
+
+PROF_NAME = "__janus_prof__"
+
+
+def get_function_ast(func):
+    """Parse a function's source into an ``ast.FunctionDef`` node."""
+    try:
+        source = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise NotConvertible("no source available for %r" % func,
+                             feature="source") from exc
+    source = textwrap.dedent(source)
+    module = ast.parse(source)
+    fdef = module.body[0]
+    # Unwrap decorators so re-compilation does not re-apply them.
+    if isinstance(fdef, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        fdef.decorator_list = []
+    if isinstance(fdef, ast.AsyncFunctionDef):
+        raise NotConvertible("async functions are imperative-only",
+                             feature="coroutine")
+    if not isinstance(fdef, ast.FunctionDef):
+        raise NotConvertible("expected a function definition",
+                             feature="source")
+    return fdef
+
+
+def function_key(func):
+    """A stable identifier for a Python function."""
+    target = getattr(func, "__func__", func)
+    code = target.__code__
+    return "%s:%d" % (code.co_filename, code.co_firstlineno)
+
+
+class _InstrumentTransformer(ast.NodeTransformer):
+    """Rewrites a function body to report events to ``__janus_prof__``."""
+
+    def __init__(self, func_key):
+        self.func_key = func_key
+
+    def _site(self, node, kind):
+        return (self.func_key, getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0), kind)
+
+    def _prof_call(self, method, site, args):
+        return ast.Call(
+            func=ast.Attribute(value=ast.Name(id=PROF_NAME, ctx=ast.Load()),
+                               attr=method, ctx=ast.Load()),
+            args=[_const(site)] + args, keywords=[])
+
+    # Nested defs and lambdas are instrumented in place (their sites use
+    # the enclosing function's source coordinates, matching what the graph
+    # generator sees when it re-parses the same source).  Classes are not:
+    # inline class definitions are imperative-only anyway (section 4.3.2).
+    def visit_AsyncFunctionDef(self, node):
+        return node
+
+    def visit_ClassDef(self, node):
+        return node
+
+    def visit_If(self, node):
+        self.generic_visit(node)
+        node.test = self._prof_call("branch", self._site(node, "if"),
+                                    [node.test])
+        return node
+
+    def visit_While(self, node):
+        self.generic_visit(node)
+        node.test = self._prof_call("while_test", self._site(node, "while"),
+                                    [node.test])
+        return node
+
+    def visit_For(self, node):
+        self.generic_visit(node)
+        node.iter = self._prof_call("loop", self._site(node, "for"),
+                                    [node.iter])
+        return node
+
+    def visit_IfExp(self, node):
+        self.generic_visit(node)
+        node.test = self._prof_call("branch", self._site(node, "ifexp"),
+                                    [node.test])
+        return node
+
+    def visit_Call(self, node):
+        self.generic_visit(node)
+        node.func = self._prof_call("call", self._site(node, "call"),
+                                    [node.func])
+        return node
+
+    def visit_Attribute(self, node):
+        self.generic_visit(node)
+        if isinstance(node.ctx, ast.Load):
+            return self._prof_call("attr", self._site(node, "attr"),
+                                   [node.value, _const(node.attr)])
+        return node
+
+    def visit_Subscript(self, node):
+        self.generic_visit(node)
+        if isinstance(node.ctx, ast.Load):
+            return self._prof_call("subscr", self._site(node, "subscr"),
+                                   [node.value, _slice_expr(node.slice)])
+        return node
+
+    def visit_Return(self, node):
+        self.generic_visit(node)
+        value = node.value if node.value is not None else _const(None)
+        node.value = self._prof_call("ret", self._site(node, "return"),
+                                     [value])
+        return node
+
+
+def _const(value):
+    return ast.Constant(value=value)
+
+
+def _slice_expr(slice_node):
+    """Reify a subscript index as an expression for the recorder.
+
+    Plain indices pass through; slices are reported as a probe marker so
+    the recorder can skip value recording (slicing is handled statically
+    by the graph generator).
+    """
+    if isinstance(slice_node, ast.Slice):
+        return ast.Call(func=ast.Name(id="slice", ctx=ast.Load()),
+                        args=[s or _const(None) for s in
+                              (slice_node.lower, slice_node.upper,
+                               slice_node.step)],
+                        keywords=[])
+    return slice_node
+
+
+def instrument_function(func, recorder):
+    """Build an instrumented clone of ``func`` reporting to ``recorder``.
+
+    The clone shares the original function's globals dict (augmented with
+    the recorder) and its closure cells.
+    """
+    fdef = get_function_ast(func)
+    key = function_key(func)
+    transformer = _InstrumentTransformer(key)
+    new_body = [transformer.visit(stmt) for stmt in fdef.body]
+    fdef.body = new_body
+    return compile_function_def(func, fdef,
+                                extra_globals={PROF_NAME: recorder})
+
+
+def compile_function_def(func, fdef, extra_globals=None):
+    """Compile an (edited) FunctionDef into a callable cloning ``func``.
+
+    Free variables are preserved by wrapping the def in a factory whose
+    parameters shadow them, then rebuilding the inner function object
+    with the original closure cells in the right order.
+    """
+    target = getattr(func, "__func__", func)
+    freevars = target.__code__.co_freevars
+    module = ast.Module(body=[], type_ignores=[])
+    if freevars:
+        factory_args = ast.arguments(
+            posonlyargs=[], args=[ast.arg(arg=v) for v in freevars],
+            vararg=None, kwonlyargs=[], kw_defaults=[], kwarg=None,
+            defaults=[])
+        # Reference each freevar inside the factory so they become cells.
+        touch = [ast.Assign(targets=[ast.Name(id="__janus_touch__",
+                                              ctx=ast.Store())],
+                            value=ast.Tuple(
+                                elts=[ast.Name(id=v, ctx=ast.Load())
+                                      for v in freevars],
+                                ctx=ast.Load()))]
+        factory = ast.FunctionDef(
+            name="__janus_factory__", args=factory_args,
+            body=[fdef] + touch + [
+                ast.Return(value=ast.Name(id=fdef.name, ctx=ast.Load()))],
+            decorator_list=[], returns=None)
+        module.body = [factory]
+    else:
+        module.body = [fdef]
+    ast.fix_missing_locations(module)
+    filename = "<janus:%s>" % target.__code__.co_filename
+    code = compile(module, filename, "exec")
+
+    globs = dict(target.__globals__)
+    if extra_globals:
+        globs.update(extra_globals)
+    namespace = {}
+    exec(code, globs, namespace)
+
+    if freevars:
+        factory_fn = namespace["__janus_factory__"]
+        inner_code = None
+        for const in factory_fn.__code__.co_consts:
+            if isinstance(const, types.CodeType) and \
+                    const.co_name == fdef.name:
+                inner_code = const
+                break
+        if inner_code is None:
+            raise NotConvertible("failed to locate instrumented code",
+                                 feature="closure")
+        cell_by_name = dict(zip(target.__code__.co_freevars,
+                                target.__closure__ or ()))
+        closure = tuple(cell_by_name[name]
+                        for name in inner_code.co_freevars)
+        clone = types.FunctionType(inner_code, globs, target.__name__,
+                                   target.__defaults__, closure)
+    else:
+        clone = namespace[fdef.name]
+        clone.__defaults__ = target.__defaults__
+    clone.__kwdefaults__ = target.__kwdefaults__
+    if hasattr(func, "__self__"):
+        clone = types.MethodType(clone, func.__self__)
+    return clone

@@ -1,0 +1,248 @@
+"""The type/shape/value specialization lattice (paper figure 4).
+
+Every profiled value — function arguments, heap reads, return values — is
+summarized as a :class:`ValueSpec`.  Repeated observations are *merged*
+down the lattice: an exact constant relaxes to a shaped tensor, a concrete
+shape ``(4, 8)`` relaxes dimension-wise to ``(?, 8)``, and a rank mismatch
+relaxes to a tensor of unknown shape.  Assumption failures at runtime
+trigger the same merge against the offending value, so JANUS never
+regenerates a graph for a shape family it has already generalized over.
+"""
+
+import numpy as np
+
+from ..imperative.eager import Tensor
+from ..imperative.variable import Variable
+from ..tensor import TensorValue
+from ..tensor.shape import Shape
+
+# Spec kinds, ordered roughly top (most specific) to bottom.
+CONST_TENSOR = "const_tensor"   # same numeric value every observation
+TENSOR = "tensor"               # dtype + (possibly partial) shape
+CONST_PY = "const_py"           # identical non-numeric Python value
+CALLABLE = "callable"           # a function / method (by underlying func)
+VARIABLE = "variable"           # a repro Variable (by identity)
+PYOBJ = "pyobj"                 # arbitrary object, stable type
+LIST = "list"                   # list/tuple of element specs
+NONE = "none"                   # literal None
+BOTTOM = "bottom"               # nothing can be assumed
+
+
+class ValueSpec:
+    """One point in the specialization lattice."""
+
+    __slots__ = ("kind", "dtype", "shape", "value", "elements", "py_type",
+                 "is_tuple")
+
+    def __init__(self, kind, dtype=None, shape=None, value=None,
+                 elements=None, py_type=None, is_tuple=False):
+        self.kind = kind
+        self.dtype = dtype
+        self.shape = shape
+        self.value = value
+        self.elements = elements
+        self.py_type = py_type
+        self.is_tuple = is_tuple
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def bottom(cls):
+        return cls(BOTTOM)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_tensor_like(self):
+        return self.kind in (CONST_TENSOR, TENSOR)
+
+    def signature(self):
+        """Hashable cache-key component: type-level info only.
+
+        Two calls with the same signature may share a cache entry; shape
+        and value assumptions within the entry are prechecked separately.
+        """
+        if self.kind in (CONST_TENSOR, TENSOR):
+            rank = None if self.shape is None or self.shape.dims is None \
+                else len(self.shape.dims)
+            return ("T", self.dtype.name, rank)
+        if self.kind == CONST_PY:
+            try:
+                hash(self.value)
+            except TypeError:
+                return ("P", type(self.value).__qualname__)
+            return ("C", self.value)
+        if self.kind == CALLABLE:
+            return ("F", id(self.value))
+        if self.kind == VARIABLE:
+            return ("V", self.value.uid)
+        if self.kind == PYOBJ:
+            return ("P", self.py_type.__qualname__)
+        if self.kind == LIST:
+            return ("L", self.is_tuple,
+                    tuple(e.signature() for e in self.elements))
+        if self.kind == NONE:
+            return ("N",)
+        return ("_",)
+
+    def __repr__(self):
+        if self.kind == TENSOR:
+            return "Spec(tensor %s %s)" % (self.dtype.name, self.shape)
+        if self.kind == CONST_TENSOR:
+            return "Spec(const tensor %s %s)" % (self.dtype.name, self.shape)
+        if self.kind == LIST:
+            return "Spec(%s of %d)" % ("tuple" if self.is_tuple else "list",
+                                       len(self.elements))
+        return "Spec(%s %r)" % (self.kind, self.value if self.value is not
+                                None else self.py_type)
+
+
+def observe(value):
+    """Summarize a concrete runtime value as the most specific spec."""
+    if value is None:
+        return ValueSpec(NONE)
+    if isinstance(value, Variable):
+        return ValueSpec(VARIABLE, value=value)
+    if isinstance(value, Tensor):
+        tv = value.value
+        return ValueSpec(CONST_TENSOR, dtype=tv.dtype, shape=tv.shape,
+                         value=tv.array)
+    if isinstance(value, TensorValue):
+        return ValueSpec(CONST_TENSOR, dtype=value.dtype, shape=value.shape,
+                         value=value.array)
+    if isinstance(value, np.ndarray):
+        tv = TensorValue.of(value)
+        return ValueSpec(CONST_TENSOR, dtype=tv.dtype, shape=tv.shape,
+                         value=tv.array)
+    if isinstance(value, (bool, int, float, np.bool_, np.integer,
+                          np.floating)):
+        tv = TensorValue.of(value if not isinstance(value, np.generic)
+                            else value.item())
+        return ValueSpec(CONST_TENSOR, dtype=tv.dtype, shape=tv.shape,
+                         value=tv.array)
+    if isinstance(value, str):
+        return ValueSpec(CONST_PY, value=value)
+    if callable(value) and not isinstance(value, type):
+        target = getattr(value, "__func__", value)
+        return ValueSpec(CALLABLE, value=target)
+    if isinstance(value, (list, tuple)):
+        return ValueSpec(LIST, elements=[observe(v) for v in value],
+                         is_tuple=isinstance(value, tuple))
+    return ValueSpec(PYOBJ, py_type=type(value), value=value)
+
+
+def merge(a, b):
+    """Lattice join: the most specific spec generalizing both."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.kind == BOTTOM or b.kind == BOTTOM:
+        return ValueSpec.bottom()
+    if a.is_tensor_like and b.is_tensor_like:
+        if a.dtype is not b.dtype:
+            return ValueSpec.bottom()
+        if a.kind == CONST_TENSOR and b.kind == CONST_TENSOR and \
+                a.value.shape == b.value.shape and \
+                np.array_equal(a.value, b.value):
+            return a
+        shape = a.shape.relax_against(b.shape)
+        return ValueSpec(TENSOR, dtype=a.dtype, shape=shape)
+    if a.kind != b.kind:
+        return ValueSpec.bottom()
+    if a.kind == NONE:
+        return a
+    if a.kind == CONST_PY:
+        return a if a.value == b.value else ValueSpec.bottom()
+    if a.kind == CALLABLE:
+        return a if a.value is b.value else ValueSpec.bottom()
+    if a.kind == VARIABLE:
+        return a if a.value is b.value else ValueSpec.bottom()
+    if a.kind == PYOBJ:
+        if a.py_type is b.py_type:
+            same = a.value is b.value and a.value is not None
+            return ValueSpec(PYOBJ, py_type=a.py_type,
+                             value=a.value if same else None)
+        return ValueSpec.bottom()
+    if a.kind == LIST:
+        if a.is_tuple != b.is_tuple or len(a.elements) != len(b.elements):
+            return ValueSpec.bottom()
+        return ValueSpec(LIST, is_tuple=a.is_tuple,
+                         elements=[merge(x, y) for x, y in
+                                   zip(a.elements, b.elements)])
+    return ValueSpec.bottom()
+
+
+def relax_constants(spec):
+    """Drop value-level assumptions, keeping dtype/shape (lattice step)."""
+    if spec.kind == CONST_TENSOR:
+        return ValueSpec(TENSOR, dtype=spec.dtype, shape=spec.shape)
+    if spec.kind == LIST:
+        return ValueSpec(LIST, is_tuple=spec.is_tuple,
+                         elements=[relax_constants(e)
+                                   for e in spec.elements])
+    return spec
+
+
+def matches(spec, value):
+    """Precheck: does a concrete value satisfy the spec's assumptions?
+
+    This is the cache-retrieval validation of paper figure 2 (1): cheap
+    checks performed *before* graph execution.
+    """
+    if spec is None or spec.kind == BOTTOM:
+        return False
+    if spec.kind == NONE:
+        return value is None
+    if spec.is_tensor_like:
+        arr = _as_array(value)
+        if arr is None or arr.dtype != spec.dtype.np_dtype:
+            return False
+        if spec.kind == CONST_TENSOR:
+            return arr.shape == spec.value.shape and \
+                np.array_equal(arr, spec.value)
+        return spec.shape.matches_value(arr.shape)
+    if spec.kind == CONST_PY:
+        return type(value) is type(spec.value) and value == spec.value
+    if spec.kind == CALLABLE:
+        return getattr(value, "__func__", value) is spec.value
+    if spec.kind == VARIABLE:
+        return value is spec.value
+    if spec.kind == PYOBJ:
+        if type(value) is not spec.py_type:
+            return False
+        return spec.value is None or value is spec.value
+    if spec.kind == LIST:
+        if spec.is_tuple and not isinstance(value, tuple):
+            return False
+        if not spec.is_tuple and not isinstance(value, list):
+            return False
+        if len(value) != len(spec.elements):
+            return False
+        return all(matches(e, v) for e, v in zip(spec.elements, value))
+    return False
+
+
+def _as_array(value):
+    if isinstance(value, Tensor):
+        return value.value.array
+    if isinstance(value, TensorValue):
+        return value.array
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, (bool, int, float, np.bool_, np.integer,
+                          np.floating)):
+        return TensorValue.of(value if not isinstance(value, np.generic)
+                              else value.item()).array
+    return None
+
+
+def expected_attr_spec(spec):
+    """Encode a spec as the ``expected`` attr of a py_get node."""
+    if spec is None or spec.kind == BOTTOM:
+        return None
+    if spec.is_tensor_like:
+        return ("tensor", spec.dtype, spec.shape)
+    if spec.kind == PYOBJ:
+        return ("pyref", spec.py_type.__name__)
+    return None

@@ -1,0 +1,111 @@
+"""External-function whitelist (paper section 4.3.1).
+
+JANUS converts calls to *external* functions — framework-provided ops and
+common Python builtins — into graph operations using prior knowledge of
+their behaviour.  Here the registry maps a Python callable to a handler
+invoked by the graph generator with the (symbolic) call arguments; most
+framework functions are their own handler because the op API dispatches
+through the active graph-building context.
+
+The paper prohibits modifying whitelisted functions; we inherit that
+assumption (module-level rebinding of e.g. ``repro.matmul`` between
+profiling and graph execution is undefined behaviour).
+"""
+
+import builtins
+import math
+
+from ..ops import api
+
+_WHITELIST = {}
+_NAMES = {}
+
+
+def register(func, handler=None, name=None):
+    """Whitelist ``func``; ``handler`` defaults to the function itself."""
+    _WHITELIST[func] = handler if handler is not None else func
+    _NAMES[func] = name or getattr(func, "__qualname__", repr(func))
+    return func
+
+
+def is_whitelisted(func):
+    target = getattr(func, "__func__", func)
+    return target in _WHITELIST
+
+
+def handler_for(func):
+    target = getattr(func, "__func__", func)
+    return _WHITELIST.get(target)
+
+
+def whitelisted_names():
+    """Human-readable list (documentation / Table 4 coverage bench)."""
+    return sorted(_NAMES.values())
+
+
+# -- framework-provided functions: the whole op API --------------------------------
+
+for _name in dir(api):
+    _fn = getattr(api, _name)
+    if callable(_fn) and not _name.startswith("_"):
+        register(_fn, name="repro." + _name)
+
+
+# -- Variable methods ---------------------------------------------------------------
+
+def _register_variable_methods():
+    from ..imperative.variable import Variable
+    from ..ops.dispatch import current_context
+
+    def assign_handler(var_handle, value):
+        # Reached with the bound Variable recovered by the generator.
+        ctx = current_context()
+        return ctx.assign_variable(var_handle, value)
+
+    register(Variable.assign, assign_handler, name="Variable.assign")
+
+
+_register_variable_methods()
+
+
+# -- Python builtins ------------------------------------------------------------------
+# Handlers for builtins that have graph representations.  ``len``,
+# ``range``, ``enumerate`` and friends are intercepted *structurally* by
+# the graph generator (they shape control flow); the entries here simply
+# mark them as known-external so callee profiling skips them.
+
+register(builtins.print, api.print_tensor, name="print")
+register(builtins.abs, api.abs, name="abs")
+register(builtins.len, None, name="len")
+register(builtins.range, None, name="range")
+register(builtins.enumerate, None, name="enumerate")
+register(builtins.zip, None, name="zip")
+register(builtins.float, None, name="float")
+register(builtins.int, None, name="int")
+register(builtins.bool, None, name="bool")
+register(builtins.min, None, name="min")
+register(builtins.max, None, name="max")
+register(builtins.sum, None, name="sum")
+register(builtins.isinstance, None, name="isinstance")
+register(builtins.list, None, name="list")
+register(builtins.tuple, None, name="tuple")
+register(builtins.reversed, None, name="reversed")
+
+#: Builtins the generator expands structurally instead of via a handler.
+STRUCTURAL_BUILTINS = {
+    builtins.len: "len", builtins.range: "range",
+    builtins.enumerate: "enumerate", builtins.zip: "zip",
+    builtins.float: "float", builtins.int: "int", builtins.bool: "bool",
+    builtins.min: "min", builtins.max: "max", builtins.sum: "sum",
+    builtins.isinstance: "isinstance", builtins.list: "list",
+    builtins.tuple: "tuple", builtins.reversed: "reversed",
+}
+
+# -- math module (operates on build-time constants) ------------------------------------
+
+for _mname in ("sqrt", "exp", "log", "floor", "ceil", "pow", "sin", "cos"):
+    register(getattr(math, _mname), None, name="math." + _mname)
+
+MATH_CONST_FUNCS = {getattr(math, n) for n in
+                    ("sqrt", "exp", "log", "floor", "ceil", "pow",
+                     "sin", "cos")}

@@ -1,0 +1,22 @@
+"""The 11 evaluation models of paper Table 2, scaled for CPU.
+
+| Category | Model        | Module        | DCF | DT | IF |
+|----------|--------------|---------------|-----|----|----|
+| CNN      | LeNet        | ``lenet``     |  -  | x  | -  |
+| CNN      | ResNet       | ``resnet``    |  x  | x  | -  |
+| CNN      | Inception    | ``inception`` |  x  | x  | -  |
+| RNN      | LSTM (PTB)   | ``lstm_ptb``  |  x  | x  | x  |
+| RNN      | LM (1B)      | ``lm1b``      |  x  | x  | x  |
+| TreeNN   | TreeRNN      | ``treernn``   |  x  | x  | x  |
+| TreeNN   | TreeLSTM     | ``treelstm``  |  x  | x  | x  |
+| DRL      | A3C          | ``a3c``       |  x  | x  | x  |
+| DRL      | PPO          | ``ppo``       |  -  | x  | x  |
+| GAN      | AN           | ``gan_an``    |  -  | x  | x  |
+| GAN      | pix2pix      | ``pix2pix``   |  -  | x  | x  |
+"""
+
+from . import (lenet, resnet, inception, lstm_ptb, lm1b, treernn,
+               treelstm, a3c, ppo, gan_an, pix2pix)
+
+__all__ = ["lenet", "resnet", "inception", "lstm_ptb", "lm1b", "treernn",
+           "treelstm", "a3c", "ppo", "gan_an", "pix2pix"]

@@ -1,0 +1,92 @@
+"""A3C actor-critic on CartPole (Table 2, DRL row 1).
+
+The advantage actor-critic loss loops over an episode of *arbitrary
+length* with a Python ``for`` (DCF) and logs running statistics onto the
+agent object (IF — "global state mutation statements ... to monitor the
+progress of the training", paper section 6.1).  Episode collection
+itself runs outside the training function, through the environment
+(paper footnote 7).
+"""
+
+import numpy as np
+
+from .. import nn
+from ..envs import CartPole
+from ..ops import api
+
+
+class ActorCritic(nn.Module):
+    def __init__(self, obs_size=4, num_actions=2, hidden=32, seed=None):
+        super().__init__("ActorCritic")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.body = nn.Dense(obs_size, hidden, activation=api.tanh)
+        self.policy_head = nn.Dense(hidden, num_actions)
+        self.value_head = nn.Dense(hidden, 1)
+        self.steps_trained = 0.0
+        self.running_loss = api.constant(0.0)
+
+    def call(self, states, actions, returns):
+        """A3C loss over one episode (stacked state/action/return arrays).
+
+        Loops step-by-step in Python, as the imperative A3C of the paper
+        does, rather than batching — this is what JANUS converts into a
+        dynamic loop (episode lengths vary batch to batch).
+        """
+        total = api.constant(0.0)
+        n = len(actions)
+        for t in range(len(actions)):
+            hidden = self.body(api.reshape(states[t], (1, -1)))
+            logits = self.policy_head(hidden)
+            value = api.reshape(self.value_head(hidden), ())
+            advantage = returns[t] - value
+            logp = api.log_softmax(logits)
+            action_logp = api.reshape(
+                api.gather(api.reshape(logp, (-1,)),
+                           api.cast(actions[t], "int64")), ())
+            policy_loss = api.neg(api.mul(
+                action_logp, api.stop_gradient(advantage)))
+            value_loss = api.mul(api.square(advantage), 0.5)
+            entropy = api.neg(api.reduce_sum(
+                api.mul(api.softmax(logits), logp)))
+            total = total + policy_loss + value_loss - 0.01 * entropy
+        loss = total / api.cast(n, "float32")
+        if api.executing_eagerly():
+            # Global-state mutation: progress bookkeeping on the heap.
+            self.running_loss = api.mul(self.running_loss, 0.9) + \
+                api.mul(api.stop_gradient(loss), 0.1)
+            self.steps_trained = self.steps_trained + 1.0
+        return loss
+
+
+def collect_episode(model, env, rng, greedy=False):
+    """Roll out one episode; returns stacked (states, actions, returns)."""
+    states, actions, rewards = [], [], []
+    obs = env.reset()
+    done = False
+    while not done:
+        hidden = model.body(api.reshape(api.constant(obs), (1, -1)))
+        logits = model.policy_head(hidden).numpy().reshape(-1)
+        probs = np.exp(logits - logits.max())
+        probs /= probs.sum()
+        if greedy:
+            action = int(np.argmax(probs))
+        else:
+            action = int(rng.choice(len(probs), p=probs))
+        states.append(obs)
+        actions.append(action)
+        obs, reward, done, _ = env.step(action)
+        rewards.append(reward)
+    returns = np.zeros(len(rewards), np.float32)
+    acc = 0.0
+    for t in reversed(range(len(rewards))):
+        acc = rewards[t] + 0.99 * acc
+        returns[t] = acc
+    return (np.asarray(states, np.float32),
+            np.asarray(actions, np.int64), returns)
+
+
+def make_loss_fn(model):
+    def loss_fn(states, actions, returns):
+        return model(states, actions, returns)
+    return loss_fn

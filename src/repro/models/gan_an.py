@@ -1,0 +1,98 @@
+"""Adversarial nets (AN) — the original MLP GAN on MNIST-shaped data
+(paper Table 2, GAN row 1).
+
+Two training functions share the generator: the discriminator step and
+the generator step.  Both log running losses onto the model object —
+the global-state mutation the paper lists for GANs (IF in Table 2).
+"""
+
+import numpy as np
+
+from .. import nn
+from ..ops import api
+
+
+class Generator(nn.Module):
+    def __init__(self, latent_dim=16, image_size=28, hidden=64, seed=None):
+        super().__init__("Generator")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.latent_dim = latent_dim
+        self.image_size = image_size
+        out = image_size * image_size
+        self.fc1 = nn.Dense(latent_dim, hidden, activation=api.relu)
+        self.fc2 = nn.Dense(hidden, hidden, activation=api.relu)
+        self.fc3 = nn.Dense(hidden, out, activation=api.tanh)
+
+    def call(self, z):
+        x = self.fc3(self.fc2(self.fc1(z)))
+        return api.reshape(x, (-1, self.image_size, self.image_size, 1))
+
+
+class Discriminator(nn.Module):
+    def __init__(self, image_size=28, hidden=64, seed=None):
+        super().__init__("Discriminator")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.flatten = nn.Flatten()
+        self.fc1 = nn.Dense(image_size * image_size, hidden,
+                            activation=api.leaky_relu)
+        self.fc2 = nn.Dense(hidden, hidden, activation=api.leaky_relu)
+        self.fc3 = nn.Dense(hidden, 1)
+
+    def call(self, images):
+        return self.fc3(self.fc2(self.fc1(self.flatten(images))))
+
+
+class AdversarialNets(nn.Module):
+    """The GAN pair plus training-telemetry heap state."""
+
+    def __init__(self, latent_dim=16, image_size=28, hidden=64, seed=None):
+        super().__init__("AdversarialNets")
+        self.generator = Generator(latent_dim, image_size, hidden,
+                                   seed=seed)
+        self.discriminator = Discriminator(image_size, hidden)
+        self.latent_dim = latent_dim
+        self.d_loss_avg = api.constant(0.0)
+        self.g_loss_avg = api.constant(0.0)
+
+    def discriminator_loss(self, real_images, z):
+        fake = api.stop_gradient(self.generator(z))
+        real_logits = self.discriminator(real_images)
+        fake_logits = self.discriminator(fake)
+        loss = api.add(
+            nn.losses.sigmoid_cross_entropy(real_logits,
+                                            api.ones_like(real_logits)),
+            nn.losses.sigmoid_cross_entropy(fake_logits,
+                                            api.zeros_like(fake_logits)))
+        if api.executing_eagerly():
+            self.d_loss_avg = api.mul(self.d_loss_avg, 0.9) + \
+                api.mul(api.stop_gradient(loss), 0.1)
+        return loss
+
+    def generator_loss(self, z):
+        fake = self.generator(z)
+        fake_logits = self.discriminator(fake)
+        loss = nn.losses.sigmoid_cross_entropy(
+            fake_logits, api.ones_like(fake_logits))
+        if api.executing_eagerly():
+            self.g_loss_avg = api.mul(self.g_loss_avg, 0.9) + \
+                api.mul(api.stop_gradient(loss), 0.1)
+        return loss
+
+
+def make_d_loss_fn(gan):
+    def d_loss(real_images, z):
+        return gan.discriminator_loss(real_images, z)
+    return d_loss
+
+
+def make_g_loss_fn(gan):
+    def g_loss(z):
+        return gan.generator_loss(z)
+    return g_loss
+
+
+def sample_latent(rng, batch_size, latent_dim):
+    return rng.normal(0, 1, size=(batch_size, latent_dim)).astype(
+        np.float32)

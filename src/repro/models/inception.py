@@ -1,0 +1,71 @@
+"""Inception-style CNN (paper Table 2, CNN row 3).
+
+Parallel mixed branches (1x1 / 3x3 / 5x5 / pooled) concatenated along
+channels, with batch normalization supplying the train/eval dynamic
+branch.  The branch structure gives the +PARL stage of figure 7 real
+inter-op parallelism to exploit in a CNN.
+"""
+
+from .. import nn
+from ..ops import api
+
+
+class InceptionBlock(nn.Module):
+    """A mixed block: four parallel paths concatenated on channels."""
+
+    def __init__(self, in_channels, c1, c3_reduce, c3, c5_reduce, c5,
+                 pool_proj):
+        super().__init__("InceptionBlock")
+        self.b1 = nn.Conv2D(in_channels, c1, 1, activation=api.relu)
+        self.b3_reduce = nn.Conv2D(in_channels, c3_reduce, 1,
+                                   activation=api.relu)
+        self.b3 = nn.Conv2D(c3_reduce, c3, 3, activation=api.relu)
+        self.b5_reduce = nn.Conv2D(in_channels, c5_reduce, 1,
+                                   activation=api.relu)
+        self.b5 = nn.Conv2D(c5_reduce, c5, 5, activation=api.relu)
+        self.pool = nn.MaxPool(3, 1, "SAME")
+        self.pool_proj = nn.Conv2D(in_channels, pool_proj, 1,
+                                   activation=api.relu)
+        self.out_channels = c1 + c3 + c5 + pool_proj
+
+    def call(self, x):
+        p1 = self.b1(x)
+        p3 = self.b3(self.b3_reduce(x))
+        p5 = self.b5(self.b5_reduce(x))
+        pp = self.pool_proj(self.pool(x))
+        return api.concat([p1, p3, p5, pp], axis=3)
+
+
+class InceptionNet(nn.Module):
+    """A small Inception-v3-flavoured classifier."""
+
+    def __init__(self, num_classes=100, in_channels=3, num_blocks=2,
+                 seed=None):
+        super().__init__("InceptionNet")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.stem = nn.Conv2D(in_channels, 16, 3, strides=2,
+                              use_bias=False)
+        self.stem_bn = nn.BatchNorm(16, axes=(0, 1, 2))
+        self.blocks = []
+        channels = 16
+        for _ in range(num_blocks):
+            block = InceptionBlock(channels, 8, 8, 16, 4, 8, 8)
+            self.blocks.append(block)
+            channels = block.out_channels
+        self.head = nn.Dense(channels, num_classes)
+        self.training = True
+
+    def call(self, images):
+        x = api.relu(self.stem_bn(self.stem(images)))
+        for block in self.blocks:
+            x = block(x)
+        x = api.reduce_mean(x, axis=(1, 2))
+        return self.head(x)
+
+
+def make_loss_fn(model):
+    def loss_fn(images, labels):
+        logits = model(images)
+        return nn.losses.softmax_cross_entropy(logits, labels)
+    return loss_fn

@@ -1,0 +1,44 @@
+"""LeNet-5 on MNIST-shaped inputs (paper Table 2, CNN row 1).
+
+Fine-grained ops: per the paper, the biggest single-machine JANUS gains
+among CNNs come from models like this whose kernels are small enough that
+interpreter overhead dominates (3.25x in Table 3).
+"""
+
+from .. import nn
+from ..ops import api
+
+
+class LeNet(nn.Module):
+    def __init__(self, num_classes=10, seed=None):
+        super().__init__("LeNet")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.conv1 = nn.Conv2D(1, 6, kernel_size=5, padding="SAME",
+                               activation=api.relu)
+        self.pool1 = nn.MaxPool(2, 2)
+        self.conv2 = nn.Conv2D(6, 16, kernel_size=5, padding="VALID",
+                               activation=api.relu)
+        self.pool2 = nn.MaxPool(2, 2)
+        self.flatten = nn.Flatten()
+        self.fc1 = nn.Dense(16 * 5 * 5, 120, activation=api.relu)
+        self.fc2 = nn.Dense(120, 84, activation=api.relu)
+        self.fc3 = nn.Dense(84, num_classes)
+
+    def call(self, images):
+        x = self.conv1(images)
+        x = self.pool1(x)
+        x = self.conv2(x)
+        x = self.pool2(x)
+        x = self.flatten(x)
+        x = self.fc1(x)
+        x = self.fc2(x)
+        return self.fc3(x)
+
+
+def make_loss_fn(model):
+    """Imperative training loss over an (images, labels) batch."""
+    def loss_fn(images, labels):
+        logits = model(images)
+        return nn.losses.softmax_cross_entropy(logits, labels)
+    return loss_fn

@@ -1,0 +1,50 @@
+"""Large-vocabulary LSTM language model — the LM workload (Table 2).
+
+Same figure-1 structure as the PTB model but with the proportions of the
+one-billion-word setup (bigger vocabulary and batch, wider recurrence,
+softmax projection dominating compute), so the coarse-grained-op regime
+of Table 3 (2.11x over imperative) is represented alongside the
+fine-grained LSTM row.
+"""
+
+from .. import nn
+from ..ops import api
+
+
+class BigLanguageModel(nn.Module):
+    def __init__(self, vocab_size=800, embed_dim=64, hidden_dim=128,
+                 batch_size=64, seed=None):
+        super().__init__("BigLanguageModel")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.embedding = nn.Embedding(vocab_size, embed_dim)
+        self.cell = nn.LSTMCell(embed_dim, hidden_dim)
+        self.proj = nn.Dense(hidden_dim, vocab_size)
+        self.batch_size = batch_size
+        self.state_h = api.zeros((batch_size, hidden_dim))
+        self.state_c = api.zeros((batch_size, hidden_dim))
+
+    def reset_state(self):
+        dims = self.state_h.shape.as_tuple()
+        self.state_h = api.zeros(dims)
+        self.state_c = api.zeros(dims)
+
+    def call(self, inputs, targets):
+        h = self.state_h
+        c = self.state_c
+        total = api.constant(0.0)
+        for t in range(len(inputs)):
+            x = self.embedding(inputs[t])
+            h, c = self.cell((h, c), x)
+            logits = self.proj(h)
+            total = total + nn.losses.softmax_cross_entropy(
+                logits, targets[t])
+        self.state_h = api.stop_gradient(h)
+        self.state_c = api.stop_gradient(c)
+        return total / float(len(inputs))
+
+
+def make_loss_fn(model):
+    def loss_fn(inputs, targets):
+        return model(inputs, targets)
+    return loss_fn

@@ -1,0 +1,62 @@
+"""Word-level LSTM language model on PTB-shaped data (Table 2, RNN row 1).
+
+The training step loops over time steps with a native Python ``for`` and
+passes the final hidden state to the next batch through object attributes
+(``self.state``) — exactly the figure-1 pattern combining dynamic control
+flow with impure functions.  A trace-based converter freezes the traced
+state, breaking truncated BPTT state passing (the LM failure of figure
+6b); JANUS converts the state accesses into PyGetAttr/PySetAttr with
+deferred writeback.
+"""
+
+import numpy as np
+
+from .. import nn
+from ..ops import api
+
+
+class LSTMLanguageModel(nn.Module):
+    def __init__(self, vocab_size=200, embed_dim=32, hidden_dim=64,
+                 batch_size=20, seed=None):
+        super().__init__("LSTMLanguageModel")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.embedding = nn.Embedding(vocab_size, embed_dim)
+        self.cell = nn.LSTMCell(embed_dim, hidden_dim)
+        self.proj = nn.Dense(hidden_dim, vocab_size)
+        self.batch_size = batch_size
+        self.state_h = api.zeros((batch_size, hidden_dim))
+        self.state_c = api.zeros((batch_size, hidden_dim))
+
+    def reset_state(self):
+        dims = self.state_h.shape.as_tuple()
+        self.state_h = api.zeros(dims)
+        self.state_c = api.zeros(dims)
+
+    def call(self, inputs, targets):
+        """Mean cross entropy over a (seq_len, batch) token batch."""
+        h = self.state_h
+        c = self.state_c
+        total = api.constant(0.0)
+        steps = 0
+        for t in range(len(inputs)):
+            x = self.embedding(inputs[t])
+            h, c = self.cell((h, c), x)
+            logits = self.proj(h)
+            total = total + nn.losses.softmax_cross_entropy(
+                logits, targets[t])
+            steps = steps + 1
+        # Truncated BPTT: the next batch continues from this state.
+        self.state_h = api.stop_gradient(h)
+        self.state_c = api.stop_gradient(c)
+        return total / float(len(inputs))
+
+
+def make_loss_fn(model):
+    def loss_fn(inputs, targets):
+        return model(inputs, targets)
+    return loss_fn
+
+
+def perplexity(mean_loss):
+    return float(np.exp(min(mean_loss, 30.0)))

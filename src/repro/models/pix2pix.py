@@ -1,0 +1,106 @@
+"""pix2pix conditional image translation (paper Table 2, GAN row 2).
+
+A U-Net-flavoured encoder/decoder generator (conv + transposed conv with
+a skip connection) and a PatchGAN-style convolutional discriminator,
+trained with the conditional adversarial loss plus L1 reconstruction —
+the structure of Isola et al. scaled to CPU-size facades stand-ins.
+Batch size 1, coarse conv kernels: the paper's 2.15x regime.
+"""
+
+import numpy as np
+
+from .. import nn
+from ..ops import api
+
+
+class Pix2PixGenerator(nn.Module):
+    def __init__(self, image_size=32, in_channels=1, out_channels=3,
+                 base=8, seed=None):
+        super().__init__("Pix2PixGenerator")
+        if seed is not None:
+            nn.init.seed(seed)
+        half = image_size // 2
+        quarter = image_size // 4
+        self.enc1 = nn.Conv2D(in_channels, base, 4, strides=2,
+                              activation=api.leaky_relu)
+        self.enc2 = nn.Conv2D(base, base * 2, 4, strides=2,
+                              activation=api.leaky_relu)
+        self.dec1 = nn.Conv2DTranspose(base * 2, base, (half, half), 4,
+                                       strides=2, activation=api.relu)
+        # Skip connection concatenates enc1's features before decoding.
+        self.dec2 = nn.Conv2DTranspose(base * 2, out_channels,
+                                       (image_size, image_size), 4,
+                                       strides=2, activation=api.tanh)
+
+    def call(self, x):
+        e1 = self.enc1(x)
+        e2 = self.enc2(e1)
+        d1 = self.dec1(e2)
+        d1 = api.concat([d1, e1], axis=3)
+        return self.dec2(d1)
+
+
+class PatchDiscriminator(nn.Module):
+    """Patch-level real/fake logits over (input, target) pairs."""
+
+    def __init__(self, in_channels=4, base=8, seed=None):
+        super().__init__("PatchDiscriminator")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.conv1 = nn.Conv2D(in_channels, base, 4, strides=2,
+                               activation=api.leaky_relu)
+        self.conv2 = nn.Conv2D(base, base * 2, 4, strides=2,
+                               activation=api.leaky_relu)
+        self.head = nn.Conv2D(base * 2, 1, 3)
+
+    def call(self, source, target):
+        x = api.concat([source, target], axis=3)
+        return self.head(self.conv2(self.conv1(x)))
+
+
+class Pix2Pix(nn.Module):
+    def __init__(self, image_size=32, l1_weight=10.0, seed=None):
+        super().__init__("Pix2Pix")
+        self.generator = Pix2PixGenerator(image_size, seed=seed)
+        self.discriminator = PatchDiscriminator()
+        self.l1_weight = l1_weight
+        self.d_loss_avg = api.constant(0.0)
+        self.g_loss_avg = api.constant(0.0)
+
+    def discriminator_loss(self, source, target):
+        fake = api.stop_gradient(self.generator(source))
+        real_logits = self.discriminator(source, target)
+        fake_logits = self.discriminator(source, fake)
+        loss = api.add(
+            nn.losses.sigmoid_cross_entropy(real_logits,
+                                            api.ones_like(real_logits)),
+            nn.losses.sigmoid_cross_entropy(fake_logits,
+                                            api.zeros_like(fake_logits)))
+        if api.executing_eagerly():
+            self.d_loss_avg = api.mul(self.d_loss_avg, 0.9) + \
+                api.mul(api.stop_gradient(loss), 0.1)
+        return loss
+
+    def generator_loss(self, source, target):
+        fake = self.generator(source)
+        fake_logits = self.discriminator(source, fake)
+        adv = nn.losses.sigmoid_cross_entropy(
+            fake_logits, api.ones_like(fake_logits))
+        l1 = nn.losses.mean_absolute_error(fake, target)
+        loss = api.add(adv, api.mul(l1, self.l1_weight))
+        if api.executing_eagerly():
+            self.g_loss_avg = api.mul(self.g_loss_avg, 0.9) + \
+                api.mul(api.stop_gradient(loss), 0.1)
+        return loss
+
+
+def make_d_loss_fn(model):
+    def d_loss(source, target):
+        return model.discriminator_loss(source, target)
+    return d_loss
+
+
+def make_g_loss_fn(model):
+    def g_loss(source, target):
+        return model.generator_loss(source, target)
+    return g_loss

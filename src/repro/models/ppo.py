@@ -1,0 +1,100 @@
+"""PPO with a clipped surrogate objective on Pong-lite (Table 2, DRL 2).
+
+PPO trains on batched trajectories with coarse-grained ops (the paper
+reports a 2.18x gain — smaller than A3C's because each op is larger).
+The loss is batched rather than per-step, but still mutates agent-side
+bookkeeping state (IF per Table 2: DCF is absent for PPO, matching the
+table's feature row).
+"""
+
+import numpy as np
+
+from .. import nn
+from ..ops import api
+
+
+class PPOAgent(nn.Module):
+    def __init__(self, obs_shape=(16, 16, 1), num_actions=3, hidden=64,
+                 clip=0.2, seed=None):
+        super().__init__("PPOAgent")
+        if seed is not None:
+            nn.init.seed(seed)
+        flat = int(np.prod(obs_shape))
+        self.obs_shape = obs_shape
+        self.obs_size = flat
+        self.body = nn.Dense(flat, hidden, activation=api.tanh)
+        self.policy_head = nn.Dense(hidden, num_actions)
+        self.value_head = nn.Dense(hidden, 1)
+        self.clip = clip
+        self.updates_done = 0.0
+        self.mean_ratio = api.constant(1.0)
+
+    def policy_logits(self, states):
+        flat = api.reshape(states, (-1, self.obs_size))
+        hidden = self.body(flat)
+        return self.policy_head(hidden), \
+            api.reshape(self.value_head(hidden), (-1,))
+
+    def call(self, states, actions, old_logp, returns, advantages):
+        logits, values = self.policy_logits(states)
+        logp_all = api.log_softmax(logits)
+        onehot = api.one_hot(actions, logits.shape[1])
+        logp = api.reduce_sum(api.mul(logp_all, onehot), axis=1)
+        ratio = api.exp(api.sub(logp, old_logp))
+        clipped = api.clip(ratio, 1.0 - self.clip, 1.0 + self.clip)
+        surrogate = api.minimum(api.mul(ratio, advantages),
+                                api.mul(clipped, advantages))
+        policy_loss = api.neg(api.reduce_mean(surrogate))
+        value_loss = api.reduce_mean(api.square(api.sub(values, returns)))
+        entropy = api.neg(api.reduce_mean(api.reduce_sum(
+            api.mul(api.softmax(logits), logp_all), axis=1)))
+        loss = policy_loss + 0.5 * value_loss - 0.01 * entropy
+        if api.executing_eagerly():
+            # Heap-side training telemetry (global state mutation).
+            self.mean_ratio = api.stop_gradient(api.reduce_mean(ratio))
+            self.updates_done = self.updates_done + 1.0
+        return loss
+
+
+def collect_rollout(agent, env, rng, horizon=128, gamma=0.99, lam=0.95):
+    """Collect a fixed-horizon rollout with GAE advantages."""
+    states, actions, logps, rewards, values, dones = [], [], [], [], [], []
+    obs = env.reset()
+    for _ in range(horizon):
+        logits, value = agent.policy_logits(
+            api.expand_dims(api.constant(obs), 0))
+        probs = api.softmax(logits).numpy().reshape(-1)
+        action = int(rng.choice(len(probs), p=probs))
+        logp = float(np.log(probs[action] + 1e-8))
+        states.append(obs)
+        actions.append(action)
+        logps.append(logp)
+        values.append(float(value.numpy()[0]))
+        obs, reward, done, _ = env.step(action)
+        rewards.append(reward)
+        dones.append(done)
+        if done:
+            obs = env.reset()
+    advantages = np.zeros(horizon, np.float32)
+    last_adv = 0.0
+    next_value = 0.0
+    for t in reversed(range(horizon)):
+        mask = 0.0 if dones[t] else 1.0
+        delta = rewards[t] + gamma * next_value * mask - values[t]
+        last_adv = delta + gamma * lam * mask * last_adv
+        advantages[t] = last_adv
+        next_value = values[t]
+    returns = advantages + np.asarray(values, np.float32)
+    adv = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+    return (np.asarray(states, np.float32),
+            np.asarray(actions, np.int64),
+            np.asarray(logps, np.float32),
+            returns.astype(np.float32),
+            adv.astype(np.float32),
+            float(np.sum(rewards)))
+
+
+def make_loss_fn(agent):
+    def loss_fn(states, actions, old_logp, returns, advantages):
+        return agent(states, actions, old_logp, returns, advantages)
+    return loss_fn

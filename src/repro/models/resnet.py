@@ -1,0 +1,90 @@
+"""ResNet for ImageNet-shaped inputs (paper Table 2, CNN row 2).
+
+Residual blocks with batch normalization.  The batch-norm layers branch
+on the module's ``training`` flag — the dynamic control flow that makes
+trace-based converters silently wrong when a user evaluates the model
+before training (paper section 6.2, figure 6a).  The depth is
+configurable; ``resnet50_like`` wires the [3, 4, 6, 3] bottleneck layout
+of ResNet50 and ``resnet_tiny`` is the CPU-scaled default used by the
+benchmarks (coarse conv kernels either way).
+"""
+
+from .. import nn
+from ..ops import api
+
+
+class ResidualBlock(nn.Module):
+    """Two 3x3 convolutions with identity (or projected) shortcut."""
+
+    def __init__(self, in_channels, out_channels, strides=1):
+        super().__init__("ResidualBlock")
+        self.conv1 = nn.Conv2D(in_channels, out_channels, 3,
+                               strides=strides, use_bias=False)
+        self.bn1 = nn.BatchNorm(out_channels, axes=(0, 1, 2))
+        self.conv2 = nn.Conv2D(out_channels, out_channels, 3,
+                               use_bias=False)
+        self.bn2 = nn.BatchNorm(out_channels, axes=(0, 1, 2))
+        if strides != 1 or in_channels != out_channels:
+            self.shortcut = nn.Conv2D(in_channels, out_channels, 1,
+                                      strides=strides, use_bias=False)
+        else:
+            self.shortcut = None
+
+    def call(self, x):
+        y = api.relu(self.bn1(self.conv1(x)))
+        y = self.bn2(self.conv2(y))
+        if self.shortcut is not None:
+            x = self.shortcut(x)
+        return api.relu(api.add(x, y))
+
+
+class ResNet(nn.Module):
+    """A configurable-residual-depth network over NHWC images."""
+
+    def __init__(self, block_channels, blocks_per_stage, num_classes=100,
+                 in_channels=3, stem_channels=None, seed=None):
+        super().__init__("ResNet")
+        if seed is not None:
+            nn.init.seed(seed)
+        stem_channels = stem_channels or block_channels[0]
+        self.stem = nn.Conv2D(in_channels, stem_channels, 3,
+                              use_bias=False)
+        self.stem_bn = nn.BatchNorm(stem_channels, axes=(0, 1, 2))
+        self.stages = []
+        channels = stem_channels
+        for stage, (width, count) in enumerate(
+                zip(block_channels, blocks_per_stage)):
+            blocks = []
+            for b in range(count):
+                strides = 2 if (b == 0 and stage > 0) else 1
+                blocks.append(ResidualBlock(channels, width, strides))
+                channels = width
+            self.stages.append(blocks)
+        self.head = nn.Dense(channels, num_classes)
+        self.training = True
+
+    def call(self, images):
+        x = api.relu(self.stem_bn(self.stem(images)))
+        for blocks in self.stages:
+            for block in blocks:
+                x = block(x)
+        x = api.reduce_mean(x, axis=(1, 2))
+        return self.head(x)
+
+
+def resnet_tiny(num_classes=100, seed=None):
+    """CPU-scale ResNet (2 stages x 2 blocks) used by the benchmarks."""
+    return ResNet([16, 32], [2, 2], num_classes=num_classes, seed=seed)
+
+
+def resnet50_like(num_classes=100, seed=None):
+    """The ResNet50 stage layout [3, 4, 6, 3] at reduced width."""
+    return ResNet([16, 32, 64, 128], [3, 4, 6, 3],
+                  num_classes=num_classes, seed=seed)
+
+
+def make_loss_fn(model):
+    def loss_fn(images, labels):
+        logits = model(images)
+        return nn.losses.softmax_cross_entropy(logits, labels)
+    return loss_fn

@@ -1,0 +1,64 @@
+"""Binary TreeLSTM sentiment model (Table 2, TreeNN row 2).
+
+The child-sum/binary TreeLSTM of Tai et al.: leaves embed their word and
+run an input-only LSTM gate set; internal nodes combine the two child
+(h, c) pairs with per-child forget gates.  Like TreeRNN, it needs
+recursion, conditional base cases, dynamic return types, and heap access
+— and it is the model the paper reports the biggest single-machine gain
+for after TreeRNN (18.4x, Table 3), plus a hard failure for trace-based
+conversion (figure 6c).
+"""
+
+from .. import nn
+from ..ops import api
+
+
+class TreeLSTM(nn.Module):
+    def __init__(self, vocab_size=60, hidden_dim=32, num_classes=2,
+                 seed=None):
+        super().__init__("TreeLSTM")
+        if seed is not None:
+            nn.init.seed(seed)
+        h = hidden_dim
+        self.embedding = nn.Embedding(vocab_size, h)
+        # Leaf transform: input -> i, o, u gates (no children).
+        self.leaf_gates = nn.Dense(h, 3 * h)
+        # Internal transform: [h_l, h_r] -> i, o, u, f_l, f_r gates.
+        self.node_gates = nn.Dense(2 * h, 5 * h)
+        self.classify = nn.Dense(h, num_classes)
+        self.hidden_dim = h
+
+    def encode(self, node):
+        """Return the (h, c) pair of a subtree, each (1, hidden)."""
+        if node.is_leaf:
+            word = api.cast(api.constant(node.word), "int64")
+            x = api.expand_dims(self.embedding(word), 0)
+            gates = self.leaf_gates(x)
+            i, o, u = api.split(gates, 3, axis=1)
+            c = api.mul(api.sigmoid(i), api.tanh(u))
+            h = api.mul(api.sigmoid(o), api.tanh(c))
+            return [h, c]
+        left = self.encode(node.left)
+        right = self.encode(node.right)
+        h_cat = api.concat([left[0], right[0]], axis=1)
+        gates = self.node_gates(h_cat)
+        i, o, u, f_l, f_r = api.split(gates, 5, axis=1)
+        c = api.add(
+            api.mul(api.sigmoid(i), api.tanh(u)),
+            api.add(api.mul(api.sigmoid(api.add(f_l, 1.0)), left[1]),
+                    api.mul(api.sigmoid(api.add(f_r, 1.0)), right[1])))
+        h = api.mul(api.sigmoid(o), api.tanh(c))
+        return [h, c]
+
+    def call(self, root):
+        h_c = self.encode(root)
+        return self.classify(h_c[0])
+
+
+def make_loss_fn(model):
+    def loss_fn(root):
+        logits = model(root)
+        label = api.reshape(api.cast(api.constant(root.label),
+                                     "int64"), (1,))
+        return nn.losses.softmax_cross_entropy(logits, label)
+    return loss_fn

@@ -1,0 +1,58 @@
+"""TreeRNN sentiment model (Table 2, TreeNN row 1).
+
+A recursive function walks the binary parse tree: leaves embed their
+word, internal nodes compose the children's vectors through a shared
+cell.  This exercises all three dynamic features at once — recursion +
+base-case branching (DCF), the recursion's undecided return type (DT),
+and Python-object attribute access on tree nodes (IF).  JANUS converts
+the recursion into InvokeOp-based graphs (paper section 4.2.1, ref [20]);
+tracing-based converters cannot convert it at all (figure 6c discussion).
+"""
+
+from .. import nn
+from ..ops import api
+
+
+class TreeRNN(nn.Module):
+    def __init__(self, vocab_size=60, hidden_dim=32, num_classes=2,
+                 seed=None):
+        super().__init__("TreeRNN")
+        if seed is not None:
+            nn.init.seed(seed)
+        self.embedding = nn.Embedding(vocab_size, hidden_dim)
+        self.compose = nn.Dense(2 * hidden_dim, hidden_dim,
+                                activation=api.tanh)
+        self.classify = nn.Dense(hidden_dim, num_classes)
+        self.hidden_dim = hidden_dim
+
+    def encode(self, node):
+        """Recursively encode a subtree into a (1, hidden) vector."""
+        if node.is_leaf:
+            word = api.cast(api.constant(node.word), "int64")
+            return api.expand_dims(self.embedding(word), 0)
+        left = self.encode(node.left)
+        right = self.encode(node.right)
+        return self.compose(api.concat([left, right], axis=1))
+
+    def call(self, root):
+        return self.classify(self.encode(root))
+
+
+def make_loss_fn(model):
+    def loss_fn(root):
+        logits = model(root)
+        label = api.reshape(api.cast(api.constant(root.label),
+                                     "int64"), (1,))
+        return nn.losses.softmax_cross_entropy(logits, label)
+    return loss_fn
+
+
+def tree_accuracy(model, trees):
+    """Root-label accuracy over a tree list (evaluation metric)."""
+    import numpy as np
+    hits = 0
+    for tree in trees:
+        logits = model(tree)
+        pred = int(np.argmax(logits.numpy()))
+        hits += int(pred == tree.label)
+    return hits / max(1, len(trees))

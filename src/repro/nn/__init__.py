@@ -1,0 +1,20 @@
+"""High-level neural-network library (Keras-style, mode-polymorphic)."""
+
+from . import init
+from . import losses
+from .module import Module
+from .layers import (Dense, Conv2D, Conv2DTranspose, BatchNorm,
+                     LayerNorm, Embedding, Dropout, Flatten, MaxPool,
+                     AvgPool, Sequential, set_training)
+from .rnn import LSTMCell, GRUCell, RNNCell
+from .optim import Optimizer, SGD, Momentum, RMSProp, Adam
+
+__all__ = [
+    "init", "losses", "Module",
+    "Dense", "Conv2D", "Conv2DTranspose", "BatchNorm",
+    "LayerNorm", "Embedding",
+    "Dropout", "Flatten", "MaxPool", "AvgPool", "Sequential",
+    "set_training",
+    "LSTMCell", "GRUCell", "RNNCell",
+    "Optimizer", "SGD", "Momentum", "RMSProp", "Adam",
+]

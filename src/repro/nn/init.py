@@ -1,0 +1,66 @@
+"""Weight initializers (numpy-backed, deterministic via a module rng)."""
+
+import numpy as np
+
+_rng = np.random.default_rng(1234)
+
+
+def seed(value):
+    """Reseed initializer randomness (tests / reproducible benchmarks)."""
+    global _rng
+    _rng = np.random.default_rng(value)
+
+
+def zeros(shape):
+    return np.zeros(shape, np.float32)
+
+
+def ones(shape):
+    return np.ones(shape, np.float32)
+
+
+def constant(shape, value):
+    return np.full(shape, value, np.float32)
+
+
+def random_normal(shape, stddev=0.05):
+    return (_rng.normal(0.0, stddev, size=shape)).astype(np.float32)
+
+
+def random_uniform(shape, minval=-0.05, maxval=0.05):
+    return _rng.uniform(minval, maxval, size=shape).astype(np.float32)
+
+
+def _fans(shape):
+    if len(shape) < 1:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # conv kernels HWIO: receptive field times channels.
+    receptive = 1
+    for d in shape[:-2]:
+        receptive *= d
+    return shape[-2] * receptive, shape[-1] * receptive
+
+
+def glorot_uniform(shape):
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape):
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return _rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def orthogonal(shape, gain=1.0):
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    a = _rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(a)
+    q = q[:rows, :cols] if rows <= q.shape[0] else q
+    return (gain * q.reshape(shape)).astype(np.float32)

@@ -1,0 +1,247 @@
+"""Neural-network layers.
+
+Every layer's ``call`` is plain imperative Python over the op API, so the
+same code runs eagerly *and* is inlined by the JANUS graph generator.
+``BatchNorm`` deliberately branches on ``self.training`` — the dynamic
+control flow that makes trace-based converters silently wrong on
+ResNet-style models (paper section 6.2).
+"""
+
+from ..ops import api
+from . import init
+from .module import Module
+
+
+class Dense(Module):
+    """Fully-connected layer: ``activation(x @ W + b)``."""
+
+    def __init__(self, in_features, out_features, activation=None,
+                 use_bias=True, name=None, initializer=init.glorot_uniform):
+        super().__init__(name)
+        self.kernel = self.add_variable(
+            "kernel", initializer((in_features, out_features)))
+        self.bias = self.add_variable(
+            "bias", init.zeros((out_features,))) if use_bias else None
+        self.activation = activation
+        self.use_bias = use_bias
+
+    def call(self, x):
+        y = api.matmul(x, self.kernel)
+        if self.use_bias:
+            y = api.add(y, self.bias)
+        if self.activation is not None:
+            y = self.activation(y)
+        return y
+
+
+class Conv2D(Module):
+    """2-D convolution over NHWC activations with HWIO filters."""
+
+    def __init__(self, in_channels, out_channels, kernel_size=3, strides=1,
+                 padding="SAME", activation=None, use_bias=True, name=None,
+                 initializer=init.he_normal):
+        super().__init__(name)
+        k = kernel_size if isinstance(kernel_size, tuple) \
+            else (kernel_size, kernel_size)
+        self.filters = self.add_variable(
+            "filters", initializer(k + (in_channels, out_channels)))
+        self.bias = self.add_variable(
+            "bias", init.zeros((out_channels,))) if use_bias else None
+        self.strides = strides
+        self.padding = padding
+        self.activation = activation
+        self.use_bias = use_bias
+
+    def call(self, x):
+        y = api.conv2d(x, self.filters, strides=self.strides,
+                       padding=self.padding)
+        if self.use_bias:
+            y = api.add(y, self.bias)
+        if self.activation is not None:
+            y = self.activation(y)
+        return y
+
+
+class Conv2DTranspose(Module):
+    """Transposed convolution (GAN generators, pix2pix decoder)."""
+
+    def __init__(self, in_channels, out_channels, output_hw, kernel_size=3,
+                 strides=2, padding="SAME", activation=None, use_bias=True,
+                 name=None, initializer=init.he_normal):
+        super().__init__(name)
+        k = kernel_size if isinstance(kernel_size, tuple) \
+            else (kernel_size, kernel_size)
+        # HWIO where I is this layer's *output* channel count.
+        self.filters = self.add_variable(
+            "filters", initializer(k + (out_channels, in_channels)))
+        self.bias = self.add_variable(
+            "bias", init.zeros((out_channels,))) if use_bias else None
+        self.output_shape = (output_hw[0], output_hw[1], out_channels)
+        self.strides = strides
+        self.padding = padding
+        self.activation = activation
+        self.use_bias = use_bias
+
+    def call(self, x):
+        y = api.conv2d_transpose(x, self.filters, self.output_shape,
+                                 strides=self.strides, padding=self.padding)
+        if self.use_bias:
+            y = api.add(y, self.bias)
+        if self.activation is not None:
+            y = self.activation(y)
+        return y
+
+
+class BatchNorm(Module):
+    """Batch normalization with a train/eval dynamic branch.
+
+    During training, statistics come from the batch and the moving
+    averages are updated (global state mutation); during evaluation the
+    moving averages are used.  A trace-based converter freezes whichever
+    mode it happened to trace — the paper's headline incorrectness case.
+    """
+
+    def __init__(self, num_features, momentum=0.9, epsilon=1e-5,
+                 axes=(0,), name=None):
+        super().__init__(name)
+        self.gamma = self.add_variable("gamma", init.ones((num_features,)))
+        self.beta = self.add_variable("beta", init.zeros((num_features,)))
+        self.moving_mean = self.add_variable(
+            "moving_mean", init.zeros((num_features,)), trainable=False)
+        self.moving_var = self.add_variable(
+            "moving_var", init.ones((num_features,)), trainable=False)
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.axes = axes
+        self.training = True
+
+    def call(self, x):
+        if self.training:
+            mean = api.reduce_mean(x, axis=self.axes)
+            centered = api.sub(x, mean)
+            var = api.reduce_mean(api.square(centered), axis=self.axes)
+            m = self.momentum
+            self.moving_mean.assign(
+                api.add(api.mul(self.moving_mean, m),
+                        api.mul(api.stop_gradient(mean), 1.0 - m)))
+            self.moving_var.assign(
+                api.add(api.mul(self.moving_var, m),
+                        api.mul(api.stop_gradient(var), 1.0 - m)))
+        else:
+            mean = self.moving_mean
+            var = self.moving_var
+            centered = api.sub(x, mean)
+        inv = api.div(1.0, api.sqrt(api.add(var, self.epsilon)))
+        return api.add(api.mul(api.mul(centered, inv), self.gamma),
+                       self.beta)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, num_features, epsilon=1e-5, name=None):
+        super().__init__(name)
+        self.gamma = self.add_variable("gamma", init.ones((num_features,)))
+        self.beta = self.add_variable("beta", init.zeros((num_features,)))
+        self.epsilon = epsilon
+
+    def call(self, x):
+        return api.layer_norm(x, self.gamma, self.beta,
+                              epsilon=self.epsilon)
+
+
+class Embedding(Module):
+    """Token-id to dense-vector lookup table."""
+
+    def __init__(self, vocab_size, dim, name=None):
+        super().__init__(name)
+        self.table = self.add_variable(
+            "table", init.random_uniform((vocab_size, dim), -0.1, 0.1))
+
+    def call(self, ids):
+        return api.gather(self.table, ids)
+
+
+class Dropout(Module):
+    """Inverted dropout, active only while ``self.training``."""
+
+    def __init__(self, rate=0.5, name=None):
+        super().__init__(name)
+        self.rate = rate
+        self.training = True
+
+    def call(self, x):
+        if self.training:
+            return api.dropout(x, self.rate)
+        return x
+
+
+class Flatten(Module):
+    def call(self, x):
+        tail = 1
+        for d in x.shape[1:]:
+            tail = tail * d
+        return api.reshape(x, (-1, tail))
+
+
+class MaxPool(Module):
+    def __init__(self, ksize=2, strides=2, padding="VALID", name=None):
+        super().__init__(name)
+        self.ksize = ksize
+        self.strides = strides
+        self.padding = padding
+
+    def call(self, x):
+        return api.max_pool(x, self.ksize, self.strides, self.padding)
+
+
+class AvgPool(Module):
+    def __init__(self, ksize=2, strides=2, padding="VALID", name=None):
+        super().__init__(name)
+        self.ksize = ksize
+        self.strides = strides
+        self.padding = padding
+
+    def call(self, x):
+        return api.avg_pool(x, self.ksize, self.strides, self.padding)
+
+
+class Sequential(Module):
+    """Composes layers in order."""
+
+    def __init__(self, layers, name=None):
+        super().__init__(name)
+        self.layers = list(layers)
+
+    def call(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def set_training(self, training):
+        set_training(self, training)
+        return self
+
+
+def set_training(module, training):
+    """Flip every ``training`` flag reachable from a module tree."""
+    seen = set()
+
+    def walk(m):
+        if id(m) in seen or not isinstance(m, Module):
+            return
+        seen.add(id(m))
+        if hasattr(m, "training"):
+            m.training = training
+        for value in m.__dict__.values():
+            if isinstance(value, Module):
+                walk(value)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    walk(item)
+            elif isinstance(value, dict):
+                for item in value.values():
+                    walk(item)
+
+    walk(module)
+    return module

@@ -1,0 +1,28 @@
+"""Loss functions built on the op API (mode-polymorphic)."""
+
+from ..ops import api
+
+
+def softmax_cross_entropy(logits, labels):
+    """Mean cross entropy over a batch; ``labels`` are integer ids."""
+    return api.reduce_mean(api.softmax_cross_entropy(logits, labels))
+
+
+def sigmoid_cross_entropy(logits, targets):
+    """Mean binary cross entropy with logits."""
+    return api.reduce_mean(api.sigmoid_cross_entropy(logits, targets))
+
+
+def mean_squared_error(pred, target):
+    return api.reduce_mean(api.square(api.sub(pred, target)))
+
+
+def mean_absolute_error(pred, target):
+    return api.reduce_mean(api.abs(api.sub(pred, target)))
+
+
+def accuracy(logits, labels):
+    """Fraction of argmax predictions matching integer labels."""
+    pred = api.argmax(logits, axis=1)
+    hits = api.cast(api.equal(pred, api.cast(labels, "int64")), "float32")
+    return api.reduce_mean(hits)

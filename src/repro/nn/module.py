@@ -1,0 +1,56 @@
+"""Module base class: variable tracking for layers and models."""
+
+from ..imperative.variable import Variable
+
+
+class Module:
+    """Base class for layers and models.
+
+    Variables assigned as attributes (directly, in lists/tuples, or on
+    sub-modules) are discovered recursively by :attr:`variables` —
+    mirroring the Keras-style high-level API the paper's workloads use.
+    """
+
+    def __init__(self, name=None):
+        self.name = name or type(self).__name__
+
+    @property
+    def variables(self):
+        """All Variables reachable from this module, uid-ordered."""
+        found = {}
+        self._collect(found, set())
+        return [found[k] for k in sorted(found)]
+
+    @property
+    def trainable_variables(self):
+        return [v for v in self.variables if v.trainable]
+
+    def _collect(self, found, seen):
+        if id(self) in seen:
+            return
+        seen.add(id(self))
+        for value in self.__dict__.values():
+            self._collect_value(value, found, seen)
+
+    @staticmethod
+    def _collect_value(value, found, seen):
+        if isinstance(value, Variable):
+            found[value.uid] = value
+        elif isinstance(value, Module):
+            value._collect(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                Module._collect_value(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                Module._collect_value(item, found, seen)
+
+    def add_variable(self, name, initial_value, trainable=True):
+        return Variable(initial_value, name="%s/%s" % (self.name, name),
+                        trainable=trainable)
+
+    def __call__(self, *args, **kwargs):
+        return self.call(*args, **kwargs)
+
+    def call(self, *args, **kwargs):
+        raise NotImplementedError

@@ -1,0 +1,145 @@
+"""Optimizers, written once for both execution modes.
+
+``apply_gradients`` manipulates Variables only through ``api.assign`` and
+arithmetic ops, so the same optimizer instance updates parameters eagerly
+during profiling/fallback and emits deferred ``var_assign`` nodes when
+JANUS appends the training step to a generated graph (paper section 3.1:
+"operations for ... model parameter updates are also automatically
+inserted").  Slot variables (momentum, Adam moments) are ordinary
+Variables shared across modes.
+"""
+
+import numpy as np
+
+from ..imperative.variable import Variable
+from ..ops import api
+
+
+class Optimizer:
+    """Base class: slot management plus the apply loop."""
+
+    def __init__(self, name=None):
+        self.name = name or type(self).__name__
+        self._slots = {}
+
+    def slot(self, variable, slot_name):
+        """Fetch-or-create a per-variable state Variable."""
+        key = (variable.uid, slot_name)
+        found = self._slots.get(key)
+        if found is None:
+            found = Variable(np.zeros(variable.shape.as_tuple(),
+                                      variable.dtype.np_dtype),
+                             name="%s/%s/%s" % (self.name, variable.name,
+                                                slot_name),
+                             trainable=False)
+            self._slots[key] = found
+        return found
+
+    def apply_gradients(self, grads_and_vars):
+        """Apply one update step; ``grads_and_vars`` is (grad, var) pairs."""
+        for grad, variable in grads_and_vars:
+            if grad is None:
+                continue
+            self._apply_one(grad, variable)
+
+    def _apply_one(self, grad, variable):
+        raise NotImplementedError
+
+    def minimize(self, loss_fn, variables=None):
+        """Convenience eager path: tape the loss and step (imperative)."""
+        from ..imperative.tape import GradientTape
+        with GradientTape() as tape:
+            loss = loss_fn()
+        if variables is None:
+            variables = list({id(v): v
+                              for v, _ in tape._var_reads}.values())
+        grads = tape.gradient(loss, variables)
+        self.apply_gradients([(g, v) for g, v in zip(grads, variables)
+                              if g is not None])
+        return loss
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def __init__(self, learning_rate=0.01, name=None):
+        super().__init__(name)
+        self.learning_rate = learning_rate
+
+    def _apply_one(self, grad, variable):
+        new_value = api.sub(api.read(variable),
+                            api.mul(grad, self.learning_rate))
+        api.assign(variable, new_value)
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate=0.01, momentum=0.9, name=None):
+        super().__init__(name)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+
+    def _apply_one(self, grad, variable):
+        velocity = self.slot(variable, "velocity")
+        new_v = api.add(api.mul(api.read(velocity), self.momentum), grad)
+        api.assign(velocity, new_v)
+        api.assign(variable, api.sub(api.read(variable),
+                                     api.mul(new_v, self.learning_rate)))
+
+
+class RMSProp(Optimizer):
+    def __init__(self, learning_rate=0.001, decay=0.9, epsilon=1e-7,
+                 name=None):
+        super().__init__(name)
+        self.learning_rate = learning_rate
+        self.decay = decay
+        self.epsilon = epsilon
+
+    def _apply_one(self, grad, variable):
+        ms = self.slot(variable, "ms")
+        new_ms = api.add(api.mul(api.read(ms), self.decay),
+                         api.mul(api.square(grad), 1.0 - self.decay))
+        api.assign(ms, new_ms)
+        update = api.div(api.mul(grad, self.learning_rate),
+                         api.add(api.sqrt(new_ms), self.epsilon))
+        api.assign(variable, api.sub(api.read(variable), update))
+
+
+class Adam(Optimizer):
+    """Adam with the step-count bias correction held in a scalar slot."""
+
+    def __init__(self, learning_rate=0.001, beta1=0.9, beta2=0.999,
+                 epsilon=1e-7, name=None):
+        super().__init__(name)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step = Variable(np.float32(0.0), name="%s/step" % self.name,
+                              trainable=False)
+        self._step_bumped_in_apply = False
+
+    def apply_gradients(self, grads_and_vars):
+        pairs = [(g, v) for g, v in grads_and_vars if g is not None]
+        if not pairs:
+            return
+        api.assign(self._step, api.add(api.read(self._step), 1.0))
+        for grad, variable in pairs:
+            self._apply_one(grad, variable)
+
+    def _apply_one(self, grad, variable):
+        m = self.slot(variable, "m")
+        v = self.slot(variable, "v")
+        t = api.read(self._step)
+        new_m = api.add(api.mul(api.read(m), self.beta1),
+                        api.mul(grad, 1.0 - self.beta1))
+        new_v = api.add(api.mul(api.read(v), self.beta2),
+                        api.mul(api.square(grad), 1.0 - self.beta2))
+        api.assign(m, new_m)
+        api.assign(v, new_v)
+        m_hat = api.div(new_m, api.sub(1.0, api.pow(self.beta1, t)))
+        v_hat = api.div(new_v, api.sub(1.0, api.pow(self.beta2, t)))
+        update = api.div(api.mul(m_hat, self.learning_rate),
+                         api.add(api.sqrt(v_hat), self.epsilon))
+        api.assign(variable, api.sub(api.read(variable), update))

@@ -1,0 +1,92 @@
+"""Recurrent cells (LSTM / GRU / vanilla RNN).
+
+Cells are single-step functions ``(state, x) -> new_state`` so models can
+drive them with native Python loops — the imperative style of paper
+figure 1 that JANUS unrolls or converts to dynamic loop operations.
+"""
+
+from ..ops import api
+from . import init
+from .module import Module
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell; state is the (h, c) pair."""
+
+    def __init__(self, input_dim, hidden_dim, forget_bias=1.0, name=None):
+        super().__init__(name)
+        self.hidden_dim = hidden_dim
+        self.kernel = self.add_variable(
+            "kernel",
+            init.glorot_uniform((input_dim + hidden_dim, 4 * hidden_dim)))
+        self.bias = self.add_variable("bias",
+                                      init.zeros((4 * hidden_dim,)))
+        self.forget_bias = forget_bias
+
+    def call(self, state, x):
+        h, c = state
+        z = api.add(api.matmul(api.concat([x, h], axis=1), self.kernel),
+                    self.bias)
+        i, f, g, o = api.split(z, 4, axis=1)
+        f = api.add(f, self.forget_bias)
+        new_c = api.add(api.mul(api.sigmoid(f), c),
+                        api.mul(api.sigmoid(i), api.tanh(g)))
+        new_h = api.mul(api.sigmoid(o), api.tanh(new_c))
+        return (new_h, new_c)
+
+    def zero_state(self, batch_size):
+        return (api.zeros((batch_size, self.hidden_dim)),
+                api.zeros((batch_size, self.hidden_dim)))
+
+
+class GRUCell(Module):
+    """A gated recurrent unit; state is the hidden vector."""
+
+    def __init__(self, input_dim, hidden_dim, name=None):
+        super().__init__(name)
+        self.hidden_dim = hidden_dim
+        self.gate_kernel = self.add_variable(
+            "gate_kernel",
+            init.glorot_uniform((input_dim + hidden_dim, 2 * hidden_dim)))
+        self.gate_bias = self.add_variable(
+            "gate_bias", init.ones((2 * hidden_dim,)))
+        self.cand_kernel = self.add_variable(
+            "cand_kernel",
+            init.glorot_uniform((input_dim + hidden_dim, hidden_dim)))
+        self.cand_bias = self.add_variable(
+            "cand_bias", init.zeros((hidden_dim,)))
+
+    def call(self, state, x):
+        h = state
+        gates = api.sigmoid(api.add(
+            api.matmul(api.concat([x, h], axis=1), self.gate_kernel),
+            self.gate_bias))
+        r, u = api.split(gates, 2, axis=1)
+        cand = api.tanh(api.add(
+            api.matmul(api.concat([x, api.mul(r, h)], axis=1),
+                       self.cand_kernel),
+            self.cand_bias))
+        return api.add(api.mul(u, h), api.mul(api.sub(1.0, u), cand))
+
+    def zero_state(self, batch_size):
+        return api.zeros((batch_size, self.hidden_dim))
+
+
+class RNNCell(Module):
+    """Vanilla tanh recurrence (used by TreeRNN-style models)."""
+
+    def __init__(self, input_dim, hidden_dim, name=None):
+        super().__init__(name)
+        self.hidden_dim = hidden_dim
+        self.kernel = self.add_variable(
+            "kernel", init.glorot_uniform((input_dim + hidden_dim,
+                                           hidden_dim)))
+        self.bias = self.add_variable("bias", init.zeros((hidden_dim,)))
+
+    def call(self, state, x):
+        z = api.add(api.matmul(api.concat([x, state], axis=1), self.kernel),
+                    self.bias)
+        return api.tanh(z)
+
+    def zero_state(self, batch_size):
+        return api.zeros((batch_size, self.hidden_dim))

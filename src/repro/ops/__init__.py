@@ -1,0 +1,16 @@
+"""Primitive operations: registry, kernels, gradients, and dispatch API."""
+
+from . import (array_ops, math_ops, matrix_ops, misc_ops, nn_ops,  # noqa: F401
+               random_ops, reduction_ops)
+from . import gradients  # noqa: F401  (side effect: attaches grad fns)
+from .registry import (OpDef, GradContext, get_op, has_op, all_ops,
+                       register_op, register_gradient)
+from .dispatch import (ExecutionContext, current_context, dispatch, convert,
+                       set_default_context)
+
+__all__ = [
+    "OpDef", "GradContext", "get_op", "has_op", "all_ops",
+    "register_op", "register_gradient",
+    "ExecutionContext", "current_context", "dispatch", "convert",
+    "set_default_context",
+]

@@ -1,0 +1,546 @@
+"""The user-facing, mode-polymorphic op API.
+
+Every function here dispatches through the current execution context
+(:mod:`repro.ops.dispatch`): called under the eager executor it computes
+immediately; called inside a graph-building context it adds symbolic nodes.
+Models, layers, and gradient definitions are all written against this API,
+which is also the external-function *whitelist* the JANUS graph generator
+recognizes (paper section 4.3.1).
+"""
+
+import numpy as np
+
+from ..tensor import dtype as dtypes
+from ..tensor.shape import Shape
+from . import (array_ops, math_ops, matrix_ops, misc_ops, nn_ops,
+               random_ops, reduction_ops)
+from .dispatch import convert, dispatch
+
+# ---------------------------------------------------------------------------
+# elementwise math
+# ---------------------------------------------------------------------------
+
+
+def add(a, b):
+    return dispatch(math_ops.ADD, (a, b))
+
+
+def sub(a, b):
+    return dispatch(math_ops.SUB, (a, b))
+
+
+def mul(a, b):
+    return dispatch(math_ops.MUL, (a, b))
+
+
+def div(a, b):
+    return dispatch(math_ops.DIV, (a, b))
+
+
+def floordiv(a, b):
+    return dispatch(math_ops.FLOORDIV, (a, b))
+
+
+def mod(a, b):
+    return dispatch(math_ops.MOD, (a, b))
+
+
+def pow(a, b):  # noqa: A001 - mirrors the Python operator it implements
+    return dispatch(math_ops.POW, (a, b))
+
+
+def maximum(a, b):
+    return dispatch(math_ops.MAXIMUM, (a, b))
+
+
+def minimum(a, b):
+    return dispatch(math_ops.MINIMUM, (a, b))
+
+
+def neg(a):
+    return dispatch(math_ops.NEG, (a,))
+
+
+def abs(a):  # noqa: A001
+    return dispatch(math_ops.ABS, (a,))
+
+
+def sign(a):
+    return dispatch(math_ops.SIGN, (a,))
+
+
+def exp(a):
+    return dispatch(math_ops.EXP, (a,))
+
+
+def log(a):
+    return dispatch(math_ops.LOG, (a,))
+
+
+def sqrt(a):
+    return dispatch(math_ops.SQRT, (a,))
+
+
+def square(a):
+    return dispatch(math_ops.SQUARE, (a,))
+
+
+def tanh(a):
+    return dispatch(math_ops.TANH, (a,))
+
+
+def floor(a):
+    return dispatch(math_ops.FLOOR, (a,))
+
+
+def sigmoid(a):
+    return dispatch(math_ops.SIGMOID, (a,))
+
+
+def relu(a):
+    return dispatch(math_ops.RELU, (a,))
+
+
+def leaky_relu(a, alpha=0.2):
+    return dispatch(math_ops.LEAKY_RELU, (a,), {"alpha": float(alpha)})
+
+
+def clip(a, min_value, max_value):
+    return dispatch(math_ops.CLIP, (a,),
+                    {"min": float(min_value), "max": float(max_value)})
+
+
+def where(cond, a, b):
+    return dispatch(math_ops.WHERE, (cond, a, b))
+
+
+def cast(a, dtype):
+    return dispatch(math_ops.CAST, (a,), {"dtype": dtypes.DType.of(dtype).name})
+
+
+def broadcast_grad(grad, ref):
+    """Reduce a broadcast gradient back to ``ref``'s shape (internal)."""
+    return dispatch(math_ops.BROADCAST_GRAD, (grad, ref))
+
+# ---------------------------------------------------------------------------
+# comparisons / logical
+# ---------------------------------------------------------------------------
+
+
+def equal(a, b):
+    return dispatch(math_ops.EQUAL, (a, b))
+
+
+def not_equal(a, b):
+    return dispatch(math_ops.NOT_EQUAL, (a, b))
+
+
+def less(a, b):
+    return dispatch(math_ops.LESS, (a, b))
+
+
+def less_equal(a, b):
+    return dispatch(math_ops.LESS_EQUAL, (a, b))
+
+
+def greater(a, b):
+    return dispatch(math_ops.GREATER, (a, b))
+
+
+def greater_equal(a, b):
+    return dispatch(math_ops.GREATER_EQUAL, (a, b))
+
+
+def logical_and(a, b):
+    return dispatch(math_ops.LOGICAL_AND, (a, b))
+
+
+def logical_or(a, b):
+    return dispatch(math_ops.LOGICAL_OR, (a, b))
+
+
+def logical_not(a):
+    return dispatch(math_ops.LOGICAL_NOT, (a,))
+
+# ---------------------------------------------------------------------------
+# matrix
+# ---------------------------------------------------------------------------
+
+
+def matmul(a, b, transpose_a=False, transpose_b=False):
+    return dispatch(matrix_ops.MATMUL, (a, b),
+                    {"transpose_a": bool(transpose_a),
+                     "transpose_b": bool(transpose_b)})
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def _axis_attr(axis):
+    if axis is None or isinstance(axis, int):
+        return axis
+    return tuple(int(a) for a in axis)
+
+
+def reduce_sum(a, axis=None, keepdims=False):
+    return dispatch(reduction_ops.REDUCE_SUM, (a,),
+                    {"axis": _axis_attr(axis), "keepdims": bool(keepdims)})
+
+
+def reduce_mean(a, axis=None, keepdims=False):
+    return dispatch(reduction_ops.REDUCE_MEAN, (a,),
+                    {"axis": _axis_attr(axis), "keepdims": bool(keepdims)})
+
+
+def reduce_max(a, axis=None, keepdims=False):
+    return dispatch(reduction_ops.REDUCE_MAX, (a,),
+                    {"axis": _axis_attr(axis), "keepdims": bool(keepdims)})
+
+
+def reduce_min(a, axis=None, keepdims=False):
+    return dispatch(reduction_ops.REDUCE_MIN, (a,),
+                    {"axis": _axis_attr(axis), "keepdims": bool(keepdims)})
+
+
+def reduce_prod(a, axis=None, keepdims=False):
+    return dispatch(reduction_ops.REDUCE_PROD, (a,),
+                    {"axis": _axis_attr(axis), "keepdims": bool(keepdims)})
+
+
+def argmax(a, axis=0):
+    return dispatch(reduction_ops.ARGMAX, (a,), {"axis": int(axis)})
+
+
+def argmin(a, axis=0):
+    return dispatch(reduction_ops.ARGMIN, (a,), {"axis": int(axis)})
+
+# ---------------------------------------------------------------------------
+# array manipulation
+# ---------------------------------------------------------------------------
+
+
+def identity(a):
+    return dispatch(array_ops.IDENTITY, (a,))
+
+
+def stop_gradient(a):
+    return dispatch(array_ops.STOP_GRADIENT, (a,))
+
+
+def reshape(a, shape):
+    return dispatch(array_ops.RESHAPE, (a,),
+                    {"shape": tuple(int(d) for d in shape)})
+
+
+def reshape_like(a, ref):
+    return dispatch(array_ops.RESHAPE_LIKE, (a, ref))
+
+
+def transpose(a, perm=None):
+    attrs = {"perm": None if perm is None else tuple(int(p) for p in perm)}
+    return dispatch(array_ops.TRANSPOSE, (a,), attrs)
+
+
+def concat(values, axis=0):
+    return dispatch(array_ops.CONCAT, tuple(values), {"axis": int(axis)})
+
+
+def split(a, num, axis=0):
+    return dispatch(array_ops.SPLIT, (a,), {"num": int(num),
+                                            "axis": int(axis)})
+
+
+def stack(values, axis=0):
+    return dispatch(array_ops.STACK, tuple(values), {"axis": int(axis)})
+
+
+def unstack(a, num=None, axis=0):
+    if num is None:
+        handle = convert(a)
+        dim = handle.shape[axis]
+        if dim is None:
+            raise ValueError("unstack needs a static dimension or num=")
+        num = dim
+    return dispatch(array_ops.UNSTACK, (a,), {"num": int(num),
+                                              "axis": int(axis)})
+
+
+def getitem(a, index):
+    """Subscript a tensor; tensor-valued indices become gathers."""
+    handle = convert(a)
+    if _is_tensor_index(index):
+        return gather(handle, index, axis=0)
+    spec = array_ops.encode_index(index)
+    return dispatch(array_ops.GETITEM, (handle,), {"spec": spec})
+
+
+def _is_tensor_index(index):
+    from .dispatch import current_context
+    if isinstance(index, (int, slice, tuple, type(None), type(Ellipsis))):
+        if isinstance(index, tuple):
+            return any(not isinstance(i, (int, slice, type(None),
+                                          type(Ellipsis))) for i in index)
+        return False
+    return True
+
+
+def gather(params, indices, axis=0):
+    return dispatch(array_ops.GATHER, (params, indices),
+                    {"axis": int(axis)})
+
+
+def pad(a, paddings, mode="constant"):
+    pads = tuple((int(lo), int(hi)) for lo, hi in paddings)
+    return dispatch(array_ops.PAD, (a,), {"paddings": pads, "mode": mode})
+
+
+def tile(a, multiples):
+    return dispatch(array_ops.TILE, (a,),
+                    {"multiples": tuple(int(m) for m in multiples)})
+
+
+def expand_dims(a, axis):
+    return dispatch(array_ops.EXPAND_DIMS, (a,), {"axis": int(axis)})
+
+
+def squeeze(a, axis=None):
+    attrs = {"axis": None if axis is None else
+             (tuple(axis) if isinstance(axis, (tuple, list)) else int(axis))}
+    return dispatch(array_ops.SQUEEZE, (a,), attrs)
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+
+def fill(shape, value, dtype="float32"):
+    return dispatch(array_ops.FILL, (),
+                    {"shape": tuple(int(d) for d in shape),
+                     "value": value, "dtype": dtypes.DType.of(dtype).name})
+
+
+def zeros(shape, dtype="float32"):
+    return fill(shape, 0, dtype)
+
+
+def ones(shape, dtype="float32"):
+    return fill(shape, 1, dtype)
+
+
+def zeros_like(a):
+    return dispatch(array_ops.ZEROS_LIKE, (a,))
+
+
+def ones_like(a):
+    return dispatch(array_ops.ONES_LIKE, (a,))
+
+
+def arange(start, stop=None, step=1, dtype="int64"):
+    if stop is None:
+        start, stop = 0, start
+    return dispatch(array_ops.RANGE, (),
+                    {"start": start, "stop": stop, "step": step,
+                     "dtype": dtypes.DType.of(dtype).name})
+
+
+def one_hot(indices, depth, dtype="float32"):
+    return dispatch(array_ops.ONE_HOT, (indices,),
+                    {"depth": int(depth),
+                     "dtype": dtypes.DType.of(dtype).name})
+
+
+def shape_of(a):
+    """Dynamic shape of a tensor as a 1-D int64 tensor."""
+    return dispatch(array_ops.SHAPE_OF, (a,))
+
+
+def constant(value, dtype=None):
+    """Materialize a constant in the current execution context."""
+    return convert(value, dtype=dtype)
+
+# ---------------------------------------------------------------------------
+# neural-network ops
+# ---------------------------------------------------------------------------
+
+
+def conv2d(x, filters, strides=1, padding="SAME"):
+    return dispatch(nn_ops.CONV2D, (x, filters),
+                    {"strides": _stride_attr(strides), "padding": padding})
+
+
+def conv2d_transpose(x, filters, output_shape, strides=1, padding="SAME"):
+    return dispatch(nn_ops.CONV2D_TRANSPOSE, (x, filters),
+                    {"strides": _stride_attr(strides), "padding": padding,
+                     "output_shape": tuple(int(d) for d in output_shape)})
+
+
+def _stride_attr(strides):
+    if isinstance(strides, int):
+        return (strides, strides)
+    return tuple(int(s) for s in strides)
+
+
+def max_pool(x, ksize=2, strides=2, padding="VALID"):
+    return dispatch(nn_ops.MAX_POOL, (x,),
+                    {"ksize": _stride_attr(ksize),
+                     "strides": _stride_attr(strides), "padding": padding})
+
+
+def avg_pool(x, ksize=2, strides=2, padding="VALID"):
+    return dispatch(nn_ops.AVG_POOL, (x,),
+                    {"ksize": _stride_attr(ksize),
+                     "strides": _stride_attr(strides), "padding": padding})
+
+
+def softmax(a, axis=-1):
+    return dispatch(nn_ops.SOFTMAX, (a,), {"axis": int(axis)})
+
+
+def log_softmax(a, axis=-1):
+    return dispatch(nn_ops.LOG_SOFTMAX, (a,), {"axis": int(axis)})
+
+
+def softmax_cross_entropy(logits, labels):
+    """Per-example cross entropy; ``labels`` are integer class ids."""
+    return dispatch(nn_ops.SOFTMAX_CROSS_ENTROPY, (logits, labels))
+
+
+def sigmoid_cross_entropy(logits, targets):
+    return dispatch(nn_ops.SIGMOID_CROSS_ENTROPY, (logits, targets))
+
+# ---------------------------------------------------------------------------
+# random
+# ---------------------------------------------------------------------------
+
+
+def random_normal(shape, mean=0.0, stddev=1.0, dtype="float32"):
+    return dispatch(random_ops.RANDOM_NORMAL, (),
+                    {"shape": tuple(int(d) for d in shape),
+                     "mean": float(mean), "stddev": float(stddev),
+                     "dtype": dtypes.DType.of(dtype).name})
+
+
+def random_uniform(shape, minval=0.0, maxval=1.0, dtype="float32"):
+    return dispatch(random_ops.RANDOM_UNIFORM, (),
+                    {"shape": tuple(int(d) for d in shape),
+                     "minval": minval, "maxval": maxval,
+                     "dtype": dtypes.DType.of(dtype).name})
+
+
+def dropout(x, rate=0.5):
+    """Differentiable dropout built from a random mask (composite)."""
+    handle = convert(x)
+    if not handle.shape.is_fully_known:
+        return dispatch(random_ops.DROPOUT, (handle,),
+                        {"rate": float(rate)})
+    keep = 1.0 - rate
+    mask = random_uniform(handle.shape.as_tuple(), 0.0, 1.0,
+                          dtype=handle.dtype)
+    gate = cast(less(mask, keep), handle.dtype)
+    return div(mul(handle, gate), keep)
+
+# ---------------------------------------------------------------------------
+# debugging / assertions
+# ---------------------------------------------------------------------------
+
+
+def assert_that(cond, message="assertion failed", site=None):
+    """Runtime assertion; aborts graph execution when ``cond`` is False."""
+    return dispatch(misc_ops.ASSERT, (cond,),
+                    {"message": message, "site": site})
+
+
+def print_tensor(*values, template=None):
+    """Print tensors (graph-representable ``print``).
+
+    String arguments fold into the format template, so the whitelisted
+    conversion of ``print("loss:", loss)`` works unchanged.
+    """
+    if template is None and any(isinstance(v, str) for v in values):
+        parts, tensors = [], []
+        for v in values:
+            if isinstance(v, str):
+                parts.append(v.replace("%", "%%"))
+            else:
+                parts.append("%s")
+                tensors.append(v)
+        template = " ".join(parts)
+        values = tuple(tensors)
+    return dispatch(misc_ops.PRINT, tuple(values), {"template": template})
+
+
+# Mean squared error as a convenience composite (used all over the models).
+def mean_squared_error(pred, target):
+    return reduce_mean(square(sub(pred, target)))
+
+
+# ---------------------------------------------------------------------------
+# state
+# ---------------------------------------------------------------------------
+
+
+def executing_eagerly():
+    """True when ops run immediately (TF's ``tf.executing_eagerly``).
+
+    Imperative programs use this to guard heap-state mutation that has no
+    place in a hand-built symbolic graph.  The JANUS graph generator
+    treats it as the constant True: the program *is* imperative, and its
+    state mutations convert to deferred PySetAttr operations.
+    """
+    from .dispatch import current_context
+    from ..imperative.eager import EagerContext
+    return isinstance(current_context(), EagerContext)
+
+
+def assign(variable, value):
+    """Assign to a Variable in the current mode.
+
+    Eagerly this mutates in place; under a graph-building context it emits
+    a deferred ``var_assign`` node (all-or-nothing commit semantics).
+    """
+    from .dispatch import current_context
+    return current_context().assign_variable(variable, value)
+
+
+def read(variable):
+    """Read a Variable in the current mode."""
+    return convert(variable)
+
+
+# ---------------------------------------------------------------------------
+# extended activations / math (post-v1 additions)
+# ---------------------------------------------------------------------------
+
+
+def softplus(a):
+    return dispatch(math_ops.SOFTPLUS, (a,))
+
+
+def elu(a, alpha=1.0):
+    return dispatch(math_ops.ELU, (a,), {"alpha": float(alpha)})
+
+
+def gelu(a):
+    return dispatch(math_ops.GELU, (a,))
+
+
+def log1p(a):
+    return dispatch(math_ops.LOG1P, (a,))
+
+
+def expm1(a):
+    return dispatch(math_ops.EXPM1, (a,))
+
+
+def cumsum(a, axis=0):
+    return dispatch(math_ops.CUMSUM, (a,), {"axis": int(axis)})
+
+
+def layer_norm(x, gamma, beta, axis=-1, epsilon=1e-5):
+    """Layer normalization as a composite over primitive ops."""
+    mean = reduce_mean(x, axis=axis, keepdims=True)
+    centered = sub(x, mean)
+    var = reduce_mean(square(centered), axis=axis, keepdims=True)
+    inv = div(1.0, sqrt(add(var, epsilon)))
+    return add(mul(mul(centered, inv), gamma), beta)

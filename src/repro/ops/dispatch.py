@@ -1,0 +1,91 @@
+"""Context-based op dispatch.
+
+The public API functions in :mod:`repro.ops.api` do not execute anything
+themselves; they hand the op name, inputs, and attributes to the *current
+execution context*:
+
+* the eager context (installed by :mod:`repro.imperative`) runs the kernel
+  immediately and records onto any active gradient tape;
+* a graph-building context (pushed by :class:`repro.graph.builder
+  .GraphBuilder`) adds a symbolic node instead.
+
+This single dispatch point is what lets gradient definitions, layers, and
+models be written once and run in both execution models — the core trick
+behind sharing code between the imperative executor and the symbolic graph
+generator.
+"""
+
+import threading
+
+_state = threading.local()
+_default_context = None
+
+
+class ExecutionContext:
+    """Interface implemented by the eager and graph-building contexts."""
+
+    def execute(self, op_def, inputs, attrs):
+        """Run (or symbolically record) one primitive op.
+
+        ``inputs`` have already been converted by :meth:`convert`.
+        Returns a single handle or a tuple of handles matching
+        ``op_def.num_outputs``.
+        """
+        raise NotImplementedError
+
+    def convert(self, value, dtype=None):
+        """Coerce an arbitrary Python value into this context's handle type."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        push_context(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        pop_context(self)
+        return False
+
+
+def set_default_context(ctx):
+    """Install the process-wide fallback context (the eager executor)."""
+    global _default_context
+    _default_context = ctx
+
+
+def _stack():
+    if not hasattr(_state, "stack"):
+        _state.stack = []
+    return _state.stack
+
+
+def push_context(ctx):
+    _stack().append(ctx)
+
+
+def pop_context(ctx):
+    stack = _stack()
+    if not stack or stack[-1] is not ctx:
+        raise RuntimeError("execution context stack corrupted")
+    stack.pop()
+
+
+def current_context():
+    stack = _stack()
+    if stack:
+        return stack[-1]
+    if _default_context is None:
+        raise RuntimeError("no execution context installed; "
+                           "import repro before dispatching ops")
+    return _default_context
+
+
+def dispatch(op_def, inputs, attrs=None):
+    """Convert inputs with the current context and execute the op."""
+    ctx = current_context()
+    converted = [ctx.convert(x) for x in inputs]
+    return ctx.execute(op_def, converted, attrs or {})
+
+
+def convert(value, dtype=None):
+    """Coerce a value to the current context's tensor handle."""
+    return current_context().convert(value, dtype=dtype)

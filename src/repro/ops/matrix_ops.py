@@ -1,0 +1,54 @@
+"""Matrix op kernels (matmul with batching support)."""
+
+from ..tensor import dtype as dtypes
+from ..tensor.shape import Shape
+from ..errors import ShapeError
+from .registry import register_op
+
+import numpy as np
+
+
+def _matmul_kernel(attrs, a, b):
+    if attrs.get("transpose_a"):
+        a = np.swapaxes(a, -1, -2)
+    if attrs.get("transpose_b"):
+        b = np.swapaxes(b, -1, -2)
+    return np.matmul(a, b)
+
+
+def _matmul_shape_fn(attrs, in_shapes, in_dtypes):
+    a, b = Shape.of(in_shapes[0]), Shape.of(in_shapes[1])
+    out_dtype = dtypes.result_dtype(*in_dtypes)
+    if a.dims is None or b.dims is None:
+        return [(Shape.unknown(), out_dtype)]
+    ad, bd = list(a.dims), list(b.dims)
+    if len(ad) < 2 or len(bd) < 2:
+        raise ShapeError("matmul needs rank >= 2, got %s @ %s" % (a, b))
+    if attrs.get("transpose_a"):
+        ad[-1], ad[-2] = ad[-2], ad[-1]
+    if attrs.get("transpose_b"):
+        bd[-1], bd[-2] = bd[-2], bd[-1]
+    inner_a, inner_b = ad[-1], bd[-2]
+    if inner_a is not None and inner_b is not None and inner_a != inner_b:
+        raise ShapeError("matmul inner dims differ: %s @ %s" % (a, b))
+    batch_a, batch_b = ad[:-2], bd[:-2]
+    # Broadcast batch dims.
+    while len(batch_a) < len(batch_b):
+        batch_a.insert(0, 1)
+    while len(batch_b) < len(batch_a):
+        batch_b.insert(0, 1)
+    batch = []
+    for da, db in zip(batch_a, batch_b):
+        if da == 1:
+            batch.append(db)
+        elif db == 1 or da == db:
+            batch.append(da)
+        elif da is None or db is None:
+            batch.append(None)
+        else:
+            raise ShapeError("matmul batch dims differ: %s @ %s" % (a, b))
+    return [(Shape(batch + [ad[-2], bd[-1]]), out_dtype)]
+
+
+MATMUL = register_op("matmul", kernel=_matmul_kernel,
+                     shape_fn=_matmul_shape_fn)

@@ -1,0 +1,47 @@
+"""Miscellaneous stateful ops: runtime assertions and printing.
+
+``assert_that`` is the AssertOp of the paper (section 3.2): it validates a
+speculative assumption during graph execution and aborts the run — before
+any deferred state update has been applied — when the assumption breaks.
+"""
+
+import sys
+
+import numpy as np
+
+from ..errors import AssumptionFailed
+from ..tensor import dtype as dtypes
+from ..tensor.shape import Shape
+from .registry import register_op
+
+
+def _assert_kernel(attrs, cond):
+    if not np.all(cond):
+        raise AssumptionFailed(attrs.get("message", "assumption failed"),
+                               site=attrs.get("site"),
+                               observed=attrs.get("observed"))
+    return np.asarray(True)
+
+
+ASSERT = register_op(
+    "assert", kernel=_assert_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(Shape.scalar(), dtypes.bool_)],
+    stateful=True)
+
+
+def _print_kernel(attrs, *arrays):
+    template = attrs.get("template")
+    rendered = [np.asarray(a) for a in arrays]
+    if template is not None:
+        sys.stdout.write(template % tuple(rendered) + "\n")
+    else:
+        sys.stdout.write(" ".join(str(a) for a in rendered) + "\n")
+    return np.asarray(True)
+
+
+PRINT = register_op(
+    "print", kernel=_print_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(Shape.scalar(), dtypes.bool_)],
+    stateful=True)

@@ -1,0 +1,351 @@
+"""Neural-network op kernels: convolutions, pooling, softmax, losses.
+
+Layout conventions follow TensorFlow: activations are NHWC and convolution
+filters are HWIO.  Convolutions are implemented with stride-tricked im2col
+views feeding a single matmul, and their gradients with a small number of
+offset matmuls, so even on numpy the cost profile (few coarse kernels) is
+similar to a real DL runtime.
+"""
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..tensor import dtype as dtypes
+from ..tensor.shape import Shape
+from .registry import register_op
+
+
+def _pair(value):
+    if isinstance(value, int):
+        return (value, value)
+    return tuple(value)
+
+
+def _conv_out_dim(size, k, s, padding):
+    if size is None:
+        return None
+    if padding == "SAME":
+        return -(-size // s)
+    return (size - k) // s + 1
+
+
+def _same_pad_amounts(size, k, s):
+    out = -(-size // s)
+    total = max((out - 1) * s + k - size, 0)
+    lo = total // 2
+    return lo, total - lo
+
+
+def _pad_input(x, kh, kw, sh, sw, padding):
+    if padding == "VALID":
+        return x, (0, 0), (0, 0)
+    ph = _same_pad_amounts(x.shape[1], kh, sh)
+    pw = _same_pad_amounts(x.shape[2], kw, sw)
+    if ph == (0, 0) and pw == (0, 0):
+        return x, ph, pw
+    return np.pad(x, ((0, 0), ph, pw, (0, 0))), ph, pw
+
+
+def _im2col(x, kh, kw, sh, sw):
+    """(N, H, W, C) -> strided view (N, OH, OW, KH, KW, C)."""
+    n, h, w, c = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    sn, sh_, sw_, sc = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x, (n, oh, ow, kh, kw, c),
+        (sn, sh_ * sh, sw_ * sw, sh_, sw_, sc), writeable=False)
+
+
+# -- conv2d ---------------------------------------------------------------------
+
+
+def _conv2d_kernel(attrs, x, filters):
+    sh, sw = _pair(attrs.get("strides", 1))
+    padding = attrs.get("padding", "SAME")
+    kh, kw, cin, cout = filters.shape
+    if x.shape[3] != cin:
+        raise ShapeError("conv2d channels mismatch: input %d, filter %d"
+                         % (x.shape[3], cin))
+    xp, _, _ = _pad_input(x, kh, kw, sh, sw, padding)
+    cols = _im2col(xp, kh, kw, sh, sw)
+    n, oh, ow = cols.shape[:3]
+    flat = cols.reshape(n * oh * ow, kh * kw * cin)
+    out = flat @ filters.reshape(kh * kw * cin, cout)
+    return out.reshape(n, oh, ow, cout)
+
+
+def _conv2d_shape_fn(attrs, in_shapes, in_dtypes):
+    x, f = Shape.of(in_shapes[0]), Shape.of(in_shapes[1])
+    out_dtype = dtypes.result_dtype(*in_dtypes)
+    if x.dims is None or f.dims is None:
+        return [(Shape.unknown(), out_dtype)]
+    sh, sw = _pair(attrs.get("strides", 1))
+    padding = attrs.get("padding", "SAME")
+    n, h, w, _ = x.dims
+    kh, kw, _, cout = f.dims
+    return [(Shape([n, _conv_out_dim(h, kh, sh, padding),
+                    _conv_out_dim(w, kw, sw, padding), cout]), out_dtype)]
+
+
+CONV2D = register_op("conv2d", kernel=_conv2d_kernel,
+                     shape_fn=_conv2d_shape_fn)
+
+
+def _conv2d_input_grad_kernel(attrs, grad, filters, x_ref):
+    sh, sw = _pair(attrs.get("strides", 1))
+    padding = attrs.get("padding", "SAME")
+    kh, kw, cin, cout = filters.shape
+    xp, ph, pw = _pad_input(x_ref, kh, kw, sh, sw, padding)
+    dxp = np.zeros_like(xp, dtype=grad.dtype)
+    n, oh, ow, _ = grad.shape
+    flat_g = grad.reshape(n * oh * ow, cout)
+    for i in range(kh):
+        for j in range(kw):
+            # Gradient flowing to input positions touched by tap (i, j).
+            contrib = flat_g @ filters[i, j].T      # (N*OH*OW, CIN)
+            contrib = contrib.reshape(n, oh, ow, cin)
+            dxp[:, i:i + sh * oh:sh, j:j + sw * ow:sw, :] += contrib
+    h, w = x_ref.shape[1], x_ref.shape[2]
+    return dxp[:, ph[0]:ph[0] + h, pw[0]:pw[0] + w, :]
+
+
+CONV2D_INPUT_GRAD = register_op(
+    "conv2d_input_grad", kernel=_conv2d_input_grad_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(in_shapes[2], in_dtypes[0])])
+
+
+def _conv2d_filter_grad_kernel(attrs, grad, x, f_ref):
+    sh, sw = _pair(attrs.get("strides", 1))
+    padding = attrs.get("padding", "SAME")
+    kh, kw, cin, cout = f_ref.shape
+    xp, _, _ = _pad_input(x, kh, kw, sh, sw, padding)
+    cols = _im2col(xp, kh, kw, sh, sw)
+    n, oh, ow = cols.shape[:3]
+    flat_cols = cols.reshape(n * oh * ow, kh * kw * cin)
+    flat_g = grad.reshape(n * oh * ow, cout)
+    df = flat_cols.T @ flat_g
+    return df.reshape(kh, kw, cin, cout)
+
+
+CONV2D_FILTER_GRAD = register_op(
+    "conv2d_filter_grad", kernel=_conv2d_filter_grad_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(in_shapes[2], in_dtypes[0])])
+
+
+# -- conv2d_transpose (used by GAN generators / pix2pix decoder) -------------------
+
+
+def _conv2d_transpose_kernel(attrs, x, filters):
+    """Transposed convolution producing ``output_shape`` (N dims HWC).
+
+    Implemented as the input-gradient of a forward convolution, which is
+    the textbook definition.  ``filters`` is HWIO where I is the *output*
+    channel count of this op (matching tf.nn.conv2d_transpose).
+    """
+    out_shape = attrs["output_shape"]
+    x_ref = np.empty((x.shape[0],) + tuple(out_shape), dtype=x.dtype)
+    return _conv2d_input_grad_kernel(attrs, x, filters, x_ref)
+
+
+def _conv2d_transpose_shape_fn(attrs, in_shapes, in_dtypes):
+    x = Shape.of(in_shapes[0])
+    n = x.dims[0] if x.dims is not None else None
+    h, w, c = attrs["output_shape"]
+    return [(Shape([n, h, w, c]), in_dtypes[0])]
+
+
+CONV2D_TRANSPOSE = register_op("conv2d_transpose",
+                               kernel=_conv2d_transpose_kernel,
+                               shape_fn=_conv2d_transpose_shape_fn)
+
+
+# -- pooling -------------------------------------------------------------------
+
+
+def _pool_prepare(attrs, x):
+    kh, kw = _pair(attrs.get("ksize", 2))
+    sh, sw = _pair(attrs.get("strides", 2))
+    padding = attrs.get("padding", "VALID")
+    if padding == "SAME":
+        ph = _same_pad_amounts(x.shape[1], kh, sh)
+        pw = _same_pad_amounts(x.shape[2], kw, sw)
+    else:
+        ph = pw = (0, 0)
+    return kh, kw, sh, sw, padding, ph, pw
+
+
+def _max_pool_kernel(attrs, x):
+    kh, kw, sh, sw, padding, ph, pw = _pool_prepare(attrs, x)
+    if ph != (0, 0) or pw != (0, 0):
+        x = np.pad(x, ((0, 0), ph, pw, (0, 0)),
+                   constant_values=-np.inf)
+    cols = _im2col(x, kh, kw, sh, sw)
+    return cols.max(axis=(3, 4))
+
+
+def _pool_shape_fn(attrs, in_shapes, in_dtypes):
+    x = Shape.of(in_shapes[0])
+    if x.dims is None:
+        return [(Shape.unknown(), in_dtypes[0])]
+    kh, kw = _pair(attrs.get("ksize", 2))
+    sh, sw = _pair(attrs.get("strides", 2))
+    padding = attrs.get("padding", "VALID")
+    n, h, w, c = x.dims
+    return [(Shape([n, _conv_out_dim(h, kh, sh, padding),
+                    _conv_out_dim(w, kw, sw, padding), c]), in_dtypes[0])]
+
+
+MAX_POOL = register_op("max_pool", kernel=_max_pool_kernel,
+                       shape_fn=_pool_shape_fn)
+
+
+def _max_pool_grad_kernel(attrs, grad, x, y):
+    kh, kw, sh, sw, padding, ph, pw = _pool_prepare(attrs, x)
+    xp = x
+    if ph != (0, 0) or pw != (0, 0):
+        xp = np.pad(x, ((0, 0), ph, pw, (0, 0)), constant_values=-np.inf)
+    dxp = np.zeros_like(xp, dtype=grad.dtype)
+    n, oh, ow, c = grad.shape
+    remaining = np.ones_like(grad, dtype=bool)
+    for i in range(kh):
+        for j in range(kw):
+            window = xp[:, i:i + sh * oh:sh, j:j + sw * ow:sw, :]
+            hit = (window == y) & remaining
+            remaining &= ~hit
+            dxp[:, i:i + sh * oh:sh, j:j + sw * ow:sw, :] += \
+                np.where(hit, grad, 0)
+    h, w = x.shape[1], x.shape[2]
+    return dxp[:, ph[0]:ph[0] + h, pw[0]:pw[0] + w, :]
+
+
+MAX_POOL_GRAD = register_op(
+    "max_pool_grad", kernel=_max_pool_grad_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(in_shapes[1], in_dtypes[0])])
+
+
+def _avg_pool_kernel(attrs, x):
+    kh, kw, sh, sw, padding, ph, pw = _pool_prepare(attrs, x)
+    if ph != (0, 0) or pw != (0, 0):
+        x = np.pad(x, ((0, 0), ph, pw, (0, 0)))
+    cols = _im2col(x, kh, kw, sh, sw)
+    out = cols.mean(axis=(3, 4))
+    return out.astype(x.dtype)
+
+
+AVG_POOL = register_op("avg_pool", kernel=_avg_pool_kernel,
+                       shape_fn=_pool_shape_fn)
+
+
+def _avg_pool_grad_kernel(attrs, grad, x):
+    kh, kw, sh, sw, padding, ph, pw = _pool_prepare(attrs, x)
+    padded_shape = (x.shape[0], x.shape[1] + sum(ph), x.shape[2] + sum(pw),
+                    x.shape[3])
+    dxp = np.zeros(padded_shape, dtype=grad.dtype)
+    n, oh, ow, c = grad.shape
+    share = grad / (kh * kw)
+    for i in range(kh):
+        for j in range(kw):
+            dxp[:, i:i + sh * oh:sh, j:j + sw * ow:sw, :] += share
+    h, w = x.shape[1], x.shape[2]
+    return dxp[:, ph[0]:ph[0] + h, pw[0]:pw[0] + w, :]
+
+
+AVG_POOL_GRAD = register_op(
+    "avg_pool_grad", kernel=_avg_pool_grad_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(in_shapes[1], in_dtypes[0])])
+
+
+# -- softmax family --------------------------------------------------------------
+
+
+def _softmax_np(logits, axis=-1):
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _float_shape_fn(attrs, in_shapes, in_dtypes):
+    dt = in_dtypes[0]
+    return [(in_shapes[0], dt if dt.is_floating else dtypes.default_float)]
+
+
+SOFTMAX = register_op(
+    "softmax",
+    kernel=lambda attrs, a: _softmax_np(a, attrs.get("axis", -1)),
+    shape_fn=_float_shape_fn)
+
+
+def _log_softmax_kernel(attrs, a):
+    axis = attrs.get("axis", -1)
+    z = a - a.max(axis=axis, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=axis, keepdims=True))
+
+
+LOG_SOFTMAX = register_op("log_softmax", kernel=_log_softmax_kernel,
+                          shape_fn=_float_shape_fn)
+
+
+def _sce_kernel(attrs, logits, labels):
+    """Per-example softmax cross entropy with integer labels."""
+    logp = _log_softmax_kernel({}, logits)
+    idx = labels.astype(np.int64)
+    batch = np.arange(logits.shape[0])
+    return -logp[batch, idx]
+
+
+def _sce_shape_fn(attrs, in_shapes, in_dtypes):
+    x = Shape.of(in_shapes[0])
+    dt = in_dtypes[0]
+    dt = dt if dt.is_floating else dtypes.default_float
+    if x.dims is None:
+        return [(Shape.unknown(), dt)]
+    return [(Shape([x.dims[0]]), dt)]
+
+
+SOFTMAX_CROSS_ENTROPY = register_op(
+    "softmax_cross_entropy", kernel=_sce_kernel, shape_fn=_sce_shape_fn)
+
+
+def _sce_grad_kernel(attrs, grad, logits, labels):
+    p = _softmax_np(logits)
+    idx = labels.astype(np.int64)
+    batch = np.arange(logits.shape[0])
+    p[batch, idx] -= 1.0
+    return p * grad[:, None]
+
+
+SOFTMAX_CROSS_ENTROPY_GRAD = register_op(
+    "softmax_cross_entropy_grad", kernel=_sce_grad_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(in_shapes[1], in_dtypes[0])])
+
+
+def _bce_logits_kernel(attrs, logits, targets):
+    """Numerically stable sigmoid cross entropy with logits."""
+    return (np.maximum(logits, 0) - logits * targets
+            + np.log1p(np.exp(-np.abs(logits))))
+
+
+SIGMOID_CROSS_ENTROPY = register_op(
+    "sigmoid_cross_entropy", kernel=_bce_logits_kernel,
+    shape_fn=_float_shape_fn)
+
+
+def _bce_grad_kernel(attrs, grad, logits, targets):
+    return grad * (_sigmoid_np(logits) - targets)
+
+
+def _sigmoid_np(a):
+    from .math_ops import _sigmoid
+    return _sigmoid(a)
+
+
+SIGMOID_CROSS_ENTROPY_GRAD = register_op(
+    "sigmoid_cross_entropy_grad", kernel=_bce_grad_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(in_shapes[1], in_dtypes[0])])

@@ -1,0 +1,70 @@
+"""Random op kernels.
+
+Random ops are *stateful*: the graph optimizer must never constant-fold or
+deduplicate them, and every graph execution draws fresh values.  All draws
+come from a module-level :class:`numpy.random.Generator` so experiments can
+be made deterministic with :func:`seed`.
+"""
+
+import numpy as np
+
+from ..tensor import dtype as dtypes
+from ..tensor.shape import Shape
+from .registry import register_op
+
+_generator = np.random.default_rng(0)
+
+
+def seed(value):
+    """Reseed the global generator (used by tests and benchmarks)."""
+    global _generator
+    _generator = np.random.default_rng(value)
+
+
+def get_generator():
+    return _generator
+
+
+def _static_shape_fn(attrs, in_shapes, in_dtypes):
+    return [(Shape(attrs["shape"]),
+             dtypes.DType.of(attrs.get("dtype", "float32")))]
+
+
+def _random_normal_kernel(attrs, *unused):
+    dt = dtypes.DType.of(attrs.get("dtype", "float32"))
+    out = _generator.normal(attrs.get("mean", 0.0), attrs.get("stddev", 1.0),
+                            size=attrs["shape"])
+    return out.astype(dt.np_dtype)
+
+
+RANDOM_NORMAL = register_op("random_normal", kernel=_random_normal_kernel,
+                            shape_fn=_static_shape_fn, stateful=True)
+
+
+def _random_uniform_kernel(attrs, *unused):
+    dt = dtypes.DType.of(attrs.get("dtype", "float32"))
+    lo = attrs.get("minval", 0.0)
+    hi = attrs.get("maxval", 1.0)
+    if dt.is_integer:
+        return _generator.integers(lo, hi, size=attrs["shape"],
+                                   dtype=dt.np_dtype)
+    out = _generator.uniform(lo, hi, size=attrs["shape"])
+    return out.astype(dt.np_dtype)
+
+
+RANDOM_UNIFORM = register_op("random_uniform", kernel=_random_uniform_kernel,
+                             shape_fn=_static_shape_fn, stateful=True)
+
+
+def _dropout_kernel(attrs, x):
+    rate = attrs.get("rate", 0.5)
+    keep = 1.0 - rate
+    mask = (_generator.random(x.shape) < keep).astype(x.dtype)
+    return x * mask / keep
+
+
+DROPOUT = register_op(
+    "dropout", kernel=_dropout_kernel,
+    shape_fn=lambda attrs, in_shapes, in_dtypes:
+        [(in_shapes[0], in_dtypes[0])],
+    stateful=True)

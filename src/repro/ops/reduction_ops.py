@@ -1,0 +1,95 @@
+"""Reduction op kernels (sum, mean, max, min, prod, argmax, argmin)."""
+
+import numpy as np
+
+from ..tensor import dtype as dtypes
+from ..tensor.shape import Shape
+from .registry import register_op
+
+
+def _normalize_axes(axis, rank):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % rank if rank is not None and a < 0 else a for a in axis)
+
+
+def _reduced_shape(shape, axis, keepdims):
+    shape = Shape.of(shape)
+    if shape.dims is None:
+        return Shape.unknown()
+    rank = len(shape.dims)
+    axes = _normalize_axes(axis, rank)
+    if axes is None:
+        axes = tuple(range(rank))
+    dims = []
+    for i, d in enumerate(shape.dims):
+        if i in axes:
+            if keepdims:
+                dims.append(1)
+        else:
+            dims.append(d)
+    return Shape(dims)
+
+
+def _make_reduce(name, np_fn, dtype_fn=None):
+    def kernel(attrs, a):
+        axis = attrs.get("axis")
+        keepdims = attrs.get("keepdims", False)
+        if isinstance(axis, list):
+            axis = tuple(axis)
+        out = np_fn(a, axis=axis, keepdims=keepdims)
+        return np.asarray(out, dtype=out.dtype if hasattr(out, "dtype")
+                          else a.dtype)
+
+    def shape_fn(attrs, in_shapes, in_dtypes):
+        out_shape = _reduced_shape(in_shapes[0], attrs.get("axis"),
+                                   attrs.get("keepdims", False))
+        out_dtype = in_dtypes[0] if dtype_fn is None else dtype_fn(in_dtypes)
+        return [(out_shape, out_dtype)]
+
+    return register_op(name, kernel=kernel, shape_fn=shape_fn)
+
+
+def _mean_dtype(in_dtypes):
+    dt = in_dtypes[0]
+    return dt if dt.is_floating else dtypes.default_float
+
+
+def _np_mean(a, axis=None, keepdims=False):
+    out = np.mean(a, axis=axis, keepdims=keepdims)
+    if a.dtype.kind in "ib":
+        out = out.astype(np.float32)
+    else:
+        out = out.astype(a.dtype)
+    return out
+
+
+REDUCE_SUM = _make_reduce("reduce_sum", np.sum)
+REDUCE_MEAN = _make_reduce("reduce_mean", _np_mean, dtype_fn=_mean_dtype)
+REDUCE_MAX = _make_reduce("reduce_max", np.max)
+REDUCE_MIN = _make_reduce("reduce_min", np.min)
+REDUCE_PROD = _make_reduce("reduce_prod", np.prod)
+
+
+def _arg_shape_fn(attrs, in_shapes, in_dtypes):
+    shape = Shape.of(in_shapes[0])
+    if shape.dims is None:
+        return [(Shape.unknown(), dtypes.int64)]
+    axis = attrs.get("axis", 0)
+    rank = len(shape.dims)
+    axis = axis % rank if axis < 0 else axis
+    dims = [d for i, d in enumerate(shape.dims) if i != axis]
+    return [(Shape(dims), dtypes.int64)]
+
+
+ARGMAX = register_op(
+    "argmax",
+    kernel=lambda attrs, a: np.argmax(a, axis=attrs.get("axis", 0)),
+    shape_fn=_arg_shape_fn)
+
+ARGMIN = register_op(
+    "argmin",
+    kernel=lambda attrs, a: np.argmin(a, axis=attrs.get("axis", 0)),
+    shape_fn=_arg_shape_fn)

@@ -1,0 +1,80 @@
+"""Data types for tensors.
+
+A small fixed dtype system layered over numpy dtypes.  Graph operations
+require operands with *fixed* types (paper section 4.2.2), so every symbolic
+node carries one of these DType instances, and the type-inference machinery
+in ``repro.janus.typeinfer`` propagates them.
+"""
+
+import numpy as np
+
+
+class DType:
+    """A tensor element type.
+
+    Instances are interned: ``DType.of('float32') is float32``.
+    """
+
+    _interned = {}
+
+    def __init__(self, name, np_dtype, is_floating, is_integer, is_bool):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        self.is_floating = is_floating
+        self.is_integer = is_integer
+        self.is_bool = is_bool
+        DType._interned[name] = self
+
+    @property
+    def is_numeric(self):
+        return self.is_floating or self.is_integer
+
+    @classmethod
+    def of(cls, value):
+        """Resolve a DType from a name, numpy dtype, or DType."""
+        if isinstance(value, DType):
+            return value
+        if isinstance(value, str) and value in cls._interned:
+            return cls._interned[value]
+        np_dt = np.dtype(value)
+        for dt in cls._interned.values():
+            if dt.np_dtype == np_dt:
+                return dt
+        raise KeyError("no repro dtype for %r" % (value,))
+
+    def __repr__(self):
+        return "dtype(%s)" % self.name
+
+    def __reduce__(self):
+        return (DType.of, (self.name,))
+
+
+float32 = DType("float32", np.float32, True, False, False)
+float64 = DType("float64", np.float64, True, False, False)
+int32 = DType("int32", np.int32, False, True, False)
+int64 = DType("int64", np.int64, False, True, False)
+bool_ = DType("bool", np.bool_, False, False, True)
+
+ALL_DTYPES = (float32, float64, int32, int64, bool_)
+
+#: Default dtype for Python floats and float lists.
+default_float = float32
+#: Default dtype for Python ints and int lists.
+default_int = int64
+
+
+def result_dtype(*dtypes):
+    """Numpy-style type promotion restricted to our dtype set."""
+    np_result = np.result_type(*[d.np_dtype for d in dtypes])
+    return DType.of(np_result)
+
+
+def from_python_scalar(value):
+    """DType a bare Python scalar would take when converted to a tensor."""
+    if isinstance(value, bool):
+        return bool_
+    if isinstance(value, int):
+        return default_int
+    if isinstance(value, float):
+        return default_float
+    raise TypeError("not a python scalar: %r" % (value,))

@@ -1,0 +1,208 @@
+"""Tensor shapes with partially-known dimensions.
+
+The specialization lattice of paper figure 4 relaxes a concrete shape such
+as ``(4, 8)`` to a partial shape ``(?, 8)`` when observations disagree on a
+dimension, and finally to a fully unknown shape.  ``Shape`` models all three
+levels: every dimension is either an ``int`` or ``None`` (printed ``?``),
+and a shape of unknown *rank* is ``Shape.unknown()``.
+"""
+
+from ..errors import ShapeError
+
+
+class Shape:
+    """An immutable, possibly partially-known tensor shape."""
+
+    __slots__ = ("dims", "_rank_known")
+
+    def __init__(self, dims):
+        """Create a shape from an iterable of ``int`` or ``None`` dims.
+
+        Pass ``dims=None`` for a shape of unknown rank (prefer the
+        ``Shape.unknown()`` constructor for readability).
+        """
+        if dims is None:
+            self.dims = None
+            self._rank_known = False
+            return
+        clean = []
+        for d in dims:
+            if d is None:
+                clean.append(None)
+            else:
+                d = int(d)
+                if d < 0:
+                    raise ShapeError("negative dimension %d" % d)
+                clean.append(d)
+        self.dims = tuple(clean)
+        self._rank_known = True
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def unknown(cls):
+        """A shape whose rank is not even known."""
+        return cls(None)
+
+    @classmethod
+    def scalar(cls):
+        return cls(())
+
+    @classmethod
+    def of(cls, value):
+        """Coerce a Shape, tuple/list of dims, or None into a Shape."""
+        if isinstance(value, Shape):
+            return value
+        return cls(value)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def rank(self):
+        """Number of dimensions, or None if the rank is unknown."""
+        return None if self.dims is None else len(self.dims)
+
+    @property
+    def is_fully_known(self):
+        return self.dims is not None and all(d is not None for d in self.dims)
+
+    @property
+    def num_elements(self):
+        """Total element count, or None when any dimension is unknown."""
+        if not self.is_fully_known:
+            return None
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def as_tuple(self):
+        """Concrete tuple of ints; raises if any dimension is unknown."""
+        if not self.is_fully_known:
+            raise ShapeError("shape %s is not fully known" % self)
+        return self.dims
+
+    def is_compatible_with(self, other):
+        """True if some concrete shape satisfies both this and ``other``.
+
+        Unknown dimensions are wildcards; unknown rank matches anything.
+        """
+        other = Shape.of(other)
+        if self.dims is None or other.dims is None:
+            return True
+        if len(self.dims) != len(other.dims):
+            return False
+        for a, b in zip(self.dims, other.dims):
+            if a is not None and b is not None and a != b:
+                return False
+        return True
+
+    def matches_value(self, concrete_dims):
+        """True if a concrete numpy shape tuple satisfies this shape."""
+        if self.dims is None:
+            return True
+        if len(concrete_dims) != len(self.dims):
+            return False
+        for want, got in zip(self.dims, concrete_dims):
+            if want is not None and want != got:
+                return False
+        return True
+
+    # -- lattice operations (paper fig. 4) ---------------------------------
+
+    def merge_with(self, other):
+        """Most specific shape compatible with both (lattice meet).
+
+        Raises ShapeError when the shapes are incompatible.
+        """
+        other = Shape.of(other)
+        if self.dims is None:
+            return other
+        if other.dims is None:
+            return self
+        if len(self.dims) != len(other.dims):
+            raise ShapeError("ranks differ: %s vs %s" % (self, other))
+        merged = []
+        for a, b in zip(self.dims, other.dims):
+            if a is None:
+                merged.append(b)
+            elif b is None or a == b:
+                merged.append(a)
+            else:
+                raise ShapeError("dims differ: %s vs %s" % (self, other))
+        return Shape(merged)
+
+    def relax_against(self, other):
+        """Most specific shape *generalizing* both (lattice join).
+
+        This is the relaxation step from paper figure 4: observing (4, 8)
+        then (3, 8) yields (?, 8); a rank mismatch yields unknown rank.
+        """
+        other = Shape.of(other)
+        if self.dims is None or other.dims is None:
+            return Shape.unknown()
+        if len(self.dims) != len(other.dims):
+            return Shape.unknown()
+        relaxed = [a if (a is not None and a == b) else None
+                   for a, b in zip(self.dims, other.dims)]
+        return Shape(relaxed)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __iter__(self):
+        if self.dims is None:
+            raise ShapeError("cannot iterate a shape of unknown rank")
+        return iter(self.dims)
+
+    def __len__(self):
+        if self.dims is None:
+            raise ShapeError("rank unknown")
+        return len(self.dims)
+
+    def __getitem__(self, idx):
+        if self.dims is None:
+            raise ShapeError("rank unknown")
+        if isinstance(idx, slice):
+            return Shape(self.dims[idx])
+        return self.dims[idx]
+
+    def __eq__(self, other):
+        if not isinstance(other, (Shape, tuple, list, type(None))):
+            return NotImplemented
+        other = Shape.of(other) if not isinstance(other, Shape) else other
+        return self.dims == other.dims
+
+    def __hash__(self):
+        return hash(self.dims)
+
+    def __repr__(self):
+        if self.dims is None:
+            return "Shape(<unknown rank>)"
+        return "Shape(%s)" % (", ".join("?" if d is None else str(d)
+                                        for d in self.dims),)
+
+
+def broadcast_shapes(a, b):
+    """Numpy-style broadcast of two (possibly partial) shapes."""
+    a, b = Shape.of(a), Shape.of(b)
+    if a.dims is None or b.dims is None:
+        return Shape.unknown()
+    ra, rb = list(a.dims), list(b.dims)
+    # Left-pad the shorter shape with 1s.
+    while len(ra) < len(rb):
+        ra.insert(0, 1)
+    while len(rb) < len(ra):
+        rb.insert(0, 1)
+    out = []
+    for da, db in zip(ra, rb):
+        if da == 1:
+            out.append(db)
+        elif db == 1:
+            out.append(da)
+        elif da is None or db is None:
+            out.append(None)
+        elif da == db:
+            out.append(da)
+        else:
+            raise ShapeError("cannot broadcast %s with %s" % (a, b))
+    return Shape(out)

@@ -1,0 +1,122 @@
+"""Concrete tensor values.
+
+``TensorValue`` is the runtime payload flowing along dataflow-graph edges
+and held by eager tensors: an immutable-by-convention numpy array plus one
+of our interned dtypes.  Non-numerical Python values crossing the graph
+boundary are carried by ``PyRef`` handles, mirroring the paper's rule of
+converting arbitrary objects into scalar tensors holding pointers into the
+Python heap (section 4.2.2).
+"""
+
+import numpy as np
+
+from . import dtype as dtypes
+from .dtype import DType
+from .shape import Shape
+
+
+class TensorValue:
+    """A concrete n-dimensional array with a fixed repro dtype."""
+
+    __slots__ = ("array", "dtype")
+
+    def __init__(self, array, dtype=None):
+        if isinstance(array, TensorValue):
+            dtype = dtype or array.dtype
+            array = array.array
+        if dtype is not None:
+            dtype = DType.of(dtype)
+            array = np.asarray(array, dtype=dtype.np_dtype)
+        else:
+            array = np.asarray(array)
+            if array.dtype == np.float64:
+                # Match DL-framework convention: python floats are float32.
+                if not isinstance(array, np.ndarray) or array.base is None:
+                    pass
+            dtype = DType.of(array.dtype)
+        self.array = array
+        self.dtype = dtype
+
+    @classmethod
+    def of(cls, value, dtype=None):
+        """Coerce scalars, lists, numpy arrays, or TensorValues."""
+        if isinstance(value, TensorValue) and dtype is None:
+            return value
+        if dtype is None and isinstance(value, (bool, int, float)):
+            dtype = dtypes.from_python_scalar(value)
+        if dtype is None and isinstance(value, (list, tuple)):
+            probe = np.asarray(value)
+            if probe.dtype == np.float64:
+                dtype = dtypes.default_float
+            elif probe.dtype == np.int64:
+                dtype = dtypes.default_int
+        return cls(value, dtype=dtype)
+
+    @property
+    def shape(self):
+        return Shape(self.array.shape)
+
+    @property
+    def ndim(self):
+        return self.array.ndim
+
+    @property
+    def size(self):
+        return self.array.size
+
+    def item(self):
+        return self.array.item()
+
+    def numpy(self):
+        return self.array
+
+    def astype(self, dtype):
+        dtype = DType.of(dtype)
+        return TensorValue(self.array.astype(dtype.np_dtype), dtype)
+
+    def copy(self):
+        return TensorValue(self.array.copy(), self.dtype)
+
+    def __repr__(self):
+        return "TensorValue(dtype=%s, shape=%s)" % (
+            self.dtype.name, tuple(self.array.shape))
+
+
+class PyRef:
+    """A graph-crossing handle to an arbitrary Python object.
+
+    The paper converts non-numerical Python values into integer scalar
+    tensors holding heap pointers; PyRef is the explicit, safe analogue.
+    Identity (``is``) of the wrapped object is what matters.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj):
+        self.obj = obj
+
+    def __repr__(self):
+        return "PyRef(%s at 0x%x)" % (type(self.obj).__name__, id(self.obj))
+
+    def __eq__(self, other):
+        return isinstance(other, PyRef) and other.obj is self.obj
+
+    def __hash__(self):
+        return id(self.obj)
+
+
+def is_numeric_pyvalue(value):
+    """True when a Python value converts to a numeric tensor (basic rule).
+
+    Scalars, lists of numbers, and numpy arrays become tensors; everything
+    else rides as a PyRef (paper section 4.2.2 basic translation rules).
+    """
+    if isinstance(value, (bool, int, float, np.ndarray, TensorValue)):
+        return True
+    if isinstance(value, (list, tuple)):
+        try:
+            arr = np.asarray(value)
+        except (ValueError, TypeError):
+            return False
+        return arr.dtype.kind in "bif"
+    return False

@@ -1,0 +1,53 @@
+"""Shared fixtures: deterministic seeds, numeric gradient checking."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import nn
+from repro.ops import random_ops
+
+
+@pytest.fixture(autouse=True)
+def _deterministic():
+    np.random.seed(0)
+    random_ops.seed(0)
+    nn.init.seed(0)
+    yield
+
+
+def numeric_gradient(f, x, eps=1e-3):
+    """Central-difference gradient of scalar-valued f at numpy array x."""
+    x = np.asarray(x, np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy()
+        xm = x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        grad[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+@pytest.fixture
+def gradcheck():
+    """Compare a tape gradient against central differences."""
+
+    def check(op_fn, x_init, atol=5e-2, rtol=5e-2):
+        x_init = np.asarray(x_init, np.float32)
+        v = R.Variable(x_init)
+        with R.GradientTape() as tape:
+            y = R.reduce_sum(op_fn(v.value()))
+        analytic = tape.gradient(y, v).numpy()
+
+        def scalar(x):
+            return float(R.reduce_sum(
+                op_fn(R.constant(x.astype(np.float32)))).numpy())
+
+        numeric = numeric_gradient(scalar, x_init)
+        np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+    return check

@@ -1,0 +1,174 @@
+"""Every model must convert and stay correct at every ablation stage.
+
+Figure 7's ablation only makes sense if BASE (no unrolling, no
+specialization, no passes, no parallelism) already converts all eleven
+workloads — the paper's claim that correct conversion never depends on
+the optimizations.  Each stage's losses must match imperative execution.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus, nn, data, envs, models
+from repro.modes import make_step
+
+sys.path.insert(0, "benchmarks")
+
+STAGES = ["BASE", "+UNRL", "+SPCN", "+PARL"]
+
+
+def stage_config(stage):
+    return janus.JanusConfig(fail_on_not_convertible=True,
+                             **janus.ABLATION_STAGES[stage])
+
+
+def losses_for(make_model_and_loss, batches, mode, config=None, n=5):
+    model, loss_fn = make_model_and_loss()
+    step = make_step(loss_fn, nn.SGD(0.01), mode, config=config)
+    out = []
+    for i in range(n):
+        result = step(*batches[i % len(batches)])
+        out.append(float(np.asarray(
+            result.numpy() if hasattr(result, "numpy") else result)))
+    if mode == "janus":
+        assert not step.imperative_only, step.not_convertible_reason
+        assert step.stats["graph_runs"] > 0
+    return out
+
+
+def _assert_all_stages(make_model_and_loss, batches):
+    reference = losses_for(make_model_and_loss, batches, "imperative")
+    for stage in STAGES:
+        got = losses_for(make_model_and_loss, batches, "janus",
+                         config=stage_config(stage))
+        np.testing.assert_allclose(got, reference, rtol=1e-3, atol=1e-4,
+                                   err_msg=stage)
+
+
+class TestAllStagesConvertAllModels:
+    def test_lenet(self):
+        ds = data.mnist_like(n=32, batch_size=16)
+        batches = list(ds.batches(shuffle=False))[:2]
+        _assert_all_stages(
+            lambda: _build(models.lenet.LeNet,
+                           models.lenet.make_loss_fn), batches)
+
+    def test_resnet(self):
+        ds = data.imagenet_like(n=16, batch_size=8, image_size=16)
+        batches = list(ds.batches(shuffle=False))[:2]
+        _assert_all_stages(
+            lambda: _build(models.resnet.resnet_tiny,
+                           models.resnet.make_loss_fn), batches)
+
+    def test_inception(self):
+        ds = data.imagenet_like(n=16, batch_size=8, image_size=16)
+        batches = list(ds.batches(shuffle=False))[:2]
+        _assert_all_stages(
+            lambda: _build(models.inception.InceptionNet,
+                           models.inception.make_loss_fn), batches)
+
+    def test_lstm(self):
+        corpus = data.ptb_like()
+        batches = list(corpus.bptt_batches(batch_size=4, seq_len=5))[:2]
+        _assert_all_stages(
+            lambda: _build(
+                lambda seed: models.lstm_ptb.LSTMLanguageModel(
+                    vocab_size=200, embed_dim=8, hidden_dim=8,
+                    batch_size=4, seed=seed),
+                models.lstm_ptb.make_loss_fn), batches)
+
+    def test_treernn(self):
+        trees = data.sst_like(n_trees=5, seed=3)
+        _assert_all_stages(
+            lambda: _build(models.treernn.TreeRNN,
+                           models.treernn.make_loss_fn),
+            [(t,) for t in trees])
+
+    def test_treelstm(self):
+        trees = data.sst_like(n_trees=5, seed=3)
+        _assert_all_stages(
+            lambda: _build(models.treelstm.TreeLSTM,
+                           models.treelstm.make_loss_fn),
+            [(t,) for t in trees])
+
+    def test_a3c(self):
+        env = envs.CartPole(seed=0)
+        probe = models.a3c.ActorCritic(seed=9)
+        rng = np.random.RandomState(0)
+        episodes = [models.a3c.collect_episode(probe, env, rng)
+                    for _ in range(3)]
+        _assert_all_stages(
+            lambda: _build(models.a3c.ActorCritic,
+                           models.a3c.make_loss_fn), episodes)
+
+    def test_ppo(self):
+        env = envs.PongLite(seed=0)
+        probe = models.ppo.PPOAgent(seed=11)
+        rng = np.random.RandomState(0)
+        rollouts = [models.ppo.collect_rollout(probe, env, rng,
+                                               horizon=16)[:5]
+                    for _ in range(2)]
+        _assert_all_stages(
+            lambda: _build(models.ppo.PPOAgent,
+                           models.ppo.make_loss_fn), rollouts)
+
+    def test_an(self):
+        ds = data.mnist_like(n=16, batch_size=16)
+        images = next(iter(ds.batches(shuffle=False)))[0]
+        rng = np.random.RandomState(0)
+        z = models.gan_an.sample_latent(rng, 16, 16)
+
+        def build():
+            gan = models.gan_an.AdversarialNets(seed=1)
+            return gan, models.gan_an.make_d_loss_fn(gan)
+
+        _assert_all_stages(build, [(images, z)])
+
+    def test_pix2pix(self):
+        ds = data.facades_like(n=2, batch_size=1, image_size=16)
+        batches = list(ds.batches(shuffle=False))[:2]
+
+        def build():
+            model = models.pix2pix.Pix2Pix(image_size=16, seed=1)
+            return model, models.pix2pix.make_g_loss_fn(model)
+
+        _assert_all_stages(build, batches)
+
+
+class TestTrainingWithOtherOptimizers:
+    @pytest.mark.parametrize("make_opt", [lambda: nn.Momentum(0.01, 0.9),
+                                          lambda: nn.Adam(0.01),
+                                          lambda: nn.RMSProp(0.01)])
+    def test_optimizer_parity_through_janus(self, make_opt):
+        """Optimizer slot state (momentum, Adam moments, step counters)
+        must update identically in graph and imperative mode."""
+        rng = np.random.RandomState(5)
+        X = rng.randn(16, 4).astype(np.float32)
+        Y = (X[:, 1] > 0).astype(np.int64)
+
+        def trajectory(mode):
+            nn.init.seed(21)
+            model = nn.Sequential([nn.Dense(4, 8, activation=R.tanh),
+                                   nn.Dense(8, 2)])
+
+            def loss_fn(x, y):
+                return nn.losses.softmax_cross_entropy(model(x), y)
+
+            step = make_step(
+                loss_fn, make_opt(), mode,
+                config=janus.JanusConfig(fail_on_not_convertible=True)
+                if mode == "janus" else None)
+            return [float(np.asarray(step(X, Y).numpy()))
+                    for _ in range(8)]
+
+        np.testing.assert_allclose(trajectory("janus"),
+                                   trajectory("imperative"),
+                                   rtol=1e-4, atol=1e-5)
+
+
+def _build(model_factory, loss_factory, seed=1):
+    model = model_factory(seed=seed)
+    return model, loss_factory(model)

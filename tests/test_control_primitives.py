@@ -1,0 +1,122 @@
+"""The low-level Switch/Merge/Enter/Exit/NextIteration primitives.
+
+These model paper section 4.2.1's basic translation rules; the
+tagged-token interpreter executes graphs wired from them.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.graph.control_primitives import (
+    Compute, Switch, Merge, Enter, Exit, NextIteration, PrimitiveGraph,
+    Token, Frame, ROOT_FRAME, build_cond, build_while)
+
+
+class TestTokens:
+    def test_frame_iteration_advance(self):
+        f = Frame(ROOT_FRAME, "loop", 0)
+        assert f.next_iteration().iteration == 1
+        assert f.next_iteration().parent is ROOT_FRAME
+
+
+class TestSwitchMerge:
+    def test_switch_routes_true(self):
+        sw = Switch("s", None, None)
+        data = Token(42, ROOT_FRAME)
+        pred = Token(True, ROOT_FRAME)
+        out_t, out_f = sw.fire([data, pred])
+        assert out_t.value == 42 and not out_t.dead
+        assert out_f.dead
+
+    def test_switch_routes_false(self):
+        sw = Switch("s", None, None)
+        out_t, out_f = sw.fire([Token(42, ROOT_FRAME),
+                                Token(False, ROOT_FRAME)])
+        assert out_t.dead and out_f.value == 42
+
+    def test_merge_forwards_first_live(self):
+        m = Merge("m", [None, None])
+        live = Token(7, ROOT_FRAME)
+        out, = m.fire([None, live])
+        assert out.value == 7
+
+    def test_merge_waits_without_tokens(self):
+        m = Merge("m", [None, None])
+        assert m.fire([None, None]) is None
+
+    def test_merge_dead_when_all_dead(self):
+        m = Merge("m", [None, None])
+        dead = Token(None, ROOT_FRAME, dead=True)
+        out, = m.fire([dead, dead])
+        assert out.dead
+
+
+class TestConditional:
+    def _run_cond(self, value):
+        g = PrimitiveGraph()
+        data = g.source("x", value)
+        pred = g.add(Compute("pred", [(data, 0)], lambda v: v > 0))
+        out = build_cond(
+            g, pred,
+            lambda gg, inp: gg.add(Compute("double", [inp],
+                                           lambda v: v * 2)),
+            lambda gg, inp: gg.add(Compute("negate", [inp],
+                                           lambda v: -v)),
+            data)
+        return g.run(out)
+
+    def test_true_branch(self):
+        assert self._run_cond(5) == 10
+
+    def test_false_branch(self):
+        assert self._run_cond(-3) == 3
+
+
+class TestLoop:
+    def _run_countdown(self, start):
+        g = PrimitiveGraph()
+        init = g.source("init", start)
+        out = build_while(
+            g, init,
+            cond_fn=lambda gg, inp: gg.add(
+                Compute("gt0", [inp], lambda v: v > 0)),
+            body_fn=lambda gg, inp: gg.add(
+                Compute("dec", [inp], lambda v: v - 1)))
+        return g.run(out)
+
+    def test_loop_runs_to_zero(self):
+        assert self._run_countdown(5) == 0
+
+    def test_zero_iterations(self):
+        assert self._run_countdown(0) == 0
+
+    def test_enter_creates_child_frame(self):
+        e = Enter("e", None, "loop")
+        out, = e.fire([Token(1, ROOT_FRAME)])
+        assert out.frame.loop_name == "loop"
+        assert out.frame.parent is ROOT_FRAME
+
+    def test_exit_requires_frame(self):
+        x = Exit("x", [None])
+        with pytest.raises(ExecutionError):
+            x.fire([Token(1, ROOT_FRAME)])
+
+    def test_next_iteration_advances_tag(self):
+        ni = NextIteration("n", [None])
+        frame = Frame(ROOT_FRAME, "loop", 2)
+        out, = ni.fire([Token(9, frame)])
+        assert out.frame.iteration == 3
+
+
+class TestNonTermination:
+    def test_step_cap(self):
+        g = PrimitiveGraph()
+        init = g.source("init", 1)
+        out = build_while(
+            g, init,
+            cond_fn=lambda gg, inp: gg.add(
+                Compute("true", [inp], lambda v: True)),
+            body_fn=lambda gg, inp: gg.add(
+                Compute("inc", [inp], lambda v: v + 1)))
+        with pytest.raises(ExecutionError):
+            g.run(out, max_steps=500)

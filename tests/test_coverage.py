@@ -1,0 +1,76 @@
+"""Imperative-only feature detection (paper section 4.3, appendix A)."""
+
+import ast
+
+import pytest
+
+from repro.errors import NotConvertible
+from repro.janus.coverage import (scan, check_convertible,
+                                  has_custom_accessors,
+                                  IMPERATIVE_ONLY_FEATURES)
+
+
+def fdef_of(source):
+    return ast.parse(source).body[0]
+
+
+class TestScopedOutFeatures:
+    @pytest.mark.parametrize("source,feature", [
+        ("def f():\n    yield 1", "yield"),
+        ("def f():\n    class C: pass", "inline-class"),
+        ("def f():\n    import os", "inline-import"),
+        ("def f():\n    from os import path", "inline-import"),
+        ("def f(x):\n    nonlocal y\n    y = x", "nonlocal-write"),
+        ("def f(x):\n    del x", "delete"),
+        ("def f(g, a):\n    return g(*a)", "starred-call"),
+        ("def f(g, a):\n    return g(**a)", "starred-call"),
+        ("def f():\n    try:\n        pass\n"
+         "    except ValueError:\n        pass", "exception-handler"),
+    ])
+    def test_detected(self, source, feature):
+        violations = scan(fdef_of(source))
+        assert any(v[0] == feature for v in violations), violations
+        with pytest.raises(NotConvertible):
+            check_convertible(fdef_of(source))
+
+    def test_every_feature_has_paper_reference(self):
+        for feature, ref in IMPERATIVE_ONLY_FEATURES.items():
+            assert "4.3" in ref or "Appendix" in ref
+
+
+class TestConvertibleFeatures:
+    @pytest.mark.parametrize("source", [
+        "def f(x):\n    return x + 1",
+        "def f(x):\n    for i in range(3):\n        x += i\n    return x",
+        "def f(x):\n    if x > 0:\n        return x\n    return -x",
+        "def f(x):\n    try:\n        y = x\n    finally:\n"
+        "        z = 1\n    return y",
+        "def f(x):\n    g = lambda v: v * 2\n    return g(x)",
+        "def f(x):\n    def inner(v):\n        return v + 1\n"
+        "    return inner(x)",
+        "def f(c, x):\n    with c:\n        y = x + 1\n    return y",
+    ])
+    def test_passes(self, source):
+        check_convertible(fdef_of(source))
+
+
+class TestCustomAccessors:
+    def test_plain_object_ok(self):
+        class Plain:
+            pass
+
+        assert not has_custom_accessors(Plain())
+
+    def test_setattr_override_detected(self):
+        class Custom:
+            def __setattr__(self, k, v):
+                object.__setattr__(self, k, v)
+
+        assert has_custom_accessors(Custom())
+
+    def test_getattr_override_detected(self):
+        class Lazy:
+            def __getattr__(self, k):
+                return 0
+
+        assert has_custom_accessors(Lazy())

@@ -1,0 +1,193 @@
+"""Synthetic datasets and RL environments."""
+
+import numpy as np
+import pytest
+
+from repro import data, envs
+
+
+class TestImageDatasets:
+    def test_mnist_like_shapes(self):
+        ds = data.mnist_like(n=100, batch_size=32)
+        images, labels = next(iter(ds.batches(shuffle=False)))
+        assert images.shape == (32, 28, 28, 1)
+        assert images.dtype == np.float32
+        assert labels.dtype == np.int64
+        assert labels.min() >= 0 and labels.max() < 10
+
+    def test_last_batch_is_short(self):
+        """Varying batch shapes exercise the relaxation path (Table 2)."""
+        ds = data.mnist_like(n=70, batch_size=32)
+        sizes = [b[0].shape[0] for b in ds.batches(shuffle=False)]
+        assert sizes == [32, 32, 6]
+
+    def test_drop_remainder(self):
+        ds = data.ImageDataset(np.zeros((70, 4, 4, 1), np.float32),
+                               np.zeros(70, np.int64), 32,
+                               drop_remainder=True)
+        sizes = [b[0].shape[0] for b in ds.batches(shuffle=False)]
+        assert sizes == [32, 32]
+
+    def test_classes_are_learnable_signal(self):
+        """Same-class images correlate more than cross-class ones."""
+        ds = data.mnist_like(n=200, batch_size=200, seed=1)
+        images, labels = next(iter(ds.batches(shuffle=False)))
+        flat = images.reshape(len(images), -1)
+
+        def mean_corr(mask_a, mask_b):
+            a = flat[mask_a][:20]
+            b = flat[mask_b][:20]
+            return np.mean([np.corrcoef(x, y)[0, 1]
+                            for x in a[:5] for y in b[:5]])
+
+        same = mean_corr(labels == 1, labels == 1)
+        cross = mean_corr(labels == 1, labels == 4)
+        assert same > cross
+
+    def test_facades_pairs(self):
+        ds = data.facades_like(n=8, batch_size=2, image_size=16)
+        edges, photos = next(iter(ds.batches(shuffle=False)))
+        assert edges.shape == (2, 16, 16, 1)
+        assert photos.shape == (2, 16, 16, 3)
+
+
+class TestTextData:
+    def test_bptt_batch_shapes(self):
+        corpus = data.ptb_like()
+        x, y = next(corpus.bptt_batches(batch_size=10, seq_len=7))
+        assert x.shape == (7, 10) and y.shape == (7, 10)
+
+    def test_targets_are_shifted_inputs(self):
+        corpus = data.markov_corpus(n_tokens=500, vocab_size=20, seed=2)
+        batches = list(corpus.bptt_batches(batch_size=2, seq_len=5))
+        x0, y0 = batches[0]
+        x1, y1 = batches[1]
+        np.testing.assert_array_equal(x0[1:], y0[:-1])
+        np.testing.assert_array_equal(x1[0], y0[-1])
+
+    def test_markov_structure_beats_uniform(self):
+        """The chain has learnable transitions: the empirical bigram
+        distribution is far from uniform."""
+        corpus = data.markov_corpus(n_tokens=5000, vocab_size=10, seed=0)
+        t = corpus.tokens
+        counts = np.zeros((10, 10))
+        for a, b in zip(t[:-1], t[1:]):
+            counts[a, b] += 1
+        rows = counts / np.maximum(counts.sum(axis=1, keepdims=True), 1)
+        max_prob = rows.max(axis=1).mean()
+        assert max_prob > 0.3  # uniform would be 0.1
+
+
+class TestTrees:
+    def test_tree_structure(self):
+        trees = data.sst_like(n_trees=20, seed=1)
+        for t in trees:
+            assert t.label in (0, 1)
+            assert t.size() >= 2 * 3 - 1  # at least min_leaves leaves
+
+    def test_leaf_labels_match_word_polarity(self):
+        trees = data.sst_like(n_trees=10, vocab_size=60, seed=2)
+
+        def walk(node):
+            if node.is_leaf:
+                assert node.label == (1 if node.word >= 30 else 0)
+            else:
+                walk(node.left)
+                walk(node.right)
+
+        for t in trees:
+            walk(t)
+
+    def test_sizes_vary(self):
+        trees = data.sst_like(n_trees=30, seed=3)
+        assert len({t.size() for t in trees}) > 3
+
+    def test_split(self):
+        trees = data.sst_like(n_trees=40, seed=4)
+        train, test = data.train_test_split(trees, 0.25, seed=0)
+        assert len(train) + len(test) == 40
+        assert len(test) == 10
+
+
+class TestCartPole:
+    def test_episode_structure(self):
+        env = envs.CartPole(seed=0)
+        obs = env.reset()
+        assert obs.shape == (4,)
+        steps = 0
+        done = False
+        while not done:
+            obs, reward, done, _ = env.step(steps % 2)
+            assert reward == 1.0
+            steps += 1
+        assert 1 <= steps <= 200
+
+    def test_deterministic_given_seed(self):
+        def rollout():
+            env = envs.CartPole(seed=5)
+            env.reset()
+            trace = []
+            done = False
+            i = 0
+            while not done:
+                obs, _, done, _ = env.step(i % 2)
+                trace.append(obs.copy())
+                i += 1
+            return np.array(trace)
+
+        np.testing.assert_array_equal(rollout(), rollout())
+
+    def test_pole_falls_without_control(self):
+        env = envs.CartPole(seed=0, max_steps=500)
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, _ = env.step(1)  # constant push
+            steps += 1
+        assert steps < 200  # fell before the cap
+
+
+class TestPongLite:
+    def test_observation_shape(self):
+        env = envs.PongLite(seed=0)
+        obs = env.reset()
+        assert obs.shape == (16, 16, 1)
+        assert obs.max() == 1.0  # ball visible
+
+    def test_episode_ends_after_rallies(self):
+        env = envs.PongLite(seed=0, rallies=3)
+        env.reset()
+        rewards = []
+        done = False
+        steps = 0
+        while not done and steps < 2000:
+            _, r, done, _ = env.step(0)
+            if r != 0:
+                rewards.append(r)
+            steps += 1
+        assert done and len(rewards) == 3
+        assert set(rewards) <= {1.0, -1.0}
+
+    def test_tracking_policy_scores_better(self):
+        def play(policy, seed=3):
+            env = envs.PongLite(seed=seed, rallies=10)
+            obs = env.reset()
+            total = 0.0
+            done = False
+            while not done:
+                action = policy(env)
+                obs, r, done, _ = env.step(action)
+                total += r
+            return total
+
+        random_score = play(lambda e: np.random.default_rng(0)
+                            .integers(0, 3))
+        def track(env):
+            if env.ball[1] < env.paddle - 1:
+                return 1
+            if env.ball[1] > env.paddle + 1:
+                return 2
+            return 0
+        tracking_score = play(track)
+        assert tracking_score > random_score

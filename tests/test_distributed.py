@@ -1,0 +1,140 @@
+"""Ring all-reduce, cost model, and replica synchronization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro as R
+from repro import nn
+from repro.distributed import (ring_allreduce, AllReduceCostModel,
+                               DataParallelSimulator, StepTiming,
+                               ReplicaGroup)
+
+
+class TestRingAllReduce:
+    def test_average_of_workers(self):
+        buffers = [np.full(10, float(w), np.float32) for w in range(4)]
+        reduced = ring_allreduce(buffers)
+        for r in reduced:
+            np.testing.assert_allclose(r, np.full(10, 1.5), rtol=1e-6)
+
+    def test_sum_mode(self):
+        buffers = [np.ones(5, np.float32) for _ in range(3)]
+        reduced = ring_allreduce(buffers, average=False)
+        np.testing.assert_allclose(reduced[0], np.full(5, 3.0))
+
+    def test_single_worker_identity(self):
+        buf = np.arange(4, dtype=np.float32)
+        out, = ring_allreduce([buf])
+        np.testing.assert_array_equal(out, buf)
+
+    def test_preserves_shape_and_dtype(self):
+        buffers = [np.zeros((3, 4), np.float32) for _ in range(3)]
+        out = ring_allreduce(buffers)
+        assert out[0].shape == (3, 4) and out[0].dtype == np.float32
+
+    @given(st.integers(2, 6), st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_mean_for_any_topology(self, workers, size):
+        rng = np.random.default_rng(workers * 100 + size)
+        buffers = [rng.normal(size=size).astype(np.float32)
+                   for _ in range(workers)]
+        expected = np.mean(buffers, axis=0)
+        reduced = ring_allreduce(buffers)
+        for r in reduced:
+            np.testing.assert_allclose(r, expected, atol=1e-5)
+
+    def test_uneven_chunking(self):
+        # size not divisible by worker count exercises chunk bounds
+        buffers = [np.arange(7, dtype=np.float32) + w for w in range(3)]
+        reduced = ring_allreduce(buffers)
+        np.testing.assert_allclose(reduced[0],
+                                   np.arange(7, dtype=np.float32) + 1.0)
+
+
+class TestCostModel:
+    def test_zero_for_single_worker(self):
+        assert AllReduceCostModel().allreduce_seconds(10 ** 6, 1) == 0.0
+
+    def test_monotone_in_bytes(self):
+        m = AllReduceCostModel()
+        assert m.allreduce_seconds(10 ** 7, 8) > \
+            m.allreduce_seconds(10 ** 6, 8)
+
+    def test_intra_machine_faster(self):
+        m = AllReduceCostModel(gpus_per_machine=6)
+        assert m.allreduce_seconds(10 ** 7, 4) < \
+            m.allreduce_seconds(10 ** 7, 12)
+
+    def test_volume_term_saturates(self):
+        """Per-worker traffic approaches 2x bytes as W grows (ring)."""
+        m = AllReduceCostModel(inter_latency_s=0.0, intra_latency_s=0.0)
+        t12 = m.allreduce_seconds(10 ** 8, 12)
+        t36 = m.allreduce_seconds(10 ** 8, 36)
+        assert t36 / t12 < 1.1
+
+
+class TestSimulator:
+    def test_overlap_beats_no_overlap(self):
+        timing = StepTiming(total_seconds=0.1, grad_bytes=4 * 10 ** 8,
+                            examples_per_step=64)
+        sim = DataParallelSimulator()
+        overlap = sim.throughput(timing, 12, overlap=True)
+        blocking = sim.throughput(timing, 12, overlap=False)
+        assert overlap > blocking
+
+    def test_scale_factor_bounds(self):
+        timing = StepTiming(0.1, 4 * 10 ** 6, 64)
+        sim = DataParallelSimulator()
+        for workers in (1, 2, 6, 12, 36):
+            for overlap in (True, False):
+                sf = sim.scale_factor(timing, workers, overlap)
+                assert 0.0 < sf <= 1.0 + 1e-9
+
+    def test_figure8_shape(self):
+        """Graph modes keep a high scale factor; imperative decays."""
+        # ResNet50-ish: 100 MB of gradients, modest step time.
+        timing = StepTiming(0.25, 10 ** 8, 64)
+        sim = DataParallelSimulator()
+        graph_sf = sim.scale_factor(timing, 36, overlap=True)
+        imp_sf = sim.scale_factor(timing, 36, overlap=False)
+        assert graph_sf > imp_sf
+        assert graph_sf > 0.5
+
+
+class TestReplicaSync:
+    def test_replicas_stay_identical(self):
+        workers = 3
+        group = ReplicaGroup(workers)
+        rng = np.random.RandomState(0)
+        X = rng.randn(8, 3).astype(np.float32)
+
+        replicas, steps, opts = [], [], []
+        for w in range(workers):
+            nn.init.seed(123)           # identical initialization
+            model = nn.Dense(3, 2)
+            opt = group.optimizer_for(w, nn.SGD(0.1))
+            replicas.append(model)
+            opts.append(opt)
+
+            def make_loss(m):
+                def loss(shard):
+                    return R.reduce_mean(R.square(m(shard)))
+                return loss
+            steps.append(make_loss(model))
+
+        shards = np.split(X, workers ** 0 * 1)  # all see the full batch?
+        shards = [X[w::workers] for w in range(workers)]
+        for it in range(3):
+            for w in range(workers):
+                with R.GradientTape() as tape:
+                    loss = steps[w](R.constant(shards[w]))
+                vs = replicas[w].trainable_variables
+                gs = tape.gradient(loss, vs)
+                opts[w].apply_gradients(list(zip(gs, vs)))
+            group.flush(opts)
+            # all replicas hold identical weights after the exchange
+            w0 = replicas[0].kernel.numpy()
+            for rep in replicas[1:]:
+                np.testing.assert_allclose(rep.kernel.numpy(), w0,
+                                           atol=1e-5)

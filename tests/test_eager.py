@@ -1,0 +1,90 @@
+"""Eager tensors: Python protocol, operators, conversion rules."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro.imperative.eager import Tensor, constant
+
+
+class TestConstruction:
+    def test_scalar(self):
+        t = constant(2.5)
+        assert t.dtype is R.float32 and t.shape.rank == 0
+
+    def test_list(self):
+        t = constant([1, 2, 3])
+        assert t.dtype is R.int64 and t.shape == R.Shape((3,))
+
+    def test_numpy_passthrough_dtype(self):
+        t = constant(np.zeros(2, np.float64))
+        assert t.dtype is R.float64
+
+
+class TestPythonProtocol:
+    def test_bool_on_scalar(self):
+        assert bool(constant(1.0))
+        assert not bool(constant(0.0))
+
+    def test_int_float_conversion(self):
+        assert int(constant(3)) == 3
+        assert float(constant(2.5)) == pytest.approx(2.5)
+
+    def test_len(self):
+        assert len(constant([[1, 2], [3, 4], [5, 6]])) == 3
+
+    def test_len_scalar_raises(self):
+        with pytest.raises(TypeError):
+            len(constant(1.0))
+
+    def test_iteration_yields_rows(self):
+        rows = list(constant([[1.0, 2.0], [3.0, 4.0]]))
+        assert len(rows) == 2
+        np.testing.assert_array_equal(rows[1].numpy(), [3.0, 4.0])
+
+    def test_getitem(self):
+        t = constant(np.arange(12).reshape(3, 4))
+        np.testing.assert_array_equal(t[1].numpy(), [4, 5, 6, 7])
+        np.testing.assert_array_equal(t[0, 1:3].numpy(), [1, 2])
+
+    def test_tensor_index_becomes_gather(self):
+        t = constant(np.arange(5) * 10)
+        idx = constant(np.array([0, 3], np.int64))
+        np.testing.assert_array_equal(t[idx].numpy(), [0, 30])
+
+    def test_hashable_by_identity(self):
+        t = constant(1.0)
+        assert {t: "x"}[t] == "x"
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        a, b = constant([2.0, 4.0]), constant([1.0, 2.0])
+        np.testing.assert_array_equal((a + b).numpy(), [3.0, 6.0])
+        np.testing.assert_array_equal((a - b).numpy(), [1.0, 2.0])
+        np.testing.assert_array_equal((a * b).numpy(), [2.0, 8.0])
+        np.testing.assert_array_equal((a / b).numpy(), [2.0, 2.0])
+        np.testing.assert_array_equal((a ** 2).numpy(), [4.0, 16.0])
+        np.testing.assert_array_equal((-a).numpy(), [-2.0, -4.0])
+        np.testing.assert_array_equal(abs(-a).numpy(), [2.0, 4.0])
+
+    def test_reflected_operators(self):
+        a = constant([2.0])
+        np.testing.assert_array_equal((10.0 - a).numpy(), [8.0])
+        np.testing.assert_array_equal((10.0 / a).numpy(), [5.0])
+        np.testing.assert_array_equal((1.0 + a).numpy(), [3.0])
+
+    def test_matmul_operator(self):
+        a = constant(np.eye(2, dtype=np.float32))
+        b = constant([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal((a @ b).numpy(), b.numpy())
+
+    def test_comparisons_elementwise(self):
+        a = constant([1.0, 3.0])
+        out = (a > 2.0).numpy()
+        np.testing.assert_array_equal(out, [False, True])
+
+    def test_floordiv_mod(self):
+        a = constant([7])
+        assert int((a // 2).numpy()[0]) == 3
+        assert int((a % 2).numpy()[0]) == 1

@@ -1,0 +1,174 @@
+"""Extended op set: softplus/elu/gelu/log1p/expm1/cumsum, LayerNorm,
+and the graph export utilities."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus, nn
+from repro.graph import GraphBuilder, export
+from repro.ops import api
+
+
+def randn(*shape):
+    return np.random.default_rng(3).normal(size=shape).astype(np.float32)
+
+
+class TestExtendedActivations:
+    def test_softplus_values_and_stability(self):
+        x = R.constant(np.array([-1000.0, 0.0, 1000.0], np.float32))
+        out = api.softplus(x).numpy()
+        np.testing.assert_allclose(out[1], np.log(2), atol=1e-5)
+        assert out[0] == pytest.approx(0.0, abs=1e-5)
+        assert out[2] == pytest.approx(1000.0, rel=1e-5)
+        assert np.isfinite(out).all()
+
+    def test_elu(self):
+        out = api.elu(R.constant(np.array([-1.0, 2.0], np.float32)))
+        np.testing.assert_allclose(out.numpy(),
+                                   [np.expm1(-1.0), 2.0], atol=1e-6)
+
+    def test_gelu_fixed_points(self):
+        out = api.gelu(R.constant(np.array([0.0], np.float32)))
+        assert float(out.numpy()[0]) == pytest.approx(0.0, abs=1e-6)
+        # gelu(x) ~ x for large positive x
+        out = api.gelu(R.constant(np.array([10.0], np.float32)))
+        assert float(out.numpy()[0]) == pytest.approx(10.0, rel=1e-4)
+
+    def test_log1p_expm1_roundtrip(self):
+        x = R.constant(np.array([0.1, 0.5, 2.0], np.float32))
+        back = api.expm1(api.log1p(x))
+        np.testing.assert_allclose(back.numpy(), x.numpy(), rtol=1e-5)
+
+    def test_cumsum(self):
+        x = R.constant(np.arange(6, dtype=np.float32).reshape(2, 3))
+        out = api.cumsum(x, axis=1).numpy()
+        np.testing.assert_array_equal(out, [[0, 1, 3], [3, 7, 12]])
+
+    @pytest.mark.parametrize("fn", [api.softplus, api.gelu,
+                                    lambda x: api.elu(x, 0.7),
+                                    api.log1p, api.expm1])
+    def test_gradients(self, gradcheck, fn):
+        gradcheck(fn, np.abs(randn(8)) * 0.5 + 0.1)
+
+    def test_cumsum_gradient(self, gradcheck):
+        gradcheck(lambda x: api.cumsum(x, axis=0), randn(5))
+        gradcheck(lambda x: api.cumsum(x, axis=1), randn(2, 4))
+
+    def test_layer_norm_normalizes(self):
+        ln = nn.LayerNorm(8)
+        x = R.constant(randn(4, 8) * 10 + 5)
+        out = ln(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), 1, atol=1e-2)
+
+    def test_layer_norm_gradient_flows(self):
+        ln = nn.LayerNorm(4)
+        x = R.constant(randn(2, 4))
+        with R.GradientTape() as tape:
+            loss = R.reduce_sum(R.square(ln(x)))
+        g = tape.gradient(loss, ln.gamma)
+        assert g is not None and np.isfinite(g.numpy()).all()
+
+    def test_new_ops_convert_through_janus(self):
+        @janus.function(config=janus.JanusConfig(
+            fail_on_not_convertible=True))
+        def f(x):
+            return R.reduce_sum(R.gelu(R.softplus(x)))
+
+        x = R.constant(randn(5))
+        expected = float(R.reduce_sum(
+            R.gelu(R.softplus(x))).numpy())
+        out = None
+        for _ in range(5):
+            out = f(x)
+        assert float(out.numpy()) == pytest.approx(expected, rel=1e-5)
+        assert f.stats["graph_runs"] > 0
+
+
+class TestGraphExport:
+    def _sample_graph(self):
+        v = R.Variable(np.float32(1.0), name="w")
+        b = GraphBuilder(name="demo")
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.float32)
+            y = api.tanh(api.mul(x, b.read_variable(v)))
+            api.assert_that(b.convert(True), message="guard")
+            b.assign_variable(v, api.reduce_sum(y))
+            b.mark_outputs([y])
+        return b.graph
+
+    def test_dot_contains_nodes_and_edges(self):
+        dot = export.to_dot(self._sample_graph())
+        assert dot.startswith("digraph")
+        assert "input x" in dot
+        assert "read w" in dot
+        assert "assign w" in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_nested_function_clusters(self):
+        b = GraphBuilder()
+        inner = GraphBuilder(name="body")
+        with inner:
+            x = inner.placeholder("x", shape=(), dtype=R.float32)
+            inner.mark_outputs([api.square(x)])
+        func = inner.finalize_function("body")
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            out = b.invoke(func, [x], [(R.Shape(()), R.float32)])
+            b.mark_outputs([out])
+        dot = export.to_dot(b.graph)
+        assert "subgraph cluster" in dot
+        assert "invoke body" in dot
+
+    def test_max_nodes_cap(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            for _ in range(30):
+                x = api.add(x, 1.0)
+            b.mark_outputs([x])
+        dot = export.to_dot(b.graph, max_nodes=10)
+        assert "more nodes" in dot
+
+    def test_node_census(self):
+        census = export.node_census(self._sample_graph())
+        assert census["var_read"] == 1
+        assert census["var_assign"] == 1
+        assert census["assert"] == 1
+
+    def test_census_recurses_into_functions(self):
+        inner = GraphBuilder(name="body")
+        with inner:
+            x = inner.placeholder("x", shape=(), dtype=R.float32)
+            inner.mark_outputs([api.square(api.square(x))])
+        func = inner.finalize_function("body")
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            out = b.invoke(func, [x], [(R.Shape(()), R.float32)])
+            b.mark_outputs([out])
+        census = export.node_census(b.graph)
+        assert census["square"] == 2
+
+    def test_save_dot(self, tmp_path):
+        path = export.save_dot(self._sample_graph(),
+                               str(tmp_path / "g.dot"))
+        with open(path) as fh:
+            assert fh.read().startswith("digraph")
+
+    def test_janus_generated_graph_exports(self):
+        @janus.function(config=janus.JanusConfig(
+            fail_on_not_convertible=True))
+        def f(x):
+            total = x * 0.0
+            for i in range(3):
+                total = total + x
+            return R.reduce_sum(total)
+
+        for _ in range(4):
+            f(R.constant(np.ones(2, np.float32)))
+        entry = next(iter(f.cache._entries.values()))
+        dot = export.to_dot(entry.generated.graph)
+        assert "digraph" in dot

@@ -1,0 +1,235 @@
+"""Gradient correctness: analytic (tape) vs central differences.
+
+One gradcheck per differentiable op family, plus property-based checks on
+invariants (linearity of the gradient accumulation, broadcast handling).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro as R
+from repro.ops import api
+
+
+RNG = np.random.default_rng(42)
+
+
+def randn(*shape):
+    return RNG.normal(0, 1, size=shape).astype(np.float32)
+
+
+class TestUnaryGradients:
+    @pytest.mark.parametrize("fn,domain", [
+        (api.neg, None), (api.exp, None), (api.tanh, None),
+        (api.sigmoid, None), (api.square, None), (api.relu, None),
+        (api.abs, None),
+        (api.log, "positive"), (api.sqrt, "positive"),
+    ])
+    def test_elementwise(self, gradcheck, fn, domain):
+        x = randn(3, 4)
+        if domain == "positive":
+            x = np.abs(x) + 0.5
+        else:
+            # keep away from relu/abs kinks
+            x = x + np.sign(x) * 0.1
+        gradcheck(fn, x)
+
+    def test_leaky_relu(self, gradcheck):
+        gradcheck(lambda x: api.leaky_relu(x, 0.3),
+                  randn(3, 3) + 0.05)
+
+    def test_clip(self, gradcheck):
+        x = np.linspace(-2, 2, 9).astype(np.float32) + 0.013
+        gradcheck(lambda v: api.clip(v, -1.0, 1.0), x)
+
+
+class TestBinaryGradients:
+    @pytest.mark.parametrize("fn", [api.add, api.sub, api.mul, api.div])
+    def test_same_shape(self, gradcheck, fn):
+        b = randn(2, 3) + 3.0  # keep div away from zero
+        gradcheck(lambda x: fn(x, R.constant(b)), randn(2, 3))
+        gradcheck(lambda x: fn(R.constant(b), x), randn(2, 3) + 3.0)
+
+    @pytest.mark.parametrize("fn", [api.add, api.mul])
+    def test_broadcast_row(self, gradcheck, fn):
+        b = randn(4, 3)
+        gradcheck(lambda x: fn(x, R.constant(b)), randn(3))
+
+    def test_broadcast_scalar(self, gradcheck):
+        gradcheck(lambda x: api.mul(x, 2.5), randn(2, 2))
+
+    def test_pow_positive_base(self, gradcheck):
+        gradcheck(lambda x: api.pow(x, 3.0), np.abs(randn(3)) + 0.5)
+
+    def test_maximum_minimum(self, gradcheck):
+        b = randn(3, 3)
+        gradcheck(lambda x: api.maximum(x, R.constant(b)),
+                  randn(3, 3) + 0.2)
+        gradcheck(lambda x: api.minimum(x, R.constant(b)),
+                  randn(3, 3) + 0.2)
+
+    def test_where(self, gradcheck):
+        cond = R.constant(np.array([[True, False], [False, True]]))
+        b = randn(2, 2)
+        gradcheck(lambda x: api.where(cond, x, R.constant(b)), randn(2, 2))
+
+
+class TestMatmulGradients:
+    @pytest.mark.parametrize("ta,tb", [(False, False), (True, False),
+                                       (False, True), (True, True)])
+    def test_transpose_variants(self, gradcheck, ta, tb):
+        b = randn(3, 3)
+        gradcheck(lambda x: api.matmul(x, R.constant(b), transpose_a=ta,
+                                       transpose_b=tb), randn(3, 3))
+
+    def test_batched(self, gradcheck):
+        b = randn(2, 3, 4)
+        gradcheck(lambda x: api.matmul(x, R.constant(b)), randn(2, 2, 3))
+
+
+class TestReductionGradients:
+    @pytest.mark.parametrize("fn", [api.reduce_sum, api.reduce_mean])
+    @pytest.mark.parametrize("axis,keepdims", [
+        (None, False), (0, False), (1, True), ((0, 1), False)])
+    def test_sum_mean(self, gradcheck, fn, axis, keepdims):
+        gradcheck(lambda x: fn(x, axis=axis, keepdims=keepdims),
+                  randn(3, 4))
+
+    def test_reduce_max(self, gradcheck):
+        # distinct values: unique argmax so numeric grad is well defined
+        x = np.arange(12, dtype=np.float32).reshape(3, 4) * 0.37
+        gradcheck(lambda v: api.reduce_max(v, axis=1), x)
+
+    def test_reduce_prod(self, gradcheck):
+        gradcheck(lambda x: api.reduce_prod(x, axis=0),
+                  np.abs(randn(2, 3)) + 0.5)
+
+
+class TestArrayGradients:
+    def test_reshape(self, gradcheck):
+        gradcheck(lambda x: api.reshape(x, (6,)), randn(2, 3))
+
+    def test_transpose(self, gradcheck):
+        gradcheck(lambda x: api.transpose(x, (1, 0)), randn(2, 3))
+
+    def test_concat(self, gradcheck):
+        b = randn(2, 2)
+        gradcheck(lambda x: api.concat([x, R.constant(b)], axis=1),
+                  randn(2, 3))
+
+    def test_split(self, gradcheck):
+        gradcheck(lambda x: api.split(x, 2, axis=0)[0], randn(4, 2))
+
+    def test_stack_unstack(self, gradcheck):
+        b = randn(3)
+        gradcheck(lambda x: api.stack([x, R.constant(b)]), randn(3))
+        gradcheck(lambda x: api.unstack(x, axis=0)[1], randn(2, 3))
+
+    def test_getitem(self, gradcheck):
+        gradcheck(lambda x: x[1], randn(3, 4))
+        gradcheck(lambda x: x[:, 1:3], randn(3, 4))
+
+    def test_gather(self, gradcheck):
+        idx = R.constant(np.array([0, 2, 2], np.int64))
+        gradcheck(lambda x: api.gather(x, idx), randn(4, 3))
+
+    def test_pad(self, gradcheck):
+        gradcheck(lambda x: api.pad(x, ((1, 1), (0, 2))), randn(2, 2))
+
+    def test_tile(self, gradcheck):
+        gradcheck(lambda x: api.tile(x, (2, 3)), randn(2, 2))
+
+    def test_expand_squeeze(self, gradcheck):
+        gradcheck(lambda x: api.expand_dims(x, 1), randn(3))
+        gradcheck(lambda x: api.squeeze(x, 0), randn(1, 3))
+
+    def test_cast_float_roundtrip(self, gradcheck):
+        gradcheck(lambda x: api.cast(x, "float64"), randn(3))
+
+    def test_stop_gradient_blocks(self):
+        v = R.Variable(randn(3))
+        with R.GradientTape() as tape:
+            y = R.reduce_sum(api.stop_gradient(v.value()) * 2.0)
+        assert tape.gradient(y, v) is None
+
+
+class TestNNGradients:
+    def test_conv2d(self, gradcheck):
+        f = randn(3, 3, 2, 2) * 0.3
+        gradcheck(lambda x: api.conv2d(x, R.constant(f), strides=1,
+                                       padding="SAME"),
+                  randn(1, 4, 4, 2))
+
+    def test_conv2d_filters(self, gradcheck):
+        x = randn(1, 4, 4, 2)
+        gradcheck(lambda f: api.conv2d(R.constant(x), f, strides=2,
+                                       padding="SAME"),
+                  randn(3, 3, 2, 2) * 0.3)
+
+    def test_conv2d_transpose(self, gradcheck):
+        f = randn(2, 2, 1, 2) * 0.3
+        gradcheck(lambda x: api.conv2d_transpose(
+            x, R.constant(f), (4, 4, 1), strides=2, padding="SAME"),
+            randn(1, 2, 2, 2))
+
+    def test_max_pool(self, gradcheck):
+        # unique values avoid tie non-differentiability
+        x = (np.arange(16, dtype=np.float32) * 0.731).reshape(1, 4, 4, 1)
+        gradcheck(lambda v: api.max_pool(v, 2, 2), x)
+
+    def test_avg_pool(self, gradcheck):
+        gradcheck(lambda x: api.avg_pool(x, 2, 2), randn(1, 4, 4, 2))
+
+    def test_softmax(self, gradcheck):
+        gradcheck(api.softmax, randn(3, 5))
+
+    def test_log_softmax(self, gradcheck):
+        gradcheck(api.log_softmax, randn(3, 5))
+
+    def test_softmax_cross_entropy(self, gradcheck):
+        labels = R.constant(np.array([0, 2, 1], np.int64))
+        gradcheck(lambda x: api.softmax_cross_entropy(x, labels),
+                  randn(3, 4))
+
+    def test_sigmoid_cross_entropy(self, gradcheck):
+        targets = R.constant(np.array([1.0, 0.0, 1.0], np.float32))
+        gradcheck(lambda x: api.sigmoid_cross_entropy(x, targets),
+                  randn(3))
+
+
+class TestGradientProperties:
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_gradient_of_sum_is_ones(self, n, m):
+        v = R.Variable(randn(n, m))
+        with R.GradientTape() as tape:
+            y = api.reduce_sum(v.value())
+        np.testing.assert_allclose(tape.gradient(y, v).numpy(),
+                                   np.ones((n, m)))
+
+    @given(st.floats(-3, 3, width=32), st.floats(-3, 3, width=32))
+    @settings(max_examples=20, deadline=None)
+    def test_gradient_linearity(self, a, b):
+        """grad(a*f + b*g) == a*grad(f) + b*grad(g)."""
+        x0 = randn(4)
+        v = R.Variable(x0)
+
+        def grad_of(fn):
+            with R.GradientTape() as tape:
+                y = fn(v.value())
+            g = tape.gradient(y, v)
+            return np.zeros(4, np.float32) if g is None else g.numpy()
+
+        f = lambda x: api.reduce_sum(api.square(x))  # noqa: E731
+        g = lambda x: api.reduce_sum(api.tanh(x))  # noqa: E731
+        combined = grad_of(lambda x: a * f(x) + b * g(x))
+        separate = a * grad_of(f) + b * grad_of(g)
+        np.testing.assert_allclose(combined, separate, atol=1e-4)
+
+    def test_multiple_uses_accumulate(self):
+        v = R.Variable(np.float32(3.0))
+        with R.GradientTape() as tape:
+            x = v.value()
+            y = x * x + x  # dy/dx = 2x + 1 = 7
+        assert float(tape.gradient(y, v).numpy()) == pytest.approx(7.0)

@@ -1,0 +1,178 @@
+"""Graph IR: construction, topological order, liveness, signatures."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro.errors import GraphError
+from repro.graph import Graph, GraphBuilder
+from repro.graph.core import GraphFunction, collect_variables
+from repro.ops import api
+
+
+def small_graph():
+    b = GraphBuilder(name="g")
+    with b:
+        x = b.placeholder("x", shape=(2,), dtype=R.float32)
+        y = api.add(x, 1.0)
+        z = api.mul(y, y)
+        b.mark_outputs([z])
+    return b.graph, b
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        g, _ = small_graph()
+        order = g.topological_order()
+        position = {id(n): i for i, n in enumerate(order)}
+        for node in g.nodes:
+            for inp in node.inputs:
+                assert position[id(inp.node)] < position[id(node)]
+
+    def test_targets_restrict_to_ancestors(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            used = api.add(x, 1.0)
+            _unused = api.mul(x, 50.0)
+        order = b.graph.topological_order(targets=[used.node])
+        names = {n.op_name for n in order}
+        assert "mul" not in names
+
+    def test_cycle_detected(self):
+        g, b = small_graph()
+        node = g.nodes[-1]
+        node.inputs.append(node.outputs[0])  # self-loop
+        with pytest.raises(GraphError):
+            g.topological_order()
+
+    def test_validate_catches_removed_producer(self):
+        g, _ = small_graph()
+        add_node = next(n for n in g.nodes if n.op_name == "add")
+        g.remove_nodes([add_node])
+        with pytest.raises(GraphError):
+            g.validate()
+
+
+class TestLiveness:
+    def test_dead_node_not_live(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            out = api.add(x, 1.0)
+            _dead = api.mul(x, 2.0)
+            b.mark_outputs([out])
+        live = b.graph.live_nodes()
+        assert all(n.op_name != "mul" for n in live)
+
+    def test_placeholders_always_live(self):
+        b = GraphBuilder()
+        with b:
+            _unused = b.placeholder("u", shape=(), dtype=R.float32)
+            out = b.convert(1.0)
+            b.mark_outputs([out])
+        live = b.graph.live_nodes()
+        assert any(n.op_name == "placeholder" for n in live)
+
+    def test_effectful_nodes_live(self):
+        v = R.Variable(np.float32(0.0))
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            b.assign_variable(v, x)
+            b.mark_outputs([b.convert(0.0)])
+        live = b.graph.live_nodes()
+        assert any(n.op_name == "var_assign" for n in live)
+
+    def test_assert_nodes_live(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.bool_)
+            api.assert_that(x)
+            b.mark_outputs([b.convert(0.0)])
+        assert any(n.op_name == "assert" for n in b.graph.live_nodes())
+
+
+class TestSignatures:
+    def test_identical_pure_nodes_share_signature(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.float32)
+            a = api.add(x, 1.0)
+            c = api.add(x, 1.0)
+        assert a.node.signature() == c.node.signature()
+
+    def test_commutative_signature(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.float32)
+            y = b.placeholder("y", shape=(2,), dtype=R.float32)
+            a = api.add(x, y)
+            c = api.add(y, x)
+        assert a.node.signature() == c.node.signature()
+
+    def test_noncommutative_order_matters(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.float32)
+            y = b.placeholder("y", shape=(2,), dtype=R.float32)
+            a = api.sub(x, y)
+            c = api.sub(y, x)
+        assert a.node.signature() != c.node.signature()
+
+    def test_stateful_not_deduplicable(self):
+        b = GraphBuilder()
+        with b:
+            r = api.random_normal((2,))
+        assert r.node.signature() is None
+
+
+class TestGraphFunction:
+    def test_recursive_function_has_effects_terminates(self):
+        f = GraphFunction("rec")
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            out = b.invoke(f, [x], [(R.Shape(()), R.float32)])
+            b.mark_outputs([out])
+        f.finalize(b.graph)
+        assert f.has_effects in (True, False)  # terminates
+
+    def test_collect_variables_through_recursion(self):
+        v = R.Variable(np.float32(1.0))
+        f = GraphFunction("rec")
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            val = api.mul(x, b.read_variable(v))
+            out = b.invoke(f, [val], [(R.Shape(()), R.float32)])
+            b.mark_outputs([out])
+        f.finalize(b.graph)
+        assert collect_variables(b.graph) == {v}
+        assert f.variables == [v]
+
+
+class TestNodeOutputProtocol:
+    def test_static_len_and_iter(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(3, 2), dtype=R.float32)
+            assert len(x) == 3
+            rows = list(x)
+        assert len(rows) == 3
+        assert rows[0].shape == R.Shape((2,))
+
+    def test_dynamic_len_raises(self):
+        from repro.errors import ShapeError
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(None, 2), dtype=R.float32)
+            with pytest.raises(ShapeError):
+                len(x)
+
+    def test_operators_build_nodes(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.float32)
+            y = (x + 1.0) * x - 3.0
+        assert y.node.op_name == "sub"

@@ -1,0 +1,277 @@
+"""Graph executor: feeds, commits, all-or-nothing aborts, parallelism."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro.errors import AssumptionFailed, ExecutionError
+from repro.graph import GraphBuilder, GraphExecutor
+from repro.graph.core import GraphFunction
+from repro.ops import api
+from repro.tensor import PyRef
+
+
+class TestBasicExecution:
+    def test_feed_and_fetch(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(3,), dtype=R.float32)
+            b.mark_outputs([api.mul(x, 2.0)])
+        out, = GraphExecutor(b.graph).run([np.array([1, 2, 3], np.float32)])
+        np.testing.assert_array_equal(out, [2, 4, 6])
+
+    def test_wrong_feed_count(self):
+        b = GraphBuilder()
+        with b:
+            b.placeholder("x", shape=(), dtype=R.float32)
+            b.mark_outputs([b.convert(0.0)])
+        with pytest.raises(ExecutionError):
+            GraphExecutor(b.graph).run([])
+
+    def test_multi_output_op(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(4, 2), dtype=R.float32)
+            lo, hi = api.split(x, 2, axis=0)
+            b.mark_outputs([lo, hi])
+        ex = GraphExecutor(b.graph)
+        lo_v, hi_v = ex.run([np.arange(8, dtype=np.float32).reshape(4, 2)])
+        assert lo_v.shape == (2, 2) and hi_v[0, 0] == 4
+
+    def test_executor_reusable_across_runs(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            b.mark_outputs([api.add(x, 1.0)])
+        ex = GraphExecutor(b.graph)
+        assert ex.run([np.float32(1.0)])[0] == 2.0
+        assert ex.run([np.float32(5.0)])[0] == 6.0
+
+
+class TestDeferredState:
+    def test_variable_commit_on_success(self):
+        v = R.Variable(np.float32(0.0))
+        b = GraphBuilder()
+        with b:
+            b.assign_variable(v, 42.0)
+            b.mark_outputs([b.convert(0.0)])
+        GraphExecutor(b.graph).run([])
+        assert float(v.numpy()) == 42.0
+
+    def test_read_after_write_sees_write(self):
+        v = R.Variable(np.float32(10.0))
+        b = GraphBuilder()
+        with b:
+            b.assign_variable(v, 1.0)
+            out = api.add(b.read_variable(v), 0.5)
+            b.mark_outputs([out])
+        out, = GraphExecutor(b.graph).run([])
+        assert out == pytest.approx(1.5)
+
+    def test_assert_failure_aborts_before_commit(self):
+        """The all-or-nothing guarantee of paper section 3.2."""
+        v = R.Variable(np.float32(7.0))
+        holder = type("S", (), {"attr": 1.0})()
+        b = GraphBuilder()
+        with b:
+            pred = b.placeholder("p", shape=(), dtype=R.bool_)
+            b.assign_variable(v, 99.0)
+            b.py_set_attr(PyRef(holder), "attr", 99.0)
+            guard = api.assert_that(pred, message="boom")
+            b.mark_outputs([b.convert(0.0)])
+        ex = GraphExecutor(b.graph)
+        with pytest.raises(AssumptionFailed):
+            ex.run([np.bool_(False)])
+        # Nothing was mutated.
+        assert float(v.numpy()) == 7.0
+        assert holder.attr == 1.0
+        # A successful run commits both.
+        ex.run([np.bool_(True)])
+        assert float(v.numpy()) == 99.0
+        assert float(np.asarray(holder.attr.numpy()
+                     if hasattr(holder.attr, "numpy")
+                     else holder.attr)) == 99.0
+
+    def test_py_attr_local_copy_read_back(self):
+        holder = type("S", (), {})()
+        holder.state = R.constant(np.float32(5.0))
+        b = GraphBuilder()
+        with b:
+            first = b.py_get_attr(PyRef(holder), "state",
+                                  expected=("tensor", R.float32,
+                                            R.Shape(())))
+            b.py_set_attr(PyRef(holder), "state", api.add(first, 1.0))
+            second = b.py_get_attr(PyRef(holder), "state")
+            b.mark_outputs([second])
+        out, = GraphExecutor(b.graph).run([])
+        assert out == pytest.approx(6.0)       # read saw the local copy
+        assert float(holder.state.numpy()) == pytest.approx(6.0)
+
+    def test_heap_writeback_produces_eager_tensor(self):
+        holder = type("S", (), {})()
+        holder.x = R.constant(np.float32(1.0))
+        b = GraphBuilder()
+        with b:
+            b.py_set_attr(PyRef(holder), "x", 3.0)
+            b.mark_outputs([b.convert(0.0)])
+        GraphExecutor(b.graph).run([])
+        assert isinstance(holder.x, R.Tensor)
+
+    def test_expected_tensor_shape_violation(self):
+        holder = type("S", (), {})()
+        holder.state = R.constant(np.zeros((4, 8), np.float32))
+        b = GraphBuilder()
+        with b:
+            out = b.py_get_attr(PyRef(holder), "state",
+                                expected=("tensor", R.float32,
+                                          R.Shape((4, 8))))
+            b.mark_outputs([out])
+        ex = GraphExecutor(b.graph)
+        ex.run([])  # matches
+        holder.state = R.constant(np.zeros((3, 8), np.float32))
+        with pytest.raises(AssumptionFailed):
+            ex.run([])
+
+    def test_expected_const_guard(self):
+        holder = type("S", (), {"k": 2})()
+        from repro.tensor import TensorValue
+        b = GraphBuilder()
+        with b:
+            b.py_get_attr(PyRef(holder), "k",
+                          expected=("const", R.int64,
+                                    TensorValue.of(2).array))
+            b.mark_outputs([b.convert(0.0)])
+        ex = GraphExecutor(b.graph)
+        ex.run([])
+        holder.k = 3
+        with pytest.raises(AssumptionFailed):
+            ex.run([])
+
+
+class TestFunctionalControlFlow:
+    def _make_branch(self, fn, name):
+        b = GraphBuilder(name=name)
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            b.mark_outputs([fn(x)])
+        return b.finalize_function(name)
+
+    def test_cond_selects_branch(self):
+        t = self._make_branch(lambda x: api.mul(x, 10.0), "t")
+        f = self._make_branch(lambda x: api.neg(x), "f")
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            out = b.cond(api.greater(x, 0.0), t, f, [x],
+                         [(R.Shape(()), R.float32)])
+            b.mark_outputs([out])
+        ex = GraphExecutor(b.graph)
+        assert ex.run([np.float32(2.0)])[0] == 20.0
+        assert ex.run([np.float32(-2.0)])[0] == 2.0
+
+    def test_while_loop_terminates_and_sums(self):
+        cb = GraphBuilder()
+        with cb:
+            i = cb.placeholder("i", shape=(), dtype=R.int64)
+            s = cb.placeholder("s", shape=(), dtype=R.float32)
+            cb.mark_outputs([api.less(i, 4)])
+        cond = cb.finalize_function("c")
+        bb = GraphBuilder()
+        with bb:
+            i = bb.placeholder("i", shape=(), dtype=R.int64)
+            s = bb.placeholder("s", shape=(), dtype=R.float32)
+            bb.mark_outputs([api.add(i, 1),
+                             api.add(s, api.cast(i, "float32"))])
+        body = bb.finalize_function("b")
+        b = GraphBuilder()
+        with b:
+            outs = b.while_loop(cond, body,
+                                [b.convert(np.int64(0)),
+                                 b.convert(np.float32(0.0))])
+            b.mark_outputs([outs[1]])
+        out, = GraphExecutor(b.graph).run([])
+        assert out == pytest.approx(0 + 1 + 2 + 3)
+
+    def test_while_loop_iteration_cap(self):
+        cb = GraphBuilder()
+        with cb:
+            i = cb.placeholder("i", shape=(), dtype=R.int64)
+            cb.mark_outputs([api.less(i, 10 ** 9)])
+        cond = cb.finalize_function("c")
+        bb = GraphBuilder()
+        with bb:
+            i = bb.placeholder("i", shape=(), dtype=R.int64)
+            bb.mark_outputs([api.add(i, 1)])
+        body = bb.finalize_function("b")
+        b = GraphBuilder()
+        with b:
+            outs = b.while_loop(cond, body, [b.convert(np.int64(0))])
+            b.mark_outputs([outs[0]])
+        node = next(n for n in b.graph.nodes
+                    if n.op_name == "while_loop")
+        node.attrs["max_iterations"] = 50
+        with pytest.raises(ExecutionError):
+            GraphExecutor(b.graph).run([])
+
+    def test_recursive_invoke(self):
+        fib = GraphFunction("countdown")
+        gb = GraphBuilder()
+        with gb:
+            n = gb.placeholder("n", shape=(), dtype=R.float32)
+            base = GraphBuilder()
+            with base:
+                m = base.placeholder("n", shape=(), dtype=R.float32)
+                base.mark_outputs([api.mul(m, 0.0)])
+            base_f = base.finalize_function("base")
+            rec = GraphBuilder()
+            with rec:
+                m = rec.placeholder("n", shape=(), dtype=R.float32)
+                inner = rec.invoke(fib, [api.sub(m, 1.0)],
+                                   [(R.Shape(()), R.float32)])
+                rec.mark_outputs([api.add(m, inner)])
+            rec_f = rec.finalize_function("rec")
+            out = gb.cond(api.less_equal(n, 0.0), base_f, rec_f, [n],
+                          [(R.Shape(()), R.float32)])
+            gb.mark_outputs([out])
+        fib.finalize(gb.graph)
+        b = GraphBuilder()
+        with b:
+            n = b.placeholder("n", shape=(), dtype=R.float32)
+            out = b.invoke(fib, [n], [(R.Shape(()), R.float32)])
+            b.mark_outputs([out])
+        out, = GraphExecutor(b.graph).run([np.float32(4.0)])
+        assert out == pytest.approx(4 + 3 + 2 + 1)
+
+
+class TestParallelExecution:
+    def test_parallel_matches_sequential(self):
+        rng = np.random.default_rng(0)
+        w1 = rng.normal(size=(16, 16)).astype(np.float32)
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(4, 16), dtype=R.float32)
+            heads = [api.matmul(x, b.convert(w1 * (i + 1)))
+                     for i in range(4)]
+            total = heads[0]
+            for h in heads[1:]:
+                total = api.add(total, h)
+            b.mark_outputs([total])
+        feed = [rng.normal(size=(4, 16)).astype(np.float32)]
+        seq = GraphExecutor(b.graph, parallel=False).run(list(feed))[0]
+        par = GraphExecutor(b.graph, parallel=True).run(list(feed))[0]
+        np.testing.assert_allclose(seq, par, atol=1e-5)
+
+    def test_parallel_assert_failure_still_aborts(self):
+        v = R.Variable(np.float32(1.0))
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(8, 8), dtype=R.float32)
+            m1 = api.matmul(x, x)
+            m2 = api.matmul(x, api.neg(x))
+            api.assert_that(b.convert(False), message="always fails")
+            b.assign_variable(v, 2.0)
+            b.mark_outputs([api.add(m1, m2)])
+        ex = GraphExecutor(b.graph, parallel=True)
+        with pytest.raises(AssumptionFailed):
+            ex.run([np.zeros((8, 8), np.float32)])
+        assert float(v.numpy()) == 1.0

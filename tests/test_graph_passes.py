@@ -1,0 +1,197 @@
+"""Graph optimization passes: each pass's effect plus semantic safety."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro as R
+from repro.graph import (GraphBuilder, GraphExecutor, PassManager,
+                         DeadCodeElimination, ConstantFolding,
+                         CommonSubexpressionElimination,
+                         ArithmeticSimplification)
+from repro.ops import api
+
+
+def count_ops(graph, name):
+    return sum(1 for n in graph.nodes if n.op_name == name)
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            out = api.add(x, 1.0)
+            _dead = api.mul(api.exp(x), 3.0)
+            b.mark_outputs([out])
+        DeadCodeElimination().run(b.graph)
+        assert count_ops(b.graph, "mul") == 0
+        assert count_ops(b.graph, "exp") == 0
+
+    def test_keeps_asserts(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.bool_)
+            api.assert_that(x)
+            b.mark_outputs([b.convert(1.0)])
+        DeadCodeElimination().run(b.graph)
+        assert count_ops(b.graph, "assert") == 1
+
+    def test_noop_when_all_live(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            b.mark_outputs([api.add(x, 1.0)])
+        assert DeadCodeElimination().run(b.graph) is False
+
+
+class TestConstantFolding:
+    def test_folds_constant_expression(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            c = api.mul(api.add(b.convert(2.0), b.convert(3.0)),
+                        b.convert(4.0))
+            b.mark_outputs([api.add(x, c)])
+        ConstantFolding().run(b.graph)
+        assert count_ops(b.graph, "mul") == 0
+        out, = GraphExecutor(b.graph).run([np.float32(1.0)])
+        assert out == pytest.approx(21.0)
+
+    def test_does_not_fold_random(self):
+        b = GraphBuilder()
+        with b:
+            r = api.random_normal((3,))
+            b.mark_outputs([api.add(r, 0.0)])
+        ConstantFolding().run(b.graph)
+        assert count_ops(b.graph, "random_normal") == 1
+
+    def test_does_not_fold_through_placeholder(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            b.mark_outputs([api.add(x, 1.0)])
+        ConstantFolding().run(b.graph)
+        assert count_ops(b.graph, "add") == 1
+
+    def test_size_cap_respected(self):
+        b = GraphBuilder()
+        with b:
+            big = api.fill((600, 600), 1.0)   # ~1.4 MB > 1 MB cap
+            b.mark_outputs([api.add(big, 1.0)])
+        ConstantFolding().run(b.graph)
+        assert count_ops(b.graph, "fill") == 1
+
+
+class TestCSE:
+    def test_deduplicates_identical_subtrees(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.float32)
+            a = api.tanh(api.add(x, 1.0))
+            c = api.tanh(api.add(x, 1.0))
+            b.mark_outputs([api.add(a, c)])
+        CommonSubexpressionElimination().run(b.graph)
+        assert count_ops(b.graph, "tanh") == 1
+        assert count_ops(b.graph, "add") == 2  # x+1 and a+c
+
+    def test_commutative_match(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(), dtype=R.float32)
+            y = b.placeholder("y", shape=(), dtype=R.float32)
+            b.mark_outputs([api.add(api.mul(x, y), api.mul(y, x))])
+        CommonSubexpressionElimination().run(b.graph)
+        assert count_ops(b.graph, "mul") == 1
+
+    def test_random_ops_never_merged(self):
+        b = GraphBuilder()
+        with b:
+            a = api.random_normal((2,))
+            c = api.random_normal((2,))
+            b.mark_outputs([api.add(a, c)])
+        CommonSubexpressionElimination().run(b.graph)
+        assert count_ops(b.graph, "random_normal") == 2
+
+    def test_semantics_preserved(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(3,), dtype=R.float32)
+            out = api.add(api.exp(x), api.exp(x))
+            b.mark_outputs([out])
+        feed = np.array([0.1, 0.2, 0.3], np.float32)
+        before = GraphExecutor(b.graph).run([feed])[0].copy()
+        CommonSubexpressionElimination().run(b.graph)
+        after = GraphExecutor(b.graph).run([feed])[0]
+        np.testing.assert_allclose(before, after)
+
+
+class TestArithmeticSimplification:
+    @pytest.mark.parametrize("build,expect_gone", [
+        (lambda x: api.add(x, 0.0), "add"),
+        (lambda x: api.mul(x, 1.0), "mul"),
+        (lambda x: api.sub(x, 0.0), "sub"),
+        (lambda x: api.div(x, 1.0), "div"),
+        (lambda x: api.pow(x, 1.0), "pow"),
+    ])
+    def test_identity_removed(self, build, expect_gone):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.float32)
+            b.mark_outputs([build(x)])
+        ArithmeticSimplification().run(b.graph)
+        assert count_ops(b.graph, expect_gone) == 0
+
+    def test_broadcasting_identity_not_removed(self):
+        """x:(1,3) + 0 where output must stay (1,3) — shape-safe only."""
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(3,), dtype=R.float32)
+            zero = b.convert(np.zeros((2, 3), np.float32))
+            b.mark_outputs([api.add(x, zero)])
+        ArithmeticSimplification().run(b.graph)
+        assert count_ops(b.graph, "add") == 1  # changes shape: kept
+
+    def test_int_x_plus_float_zero_not_removed(self):
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=(2,), dtype=R.int64)
+            b.mark_outputs([api.add(x, 0.0)])
+        ArithmeticSimplification().run(b.graph)
+        assert count_ops(b.graph, "add") == 1  # changes dtype: kept
+
+
+class TestPassManagerEndToEnd:
+    @given(st.lists(st.floats(-5, 5, width=32), min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_optimized_graph_is_equivalent(self, values):
+        """Property: the full pass pipeline never changes results."""
+        feed = np.asarray(values, np.float32)
+        b = GraphBuilder()
+        with b:
+            x = b.placeholder("x", shape=feed.shape, dtype=R.float32)
+            c = api.add(b.convert(2.0), b.convert(2.0))
+            y = api.add(api.mul(x, c), 0.0)
+            z1 = api.tanh(y)
+            z2 = api.tanh(y)
+            b.mark_outputs([api.add(z1, z2)])
+        before = GraphExecutor(b.graph).run([feed])[0].copy()
+        PassManager().run(b.graph)
+        after = GraphExecutor(b.graph).run([feed])[0]
+        np.testing.assert_allclose(before, after, atol=1e-6)
+
+    def test_recurses_into_nested_functions(self):
+        inner = GraphBuilder()
+        with inner:
+            x = inner.placeholder("x", shape=(), dtype=R.float32)
+            c = api.add(inner.convert(1.0), inner.convert(1.0))
+            inner.mark_outputs([api.add(x, c)])
+        func = inner.finalize_function("body")
+        outer = GraphBuilder()
+        with outer:
+            x = outer.placeholder("x", shape=(), dtype=R.float32)
+            out = outer.invoke(func, [x], [(R.Shape(()), R.float32)])
+            outer.mark_outputs([out])
+        PassManager().run(outer.graph)
+        # Inner constant add folded away.
+        assert count_ops(func.graph, "add") == 1

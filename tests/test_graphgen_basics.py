@@ -1,0 +1,271 @@
+"""Graph generation of basic programs (paper section 4.1, figure 3)."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from repro.ops import api
+
+
+def strict():
+    return janus.JanusConfig(fail_on_not_convertible=True)
+
+
+def converged(jf):
+    """True once the function runs from a generated graph."""
+    return jf.stats["graph_runs"] > 0 and not jf.imperative_only
+
+
+def warm(jf, *args, n=5):
+    out = None
+    for _ in range(n):
+        out = jf(*args)
+    return out
+
+
+class TestFigure3:
+    def test_linear_model(self):
+        @janus.function(config=strict())
+        def loss_fn(x, y):
+            y_ = 0.5 * x + 1.5
+            return (y_ - y) ** 2
+
+        x = R.constant([1.0, 2.0, 3.0])
+        y = R.constant([2.0, 2.0, 2.0])
+        out = warm(loss_fn, x, y)
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.25, 1.0],
+                                   atol=1e-6)
+        assert converged(loss_fn)
+
+    def test_literals_become_constants(self):
+        @janus.function(config=strict())
+        def f(x):
+            return x * 2.0 + 10.0
+
+        out = warm(f, R.constant(1.0))
+        assert float(out.numpy()) == pytest.approx(12.0)
+        entry = next(iter(f.cache._entries.values()))
+        names = {n.op_name for n in entry.generated.graph.nodes}
+        assert "constant" in names or "add" in names
+
+
+class TestExpressions:
+    def test_operator_coverage(self):
+        @janus.function(config=strict())
+        def f(x):
+            a = x + 1.0
+            b = a - 0.5
+            c = b * 2.0
+            d = c / 4.0
+            e = d ** 2.0
+            return -e + abs(e)
+
+        out = warm(f, R.constant(3.0))
+        x = 3.0
+        expected = -(((x + 1 - 0.5) * 2 / 4) ** 2) + \
+            abs(((x + 1 - 0.5) * 2 / 4) ** 2)
+        assert float(out.numpy()) == pytest.approx(expected)
+        assert converged(f)
+
+    def test_comparisons_and_boolops(self):
+        @janus.function(config=strict())
+        def f(x):
+            return R.logical_and(x > 0.0, x < 10.0)
+
+        assert bool(warm(f, R.constant(5.0)).numpy())
+        assert converged(f)
+
+    def test_chained_comparison(self):
+        @janus.function(config=strict())
+        def f(x):
+            return 0.0 < x < 10.0
+
+        assert bool(warm(f, R.constant(5.0)).numpy())
+
+    def test_matmul_operator(self):
+        @janus.function(config=strict())
+        def f(a, b):
+            return a @ b
+
+        a = R.constant(np.eye(2, dtype=np.float32))
+        b = R.constant(np.array([[1.0, 2.0], [3.0, 4.0]], np.float32))
+        np.testing.assert_allclose(warm(f, a, b).numpy(), b.numpy())
+        assert converged(f)
+
+    def test_subscripts(self):
+        @janus.function(config=strict())
+        def f(x):
+            return x[1] + x[0, 0] + R.reduce_sum(x[:, 1])
+
+        x = R.constant(np.arange(6, dtype=np.float32).reshape(2, 3))
+        expected = x.numpy()[1] + x.numpy()[0, 0] + x.numpy()[:, 1].sum()
+        np.testing.assert_allclose(warm(f, x).numpy(), expected)
+
+    def test_tuple_unpacking(self):
+        @janus.function(config=strict())
+        def f(x):
+            a, b = R.split(x, 2, axis=0)
+            return R.reduce_sum(a) - R.reduce_sum(b)
+
+        x = R.constant(np.arange(4, dtype=np.float32))
+        assert float(warm(f, x).numpy()) == pytest.approx((0 + 1) - (2 + 3))
+
+    def test_local_lists(self):
+        @janus.function(config=strict())
+        def f(x):
+            outs = []
+            outs.append(x * 1.0)
+            outs += [x * 2.0]
+            return R.reduce_sum(R.stack(outs))
+
+        x = R.constant(np.ones(2, np.float32))
+        assert float(warm(f, x).numpy()) == pytest.approx(2 + 4)
+        assert converged(f)
+
+    def test_dict_locals(self):
+        @janus.function(config=strict())
+        def f(x):
+            d = {"a": x * 2.0, "b": x + 1.0}
+            return d["a"] - d["b"]
+
+        assert float(warm(f, R.constant(3.0)).numpy()) == \
+            pytest.approx(6.0 - 4.0)
+
+    def test_fstring_constant(self):
+        @janus.function(config=strict())
+        def f(x):
+            name = f"scale_{2}"
+            scale = 2.0 if name == "scale_2" else 0.0
+            return x * scale
+
+        assert float(warm(f, R.constant(4.0)).numpy()) == 8.0
+
+    def test_list_comprehension_static(self):
+        @janus.function(config=strict())
+        def f(x):
+            parts = [x * float(i) for i in range(3)]
+            return R.reduce_sum(R.stack(parts))
+
+        assert float(warm(f, R.constant(2.0)).numpy()) == \
+            pytest.approx(0 + 2 + 4)
+
+
+class TestCalls:
+    def test_whitelisted_framework_calls(self):
+        @janus.function(config=strict())
+        def f(x):
+            return R.reduce_mean(R.tanh(R.matmul(x, x)))
+
+        x = R.constant(np.eye(3, dtype=np.float32))
+        warm(f, x)
+        assert converged(f)
+
+    def test_user_function_inlined(self):
+        def helper(v, scale):
+            return v * scale
+
+        @janus.function(config=strict())
+        def f(x):
+            return helper(x, 3.0) + helper(x, 4.0)
+
+        assert float(warm(f, R.constant(2.0)).numpy()) == \
+            pytest.approx(14.0)
+        assert converged(f)
+
+    def test_keyword_and_default_arguments(self):
+        def helper(v, scale=2.0, shift=0.0):
+            return v * scale + shift
+
+        @janus.function(config=strict())
+        def f(x):
+            return helper(x, shift=1.0)
+
+        assert float(warm(f, R.constant(3.0)).numpy()) == \
+            pytest.approx(7.0)
+
+    def test_lambda_inlined(self):
+        @janus.function(config=strict())
+        def f(x):
+            double = lambda v: v * 2.0  # noqa: E731
+            return double(x)
+
+        assert float(warm(f, R.constant(4.0)).numpy()) == 8.0
+
+    def test_nested_def_inlined(self):
+        @janus.function(config=strict())
+        def f(x):
+            def inner(v):
+                return v + 100.0
+            return inner(x)
+
+        assert float(warm(f, R.constant(1.0)).numpy()) == 101.0
+
+    def test_builtin_len_range_sum(self):
+        @janus.function(config=strict())
+        def f(x):
+            n = len(x)
+            total = x * 0.0
+            for i in range(n):
+                total = total + x
+            return sum([R.reduce_sum(total)])
+
+        x = R.constant(np.ones(3, np.float32))
+        assert float(warm(f, x).numpy()) == pytest.approx(9.0)
+
+    def test_min_max_builtins(self):
+        @janus.function(config=strict())
+        def f(x, y):
+            return max(x, y) - min(x, y)
+
+        out = warm(f, R.constant(3.0), R.constant(5.0))
+        assert float(out.numpy()) == pytest.approx(2.0)
+
+
+class TestOutputStructures:
+    def test_tuple_return(self):
+        @janus.function(config=strict())
+        def f(x):
+            return x + 1.0, x * 2.0
+
+        a, b = warm(f, R.constant(3.0))
+        assert float(a.numpy()) == 4.0 and float(b.numpy()) == 6.0
+        assert converged(f)
+
+    def test_list_return(self):
+        @janus.function(config=strict())
+        def f(x):
+            return [x, x + 1.0]
+
+        out = warm(f, R.constant(1.0))
+        assert isinstance(out, list) and float(out[1].numpy()) == 2.0
+
+    def test_dict_return(self):
+        @janus.function(config=strict())
+        def f(x):
+            return {"loss": x * 2.0, "aux": x}
+
+        out = warm(f, R.constant(2.0))
+        assert float(out["loss"].numpy()) == 4.0
+
+    def test_none_return(self):
+        sink = {"value": None}
+
+        @janus.function(config=strict())
+        def f(x):
+            sink["value"] = x * 2.0
+
+        assert warm(f, R.constant(2.0)) is None
+        assert converged(f)
+        assert float(np.asarray(sink["value"].numpy())) == 4.0
+
+
+class TestAssertStatement:
+    def test_user_assert_converts(self):
+        @janus.function(config=strict())
+        def f(x):
+            assert R.reduce_sum(x) > -1e9
+            return x * 2.0
+
+        warm(f, R.constant(np.ones(2, np.float32)))
+        assert converged(f)

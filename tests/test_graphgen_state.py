@@ -1,0 +1,214 @@
+"""Impure-function conversion (paper section 4.2.3).
+
+Object attribute reads/writes become PyGetAttr/PySetAttr nodes with
+deferred, all-or-nothing writeback; Variables are shared between modes.
+"""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+
+
+def strict(**kw):
+    return janus.JanusConfig(fail_on_not_convertible=True, **kw)
+
+
+def warm(jf, *args, n=5):
+    out = None
+    for _ in range(n):
+        out = jf(*args)
+    return out
+
+
+class Holder:
+    def __init__(self, value):
+        self.state = R.constant(np.float32(value))
+        self.count = 0
+
+
+class TestAttributeState:
+    def test_figure1_state_passing(self):
+        """Read self.state, compute, write self.state back."""
+        h = Holder(1.0)
+
+        @janus.function(config=strict())
+        def step(x):
+            state = h.state
+            new_state = state * 2.0 + R.reduce_sum(x)
+            h.state = new_state
+            return new_state
+
+        x = R.constant(np.zeros(2, np.float32))
+        values = [float(step(x).numpy()) for _ in range(6)]
+        # state doubles every call: 2, 4, 8, 16, 32, 64
+        assert values == [pytest.approx(2.0 ** (i + 1)) for i in range(6)]
+        assert step.stats["graph_runs"] >= 3
+
+    def test_graph_writeback_visible_to_imperative(self):
+        h = Holder(1.0)
+
+        @janus.function(config=strict())
+        def step():
+            h.state = h.state + 1.0
+            return h.state
+
+        warm(step, n=6)
+        # The heap object itself was updated by graph commits.
+        assert float(h.state.numpy()) == pytest.approx(7.0)
+        assert isinstance(h.state, R.Tensor)
+
+    def test_heap_read_shape_assumption_relaxes(self):
+        h = Holder(0.0)
+        h.state = R.constant(np.zeros((4, 8), np.float32))
+
+        @janus.function(config=strict())
+        def f():
+            return R.reduce_sum(h.state)
+
+        warm(f)
+        assert f.stats["graph_runs"] > 0
+        # Change the state's shape behind JANUS's back.
+        h.state = R.constant(np.ones((3, 8), np.float32))
+        out = f()   # assert fires, falls back, computes correctly
+        assert float(out.numpy()) == pytest.approx(24.0)
+        assert f.stats["fallbacks"] == 1
+        # Regenerated graph accepts both shapes.
+        out = f()
+        assert float(out.numpy()) == pytest.approx(24.0)
+        h.state = R.constant(np.zeros((4, 8), np.float32))
+        assert float(f().numpy()) == pytest.approx(0.0)
+
+    def test_scalar_attr_constant_guard(self):
+        h = Holder(0.0)
+        h.scale = 3.0
+
+        @janus.function(config=strict())
+        def f(x):
+            return x * h.scale
+
+        warm(f, R.constant(2.0))
+        assert f.stats["graph_runs"] > 0
+        h.scale = 5.0   # breaks the burned-in constant
+        out = f(R.constant(2.0))
+        assert float(out.numpy()) == pytest.approx(10.0)
+        assert f.stats["fallbacks"] == 1
+
+    def test_subscript_state(self):
+        store = {"w": R.constant(np.float32(2.0))}
+
+        @janus.function(config=strict())
+        def f(x):
+            y = x * store["w"]
+            store["result"] = y
+            return y
+
+        out = warm(f, R.constant(3.0))
+        assert float(out.numpy()) == 6.0
+        assert float(store["result"].numpy()) == 6.0
+        assert f.stats["graph_runs"] > 0
+
+
+class TestVariables:
+    def test_variable_assign_deferred_and_committed(self):
+        v = R.Variable(np.float32(0.0), name="acc")
+
+        @janus.function(config=strict())
+        def f(x):
+            v.assign(v.value() + R.reduce_sum(x))
+            return v.value()
+
+        x = R.constant(np.ones(2, np.float32))
+        values = [float(np.asarray(f(x).numpy())) for _ in range(5)]
+        assert values == [pytest.approx(2.0 * (i + 1)) for i in range(5)]
+        assert float(v.numpy()) == pytest.approx(10.0)
+
+    def test_assign_add_method(self):
+        v = R.Variable(np.float32(10.0))
+
+        @janus.function(config=strict())
+        def f():
+            v.assign_add(1.0)
+            return v.value()
+
+        warm(f, n=4)
+        assert float(v.numpy()) == pytest.approx(14.0)
+
+    def test_variables_shared_between_modes(self):
+        """Paper section 5: parameters shared by eager and graph mode."""
+        v = R.Variable(np.float32(1.0))
+
+        @janus.function(config=strict())
+        def f():
+            v.assign(v.value() * 2.0)
+            return v.value()
+
+        f()  # imperative (profiling)
+        assert float(v.numpy()) == 2.0
+        warm(f, n=4)  # graph mode continues from the same storage
+        assert float(v.numpy()) == pytest.approx(32.0)
+
+
+class TestAllOrNothing:
+    def test_failed_run_leaves_heap_untouched(self):
+        h = Holder(1.0)
+        h.flag = R.constant(np.ones(1, np.float32))
+
+        @janus.function(config=strict())
+        def f():
+            h.state = h.state + 100.0     # heap write (deferred)
+            if R.reduce_sum(h.flag) > 0.0:
+                return h.state * 1.0
+            return h.state * -1.0
+
+        for k in range(5):
+            h.flag = R.constant(np.full(1, float(k + 1), np.float32))
+            f()
+        state_before = float(h.state.numpy())
+        assert f.stats["graph_runs"] > 0
+        # Flip the branch: the assert fires mid-graph AFTER the heap
+        # write node executed; the commit must not have happened, and the
+        # imperative fallback then applies the write exactly once.
+        h.flag = R.constant(-np.ones(1, np.float32))
+        out = f()
+        assert f.stats["fallbacks"] == 1
+        state_after = float(h.state.numpy())
+        assert state_after == pytest.approx(state_before + 100.0)
+        assert float(out.numpy()) == pytest.approx(-(state_before + 100))
+
+
+class TestImperativeOnlyFallback:
+    def test_generator_function_stays_imperative(self):
+        @janus.function
+        def f(x):
+            def gen():
+                yield x
+            return R.reduce_sum(R.stack(list(gen())))
+
+        x = R.constant(np.ones(2, np.float32))
+        out = warm(f, x)
+        assert float(out.numpy()) == 2.0
+        assert f.imperative_only
+        assert f.stats["graph_runs"] == 0
+
+    def test_numpy_materialization_stays_imperative(self):
+        @janus.function
+        def f(x):
+            arr = x.numpy()     # escapes the graph world
+            return R.constant(float(arr.sum()))
+
+        x = R.constant(np.ones(3, np.float32))
+        out = warm(f, x)
+        assert float(out.numpy()) == 3.0
+        assert f.imperative_only
+
+    def test_not_convertible_reason_recorded(self):
+        @janus.function
+        def f(x):
+            import math  # inline import: section 4.3.2
+            return x
+
+        warm(f, R.constant(1.0))
+        assert f.imperative_only
+        assert "import" in f.not_convertible_reason

@@ -1,0 +1,145 @@
+"""GraphCache, JanusConfig, whitelist, and error-type behaviours."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from repro.errors import (AssumptionFailed, NotConvertible, ReproError,
+                          ShapeError, GraphError, ExecutionError)
+from repro.janus.cache import CacheEntry, GraphCache
+from repro.janus.config import JanusConfig, ABLATION_STAGES
+from repro.janus import whitelist
+from repro.ops import api
+
+
+class TestGraphCache:
+    def test_signature_groups_by_type_level(self):
+        cache = GraphCache()
+        a = cache.signature_of([R.constant(np.zeros((4, 2), np.float32))])
+        b = cache.signature_of([R.constant(np.zeros((9, 2), np.float32))])
+        c = cache.signature_of([R.constant(np.zeros((4, 2), np.int64))])
+        assert a == b       # same dtype + rank
+        assert a != c       # dtype differs
+
+    def test_store_lookup_invalidate(self):
+        cache = GraphCache()
+        entry = CacheEntry(None, None)
+        cache.store(("sig",), entry)
+        assert cache.lookup(("sig",)) is entry
+        cache.invalidate(("sig",))
+        assert cache.lookup(("sig",)) is None
+        cache.invalidate(("sig",))  # idempotent
+
+    def test_stats_aggregate(self):
+        cache = GraphCache()
+        e1, e2 = CacheEntry(None, None), CacheEntry(None, None)
+        e1.hits, e2.misses, e2.failures = 3, 1, 2
+        cache.store(("a",), e1)
+        cache.store(("b",), e2)
+        stats = cache.stats()
+        assert stats == {"entries": 2, "hits": 3, "misses": 1,
+                         "assumption_failures": 2}
+
+
+class TestJanusConfig:
+    def test_copy_overrides(self):
+        cfg = JanusConfig()
+        new = cfg.copy(profile_runs=7)
+        assert new.profile_runs == 7
+        assert cfg.profile_runs == 3    # original untouched
+
+    def test_copy_rejects_unknown_field(self):
+        with pytest.raises(AttributeError):
+            JanusConfig().copy(bogus=True)
+
+    def test_default_profile_runs_matches_paper(self):
+        # Paper section 3.1 footnote: 3 iterations suffice.
+        assert JanusConfig().profile_runs == 3
+
+    def test_ablation_stages_are_cumulative(self):
+        base = ABLATION_STAGES["BASE"]
+        unrl = ABLATION_STAGES["+UNRL"]
+        spcn = ABLATION_STAGES["+SPCN"]
+        parl = ABLATION_STAGES["+PARL"]
+        assert not base["unroll_stable_control_flow"]
+        assert unrl["unroll_stable_control_flow"]
+        assert not unrl["specialize_types"]
+        assert spcn["specialize_types"] and spcn["optimize_graph"]
+        assert parl["parallel_execution"]
+
+    def test_global_config_swap(self):
+        original = janus.get_config()
+        try:
+            janus.set_config(JanusConfig(profile_runs=1))
+            assert janus.get_config().profile_runs == 1
+        finally:
+            janus.set_config(original)
+
+
+class TestWhitelist:
+    def test_framework_functions_whitelisted(self):
+        for fn in (api.matmul, api.conv2d, api.reduce_sum, api.softmax):
+            assert whitelist.is_whitelisted(fn)
+
+    def test_builtins_whitelisted(self):
+        assert whitelist.is_whitelisted(print)
+        assert whitelist.is_whitelisted(len)
+        assert whitelist.is_whitelisted(range)
+
+    def test_user_function_not_whitelisted(self):
+        def mine():
+            pass
+        assert not whitelist.is_whitelisted(mine)
+
+    def test_names_listing_is_sorted_and_nonempty(self):
+        names = whitelist.whitelisted_names()
+        assert len(names) > 50
+        assert names == sorted(names)
+
+    def test_handler_for_framework_fn_is_identity(self):
+        assert whitelist.handler_for(api.matmul) is api.matmul
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for err in (ShapeError, GraphError, ExecutionError,
+                    AssumptionFailed, NotConvertible):
+            assert issubclass(err, ReproError)
+
+    def test_assumption_failed_carries_site(self):
+        exc = AssumptionFailed("boom", site=("branch", "s1"),
+                              observed=42)
+        assert exc.site == ("branch", "s1")
+        assert exc.observed == 42
+
+    def test_not_convertible_carries_feature(self):
+        exc = NotConvertible("nope", feature="yield")
+        assert exc.feature == "yield"
+
+
+class TestJanusStatsAccounting:
+    def test_fallback_increments_and_graph_regenerates(self):
+        holder = type("H", (), {})()
+        holder.state = R.constant(np.zeros((4, 2), np.float32))
+
+        @janus.function(config=JanusConfig(
+            fail_on_not_convertible=True))
+        def f():
+            return R.reduce_sum(holder.state)
+
+        for _ in range(5):
+            f()
+        generated_before = f.stats["graphs_generated"]
+        holder.state = R.constant(np.zeros((2, 2), np.float32))
+        f()   # assert fails -> fallback
+        assert f.stats["fallbacks"] == 1
+        f()   # relaxed graph regenerated
+        assert f.stats["graphs_generated"] == generated_before + 1
+        # Relaxed shape covers both sizes without further regeneration.
+        holder.state = R.constant(np.zeros((4, 2), np.float32))
+        f()
+        holder.state = R.constant(np.zeros((7, 2), np.float32))
+        out = f()
+        assert float(out.numpy()) == 0.0
+        assert f.stats["graphs_generated"] == generated_before + 1

@@ -1,0 +1,157 @@
+"""Assorted integration coverage: print conversion, symbolic-mode object
+signatures, profiler break hygiene, figure-4 shape relaxation chain."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus, nn
+from repro.janus.profiler import Profiler
+from repro.modes import make_step
+
+
+def strict(**kw):
+    return janus.JanusConfig(fail_on_not_convertible=True, **kw)
+
+
+class TestPrintConversion:
+    def test_print_becomes_graph_op(self, capfd):
+        @janus.function(config=strict())
+        def f(x):
+            print("total:", R.reduce_sum(x))
+            return x * 2.0
+
+        x = R.constant(np.ones(2, np.float32))
+        for _ in range(5):
+            f(x)
+        assert f.stats["graph_runs"] > 0
+        entry = next(iter(f.cache._entries.values()))
+        ops = {n.op_name for n in entry.generated.graph.nodes}
+        assert "print" in ops
+        out, _err = capfd.readouterr()
+        # printed on every call (imperative and graph runs alike)
+        assert out.count("total:") == 5
+
+
+class TestSymbolicObjectSignatures:
+    def test_graph_built_per_object_identity(self):
+        class Item:
+            def __init__(self, scale):
+                self.scale = scale
+
+        def loss_fn(item, x):
+            return R.reduce_sum(x) * item.scale
+
+        step = make_step(loss_fn, None, "symbolic")
+        a, b = Item(2.0), Item(5.0)
+        x = np.ones(3, np.float32)
+        assert float(np.asarray(step(a, x).numpy())) == 6.0
+        assert float(np.asarray(step(b, x).numpy())) == 15.0
+        assert step.builds == 2      # one graph per burned-in object
+        assert float(np.asarray(step(a, x).numpy())) == 6.0
+        assert step.builds == 2      # cached
+
+
+class TestProfilerHygiene:
+    def test_while_counter_reset_after_break(self):
+        """A break leaves a while counter mid-flight; the next profiled
+        call must not inherit it (trip counts stay per-execution)."""
+        def f(n, cut):
+            i = 0
+            while i < n:
+                if cut and i == 2:
+                    break
+                i += 1
+            return i
+
+        prof = Profiler()
+        prof.profile_call(f, [5, True])    # breaks at 2
+        prof.profile_call(f, [3, False])   # runs to completion
+        site = next(s for s, e in prof.sites.items()
+                    if e.kind == "loop")
+        # the completed run recorded exactly its own trip count
+        assert 3 in prof.sites[site].trip_counts
+        assert 5 not in prof.sites[site].trip_counts
+        assert max(prof.sites[site].trip_counts) <= 3
+
+
+class TestFigure4RelaxationChain:
+    def test_shape_family_never_regenerates_twice(self):
+        """The figure-4 walkthrough via the public API: (4, 8) then
+        (3, 8) relaxes to (?, 8); later (2, 8) and (6, 8) reuse it."""
+        @janus.function(config=strict(profile_runs=2))
+        def f(x):
+            return R.reduce_sum(R.tanh(x))
+
+        def call(batch):
+            return f(R.constant(np.zeros((batch, 8), np.float32)))
+
+        call(4)
+        call(4)          # profiling done: spec is const (4, 8) zeros
+        call(4)          # graph #1
+        g1 = f.stats["graphs_generated"]
+        assert g1 == 1
+        call(3)          # precheck miss -> relax -> imperative
+        call(3)          # graph #2 with (?, 8)
+        g2 = f.stats["graphs_generated"]
+        assert g2 == 2
+        for batch in (2, 6, 100):
+            out = call(batch)
+            assert float(out.numpy()) == 0.0
+        # the (?, 8) graph absorbed every further batch size
+        assert f.stats["graphs_generated"] == 2
+        assert f.cache_stats()["entries"] == 1
+
+
+class TestEnumerateZip:
+    def test_enumerate_conversion(self):
+        @janus.function(config=strict())
+        def f(x):
+            total = x * 0.0
+            for i, row in enumerate(x):
+                total = total + row * float(i)
+            return R.reduce_sum(total)
+
+        x = R.constant(np.ones((3, 2), np.float32))
+        out = None
+        for _ in range(5):
+            out = f(x)
+        # total has shape (3, 2): broadcasting adds each weighted row
+        # to every row of the accumulator -> 3 * (0+1+2) * 2 elements.
+        assert float(out.numpy()) == pytest.approx(3 * (0 + 1 + 2) * 2)
+        assert f.stats["graph_runs"] > 0
+
+    def test_zip_conversion(self):
+        @janus.function(config=strict())
+        def f(a, b):
+            total = R.constant(0.0)
+            for x, y in zip(a, b):
+                total = total + R.reduce_sum(x * y)
+            return total
+
+        a = R.constant(np.full((3, 2), 2.0, np.float32))
+        b = R.constant(np.full((3, 2), 5.0, np.float32))
+        out = None
+        for _ in range(5):
+            out = f(a, b)
+        assert float(out.numpy()) == pytest.approx(3 * 2 * 10.0)
+
+
+class TestVarargsInlining:
+    def test_star_args_callee(self):
+        def combine(*parts):
+            total = parts[0]
+            for p in parts[1:]:
+                total = total + p
+            return total
+
+        @janus.function(config=strict())
+        def f(x):
+            return R.reduce_sum(combine(x, x * 2.0, x * 3.0))
+
+        x = R.constant(np.ones(2, np.float32))
+        out = None
+        for _ in range(5):
+            out = f(x)
+        assert float(out.numpy()) == pytest.approx(12.0)
+        assert f.stats["graph_runs"] > 0

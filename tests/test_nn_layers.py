@@ -1,0 +1,155 @@
+"""Layer library: shapes, training/eval behaviour, variable tracking."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import nn
+from repro.ops import api
+
+
+def randn(*shape):
+    return np.random.default_rng(0).normal(size=shape).astype(np.float32)
+
+
+class TestDense:
+    def test_shape_and_activation(self):
+        layer = nn.Dense(4, 8, activation=api.relu)
+        out = layer(R.constant(randn(2, 4)))
+        assert out.shape == R.Shape((2, 8))
+        assert out.numpy().min() >= 0
+
+    def test_no_bias(self):
+        layer = nn.Dense(3, 3, use_bias=False)
+        assert layer.bias is None
+        assert len(layer.trainable_variables) == 1
+
+
+class TestConv2D:
+    def test_same_padding_keeps_spatial(self):
+        layer = nn.Conv2D(3, 8, kernel_size=3, padding="SAME")
+        out = layer(R.constant(randn(2, 10, 10, 3)))
+        assert out.shape == R.Shape((2, 10, 10, 8))
+
+    def test_strided(self):
+        layer = nn.Conv2D(1, 4, kernel_size=3, strides=2, padding="SAME")
+        out = layer(R.constant(randn(1, 8, 8, 1)))
+        assert out.shape == R.Shape((1, 4, 4, 4))
+
+    def test_transpose_upsamples(self):
+        layer = nn.Conv2DTranspose(4, 2, output_hw=(8, 8), kernel_size=4,
+                                   strides=2)
+        out = layer(R.constant(randn(1, 4, 4, 4)))
+        assert out.shape == R.Shape((1, 8, 8, 2))
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        bn = nn.BatchNorm(4)
+        x = R.constant(randn(64, 4) * 5.0 + 3.0)
+        out = bn(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0, atol=1e-3)
+        np.testing.assert_allclose(out.std(axis=0), 1, atol=1e-2)
+
+    def test_moving_stats_updated_in_training(self):
+        bn = nn.BatchNorm(2, momentum=0.5)
+        before = bn.moving_mean.numpy().copy()
+        bn(R.constant(randn(32, 2) + 10.0))
+        after = bn.moving_mean.numpy()
+        assert not np.allclose(before, after)
+
+    def test_eval_uses_moving_stats(self):
+        bn = nn.BatchNorm(2)
+        x = R.constant(randn(32, 2) + 4.0)
+        for _ in range(60):
+            bn(x)   # converge moving stats
+        bn.training = False
+        frozen = bn.moving_mean.numpy().copy()
+        out_eval = bn(x).numpy()
+        np.testing.assert_array_equal(bn.moving_mean.numpy(), frozen)
+        # roughly normalized using converged stats
+        assert abs(out_eval.mean()) < 0.5
+
+    def test_gamma_beta_trainable_stats_not(self):
+        bn = nn.BatchNorm(2)
+        trainables = {v.name.split("/")[-1]
+                      for v in bn.trainable_variables}
+        assert trainables == {"gamma", "beta"}
+
+
+class TestDropoutEmbedding:
+    def test_dropout_off_in_eval(self):
+        d = nn.Dropout(0.5)
+        d.training = False
+        x = R.constant(randn(8, 8))
+        np.testing.assert_array_equal(d(x).numpy(), x.numpy())
+
+    def test_dropout_scales_in_training(self):
+        d = nn.Dropout(0.5)
+        x = R.constant(np.ones((2000,), np.float32))
+        out = d(x).numpy()
+        assert {0.0, 2.0} >= set(np.unique(out).tolist())
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_embedding_lookup(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(R.constant(np.array([1, 1, 3], np.int64)))
+        assert out.shape == R.Shape((3, 4))
+        np.testing.assert_array_equal(out.numpy()[0], out.numpy()[1])
+
+
+class TestRNNCells:
+    @pytest.mark.parametrize("cell_cls", [nn.LSTMCell, nn.GRUCell,
+                                          nn.RNNCell])
+    def test_step_shapes(self, cell_cls):
+        cell = cell_cls(4, 8)
+        state = cell.zero_state(2)
+        x = R.constant(randn(2, 4))
+        new_state = cell(state, x)
+        h = new_state[0] if isinstance(new_state, tuple) else new_state
+        assert h.shape == R.Shape((2, 8))
+
+    def test_lstm_cell_state_propagates(self):
+        cell = nn.LSTMCell(2, 4)
+        state = cell.zero_state(1)
+        x = R.constant(randn(1, 2))
+        s1 = cell(state, x)
+        s2 = cell(s1, x)
+        assert not np.allclose(s1[0].numpy(), s2[0].numpy())
+
+
+class TestModuleTracking:
+    def test_nested_variables_found(self):
+        model = nn.Sequential([nn.Dense(2, 4), nn.Dense(4, 2)])
+        assert len(model.variables) == 4
+
+    def test_variables_in_dicts_and_lists(self):
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.parts = {"a": nn.Dense(2, 2, use_bias=False)}
+                self.stack = [nn.Dense(2, 2, use_bias=False)]
+
+        assert len(M().variables) == 2
+
+    def test_uid_ordering_deterministic(self):
+        model = nn.Sequential([nn.Dense(2, 2), nn.Dense(2, 2)])
+        names = [v.uid for v in model.variables]
+        assert names == sorted(names)
+
+    def test_set_training_recurses(self):
+        model = nn.Sequential([nn.BatchNorm(2), nn.Dropout(0.1)])
+        nn.set_training(model, False)
+        assert model.layers[0].training is False
+        assert model.layers[1].training is False
+
+
+class TestLosses:
+    def test_accuracy(self):
+        logits = R.constant(np.array([[5.0, 0.0], [0.0, 5.0]], np.float32))
+        labels = R.constant(np.array([0, 0], np.int64))
+        assert float(nn.losses.accuracy(logits, labels).numpy()) == 0.5
+
+    def test_mse_zero_for_equal(self):
+        x = R.constant(randn(3, 3))
+        assert float(nn.losses.mean_squared_error(x, x).numpy()) == 0.0

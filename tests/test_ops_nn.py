@@ -1,0 +1,173 @@
+"""Convolution, pooling, and softmax kernels against naive references."""
+
+import numpy as np
+import pytest
+
+from repro.ops import get_op
+
+
+def run(name, *arrays, **attrs):
+    op = get_op(name)
+    return op.kernel(attrs, *[np.asarray(a) for a in arrays])
+
+
+def naive_conv2d(x, filters, strides, padding):
+    """Straightforward quadruple-loop NHWC/HWIO convolution."""
+    sh, sw = strides
+    kh, kw, cin, cout = filters.shape
+    n, h, w, _ = x.shape
+    if padding == "SAME":
+        oh, ow = -(-h // sh), -(-w // sw)
+        pad_h = max((oh - 1) * sh + kh - h, 0)
+        pad_w = max((ow - 1) * sw + kw - w, 0)
+        x = np.pad(x, ((0, 0), (pad_h // 2, pad_h - pad_h // 2),
+                       (pad_w // 2, pad_w - pad_w // 2), (0, 0)))
+    else:
+        oh, ow = (h - kh) // sh + 1, (w - kw) // sw + 1
+    out = np.zeros((n, oh, ow, cout), np.float64)
+    for b in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[b, i * sh:i * sh + kh, j * sw:j * sw + kw, :]
+                for o in range(cout):
+                    out[b, i, j, o] = np.sum(patch * filters[..., o])
+    return out.astype(np.float32)
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("strides,padding", [
+        ((1, 1), "VALID"), ((1, 1), "SAME"), ((2, 2), "SAME"),
+        ((2, 1), "VALID"),
+    ])
+    def test_matches_naive(self, strides, padding):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 6, 7, 3)).astype(np.float32)
+        f = rng.normal(size=(3, 3, 3, 4)).astype(np.float32)
+        got = run("conv2d", x, f, strides=strides, padding=padding)
+        want = naive_conv2d(x, f, strides, padding)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_channel_mismatch_raises(self):
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            run("conv2d", np.zeros((1, 4, 4, 2), np.float32),
+                np.zeros((3, 3, 3, 4), np.float32))
+
+    def test_input_grad_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 5, 5, 2)).astype(np.float32)
+        f = rng.normal(size=(3, 3, 2, 2)).astype(np.float32)
+        attrs = dict(strides=(1, 1), padding="SAME")
+        y = run("conv2d", x, f, **attrs)
+        gy = np.ones_like(y)
+        gx = run("conv2d_input_grad", gy, f, x, **attrs)
+        eps = 1e-2
+        for idx in [(0, 0, 0, 0), (0, 2, 3, 1), (0, 4, 4, 0)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (run("conv2d", xp, f, **attrs).sum()
+                   - run("conv2d", xm, f, **attrs).sum()) / (2 * eps)
+            assert gx[idx] == pytest.approx(num, abs=2e-2)
+
+    def test_filter_grad_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 5, 5, 2)).astype(np.float32)
+        f = rng.normal(size=(3, 3, 2, 2)).astype(np.float32)
+        attrs = dict(strides=(2, 2), padding="SAME")
+        y = run("conv2d", x, f, **attrs)
+        gf = run("conv2d_filter_grad", np.ones_like(y), x, f, **attrs)
+        eps = 1e-2
+        for idx in [(0, 0, 0, 0), (1, 2, 1, 1)]:
+            fp, fm = f.copy(), f.copy()
+            fp[idx] += eps
+            fm[idx] -= eps
+            num = (run("conv2d", x, fp, **attrs).sum()
+                   - run("conv2d", x, fm, **attrs).sum()) / (2 * eps)
+            assert gf[idx] == pytest.approx(num, abs=2e-2)
+
+    def test_transpose_inverts_spatial_reduction(self):
+        x = np.ones((1, 3, 3, 2), np.float32)
+        f = np.ones((4, 4, 1, 2), np.float32)
+        out = run("conv2d_transpose", x, f, strides=(2, 2),
+                  padding="SAME", output_shape=(6, 6, 1))
+        assert out.shape == (1, 6, 6, 1)
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = run("max_pool", x, ksize=(2, 2), strides=(2, 2),
+                  padding="VALID")
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        attrs = dict(ksize=(2, 2), strides=(2, 2), padding="VALID")
+        y = run("max_pool", x, **attrs)
+        g = run("max_pool_grad", np.ones_like(y), x, y, **attrs)
+        # Exactly the max positions receive gradient.
+        assert g.sum() == 4
+        assert g[0, 1, 1, 0] == 1 and g[0, 0, 0, 0] == 0
+
+    def test_max_pool_grad_ties_route_once(self):
+        x = np.zeros((1, 2, 2, 1), np.float32)
+        attrs = dict(ksize=(2, 2), strides=(2, 2), padding="VALID")
+        y = run("max_pool", x, **attrs)
+        g = run("max_pool_grad", np.ones_like(y), x, y, **attrs)
+        assert g.sum() == pytest.approx(1.0)
+
+    def test_avg_pool_and_grad(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        attrs = dict(ksize=(2, 2), strides=(2, 2), padding="VALID")
+        out = run("avg_pool", x, **attrs)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+        g = run("avg_pool_grad", np.ones((1, 2, 2, 1), np.float32), x,
+                **attrs)
+        np.testing.assert_allclose(g, np.full_like(x, 0.25))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_normalizes(self):
+        out = run("softmax", np.random.randn(4, 7).astype(np.float32),
+                  axis=-1)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), atol=1e-6)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = run("softmax", np.array([[1000.0, 0.0]], np.float32),
+                  axis=-1)
+        assert not np.isnan(out).any()
+
+    def test_log_softmax_consistent(self):
+        x = np.random.randn(3, 5).astype(np.float32)
+        np.testing.assert_allclose(np.exp(run("log_softmax", x, axis=-1)),
+                                   run("softmax", x, axis=-1), atol=1e-5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], np.float32)
+        labels = np.array([0, 1])
+        out = run("softmax_cross_entropy", logits, labels)
+        np.testing.assert_allclose(out, [0.0, 0.0], atol=1e-5)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((1, 4), np.float32)
+        out = run("softmax_cross_entropy", logits, np.array([2]))
+        assert out[0] == pytest.approx(np.log(4), abs=1e-5)
+
+    def test_cross_entropy_grad_is_probs_minus_onehot(self):
+        logits = np.random.randn(2, 3).astype(np.float32)
+        labels = np.array([1, 2])
+        grad = run("softmax_cross_entropy_grad", np.ones(2, np.float32),
+                   logits, labels)
+        probs = run("softmax", logits, axis=-1)
+        expected = probs.copy()
+        expected[0, 1] -= 1
+        expected[1, 2] -= 1
+        np.testing.assert_allclose(grad, expected, atol=1e-5)
+
+    def test_sigmoid_cross_entropy_stable(self):
+        logits = np.array([1000.0, -1000.0], np.float32)
+        targets = np.array([1.0, 0.0], np.float32)
+        out = run("sigmoid_cross_entropy", logits, targets)
+        np.testing.assert_allclose(out, [0.0, 0.0], atol=1e-5)
+        assert not np.isinf(out).any()

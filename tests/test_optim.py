@@ -1,0 +1,117 @@
+"""Optimizers: convergence, slot state, and eager/graph-mode parity."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import nn
+from repro.graph import GraphBuilder, GraphExecutor, autodiff
+from repro.ops import api
+
+
+def quadratic_converges(optimizer, steps=120, tol=0.1):
+    """Minimize (w - 3)^2 from w=0; return the final w."""
+    w = R.Variable(np.float32(0.0))
+    for _ in range(steps):
+        with R.GradientTape() as tape:
+            loss = api.square(api.sub(w.value(), 3.0))
+        g = tape.gradient(loss, w)
+        optimizer.apply_gradients([(g, w)])
+    return float(w.numpy())
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("make_opt", [
+        lambda: nn.SGD(0.1),
+        lambda: nn.Momentum(0.02, 0.9),
+        lambda: nn.RMSProp(0.05),
+        lambda: nn.Adam(0.1),
+    ])
+    def test_reaches_minimum(self, make_opt):
+        assert quadratic_converges(make_opt()) == pytest.approx(3.0,
+                                                                abs=0.15)
+
+    def test_none_gradients_skipped(self):
+        w = R.Variable(np.float32(1.0))
+        nn.SGD(0.1).apply_gradients([(None, w)])
+        assert float(w.numpy()) == 1.0
+
+
+class TestSlots:
+    def test_momentum_slot_created_per_variable(self):
+        opt = nn.Momentum(0.1)
+        a = R.Variable(np.zeros(2, np.float32))
+        b = R.Variable(np.zeros(3, np.float32))
+        g = R.constant(np.ones(2, np.float32))
+        opt.apply_gradients([(g, a)])
+        opt.apply_gradients([(R.constant(np.ones(3, np.float32)), b)])
+        assert len(opt._slots) == 2
+        assert opt.slot(a, "velocity").shape == R.Shape((2,))
+
+    def test_slots_not_trainable(self):
+        opt = nn.Adam(0.1)
+        v = R.Variable(np.zeros(2, np.float32))
+        opt.apply_gradients([(R.constant(np.ones(2, np.float32)), v)])
+        assert not opt.slot(v, "m").trainable
+
+    def test_adam_step_counter_advances(self):
+        opt = nn.Adam(0.1)
+        v = R.Variable(np.float32(0.0))
+        g = R.constant(np.float32(1.0))
+        opt.apply_gradients([(g, v)])
+        opt.apply_gradients([(g, v)])
+        assert float(opt._step.numpy()) == 2.0
+
+
+class TestModeParity:
+    @pytest.mark.parametrize("make_opt", [
+        lambda: nn.SGD(0.05),
+        lambda: nn.Momentum(0.05, 0.9),
+        lambda: nn.Adam(0.05),
+    ])
+    def test_graph_update_equals_eager_update(self, make_opt):
+        """The same optimizer code emits graph ops that apply the exact
+        update the eager path applies — the mode-polymorphism the JANUS
+        training path depends on."""
+        x = np.random.default_rng(0).normal(size=(8, 2)).astype(np.float32)
+        y = (x @ np.array([[1.0], [-2.0]], np.float32))
+
+        def train_eagerly(opt, steps):
+            w = R.Variable(np.zeros((2, 1), np.float32))
+            for _ in range(steps):
+                with R.GradientTape() as tape:
+                    loss = api.reduce_mean(api.square(api.sub(
+                        api.matmul(R.constant(x), w.value()),
+                        R.constant(y))))
+                g = tape.gradient(loss, w)
+                opt.apply_gradients([(g, w)])
+            return w.numpy()
+
+        def train_graph(opt, steps):
+            w = R.Variable(np.zeros((2, 1), np.float32))
+            b = GraphBuilder()
+            with b:
+                xp = b.placeholder("x", shape=x.shape, dtype=R.float32)
+                yp = b.placeholder("y", shape=y.shape, dtype=R.float32)
+                loss = api.reduce_mean(api.square(api.sub(
+                    api.matmul(xp, b.read_variable(w)), yp)))
+                grads = autodiff.add_training_gradients(b, loss)
+                opt.apply_gradients([(g, v)
+                                     for v, g in grads.items()])
+                b.mark_outputs([loss])
+            ex = GraphExecutor(b.graph)
+            for _ in range(steps):
+                ex.run([x, y])
+            return w.numpy()
+
+        eager_w = train_eagerly(make_opt(), 10)
+        graph_w = train_graph(make_opt(), 10)
+        np.testing.assert_allclose(eager_w, graph_w, rtol=1e-4,
+                                   atol=1e-6)
+
+    def test_minimize_convenience(self):
+        w = R.Variable(np.float32(0.0))
+        opt = nn.SGD(0.1)
+        for _ in range(100):
+            opt.minimize(lambda: api.square(api.sub(w.value(), 2.0)))
+        assert float(w.numpy()) == pytest.approx(2.0, abs=0.1)

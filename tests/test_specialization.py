@@ -1,0 +1,168 @@
+"""The specialization lattice (paper figure 4): observe, merge, match."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro as R
+from repro.janus import specialization as spec
+from repro.tensor.shape import Shape
+
+
+class Thing:
+    pass
+
+
+class TestObserve:
+    def test_tensor(self):
+        s = spec.observe(R.constant(np.zeros((4, 8), np.float32)))
+        assert s.kind == spec.CONST_TENSOR
+        assert s.dtype is R.float32
+        assert s.shape == Shape((4, 8))
+
+    def test_python_scalars(self):
+        assert spec.observe(1.5).dtype is R.float32
+        assert spec.observe(3).dtype is R.int64
+        assert spec.observe(True).dtype is R.bool_
+
+    def test_none(self):
+        assert spec.observe(None).kind == spec.NONE
+
+    def test_string_is_const(self):
+        s = spec.observe("hello")
+        assert s.kind == spec.CONST_PY and s.value == "hello"
+
+    def test_callable_resolves_underlying_function(self):
+        t = Thing()
+        t.m = lambda: None
+        obj_method_spec = spec.observe(R.Variable(np.float32(0.0)).assign)
+        assert obj_method_spec.kind == spec.CALLABLE
+
+    def test_variable(self):
+        v = R.Variable(np.float32(0.0))
+        s = spec.observe(v)
+        assert s.kind == spec.VARIABLE and s.value is v
+
+    def test_object(self):
+        t = Thing()
+        s = spec.observe(t)
+        assert s.kind == spec.PYOBJ and s.py_type is Thing
+
+    def test_list_of_tensors(self):
+        s = spec.observe([R.constant(1.0), R.constant(2.0)])
+        assert s.kind == spec.LIST and len(s.elements) == 2
+
+
+class TestMerge:
+    """Relaxation down the figure-4 hierarchy."""
+
+    def test_identical_constant_stays_constant(self):
+        a = spec.observe(np.float32(1.0))
+        assert spec.merge(a, spec.observe(np.float32(1.0))).kind == \
+            spec.CONST_TENSOR
+
+    def test_different_values_same_shape_relax_to_shape(self):
+        a = spec.observe(np.ones((4, 8), np.float32))
+        b = spec.observe(np.zeros((4, 8), np.float32))
+        merged = spec.merge(a, b)
+        assert merged.kind == spec.TENSOR
+        assert merged.shape == Shape((4, 8))
+
+    def test_figure4_shape_relaxation(self):
+        """(4, 8) then (3, 8) -> (?, 8), then (2, 8) needs no new graph."""
+        a = spec.observe(np.zeros((4, 8), np.float32))
+        b = spec.observe(np.zeros((3, 8), np.float32))
+        merged = spec.merge(a, b)
+        assert merged.shape == Shape((None, 8))
+        assert spec.matches(merged, np.zeros((2, 8), np.float32))
+        assert spec.matches(merged, np.zeros((6, 8), np.float32))
+
+    def test_dtype_conflict_is_bottom(self):
+        a = spec.observe(np.zeros(2, np.float32))
+        b = spec.observe(np.zeros(2, np.int64))
+        assert spec.merge(a, b).kind == spec.BOTTOM
+
+    def test_object_identity_stable(self):
+        t = Thing()
+        merged = spec.merge(spec.observe(t), spec.observe(t))
+        assert merged.value is t
+
+    def test_object_identity_varies_keeps_type(self):
+        merged = spec.merge(spec.observe(Thing()), spec.observe(Thing()))
+        assert merged.kind == spec.PYOBJ
+        assert merged.value is None
+        assert merged.py_type is Thing
+
+    def test_kind_mismatch_is_bottom(self):
+        assert spec.merge(spec.observe(Thing()),
+                          spec.observe(1.0)).kind == spec.BOTTOM
+
+    def test_list_merges_elementwise(self):
+        a = spec.observe([np.zeros((2,), np.float32)])
+        b = spec.observe([np.zeros((3,), np.float32)])
+        merged = spec.merge(a, b)
+        assert merged.elements[0].shape == Shape((None,))
+
+    def test_list_length_mismatch_is_bottom(self):
+        a = spec.observe([1.0])
+        b = spec.observe([1.0, 2.0])
+        assert spec.merge(a, b).kind == spec.BOTTOM
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=3),
+           st.lists(st.integers(1, 5), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_merged_spec_matches_both_inputs(self, d1, d2):
+        a_val = np.zeros(tuple(d1), np.float32)
+        b_val = np.zeros(tuple(d2), np.float32)
+        merged = spec.merge(spec.observe(a_val), spec.observe(b_val))
+        assert spec.matches(merged, a_val)
+        assert spec.matches(merged, b_val)
+
+    def test_merge_is_commutative_on_tensors(self):
+        a = spec.observe(np.zeros((2, 3), np.float32))
+        b = spec.observe(np.zeros((4, 3), np.float32))
+        m1, m2 = spec.merge(a, b), spec.merge(b, a)
+        assert m1.kind == m2.kind and m1.shape == m2.shape
+
+
+class TestMatches:
+    """Cache-retrieval prechecks (figure 2, check 1)."""
+
+    def test_const_tensor_requires_equal_value(self):
+        s = spec.observe(np.array([1.0, 2.0], np.float32))
+        assert spec.matches(s, np.array([1.0, 2.0], np.float32))
+        assert not spec.matches(s, np.array([1.0, 3.0], np.float32))
+
+    def test_tensor_shape_check(self):
+        s = spec.ValueSpec(spec.TENSOR, dtype=R.float32,
+                           shape=Shape((None, 8)))
+        assert spec.matches(s, np.zeros((4, 8), np.float32))
+        assert not spec.matches(s, np.zeros((4, 9), np.float32))
+        assert not spec.matches(s, np.zeros((4, 8), np.float64))
+
+    def test_eager_tensor_accepted(self):
+        s = spec.ValueSpec(spec.TENSOR, dtype=R.float32, shape=Shape((2,)))
+        assert spec.matches(s, R.constant(np.zeros(2, np.float32)))
+
+    def test_bottom_matches_nothing(self):
+        assert not spec.matches(spec.ValueSpec.bottom(), 1.0)
+
+    def test_object_type_check(self):
+        s = spec.merge(spec.observe(Thing()), spec.observe(Thing()))
+        assert spec.matches(s, Thing())
+        assert not spec.matches(s, object())
+
+    def test_signature_type_level_only(self):
+        a = spec.observe(np.zeros((4, 8), np.float32))
+        b = spec.observe(np.zeros((3, 8), np.float32))
+        assert a.signature() == b.signature()   # same dtype + rank
+        c = spec.observe(np.zeros((4, 8, 1), np.float32))
+        assert a.signature() != c.signature()   # different rank
+
+
+class TestRelaxConstants:
+    def test_drops_value_keeps_shape(self):
+        s = spec.observe(np.ones((2, 2), np.float32))
+        relaxed = spec.relax_constants(s)
+        assert relaxed.kind == spec.TENSOR
+        assert relaxed.shape == Shape((2, 2))

@@ -1,0 +1,98 @@
+"""GradientTape: recording, watching, source resolution."""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro.ops import api
+
+
+class TestBasics:
+    def test_variable_watched_automatically(self):
+        v = R.Variable(np.float32(2.0))
+        with R.GradientTape() as tape:
+            y = v.value() * 3.0
+        assert float(tape.gradient(y, v).numpy()) == pytest.approx(3.0)
+
+    def test_tensor_needs_explicit_watch(self):
+        x = R.constant(np.float32(2.0))
+        with R.GradientTape() as tape:
+            tape.watch(x)
+            y = x * x
+        assert float(tape.gradient(y, x).numpy()) == pytest.approx(4.0)
+
+    def test_unrelated_source_gives_none(self):
+        v = R.Variable(np.float32(1.0))
+        w = R.Variable(np.float32(1.0))
+        with R.GradientTape() as tape:
+            y = v.value() * 2.0
+        assert tape.gradient(y, w) is None
+
+    def test_non_trainable_variable_not_watched(self):
+        v = R.Variable(np.float32(1.0), trainable=False)
+        with R.GradientTape() as tape:
+            y = v.value() * 2.0
+        assert tape.gradient(y, v) is None
+
+    def test_multiple_sources(self):
+        a = R.Variable(np.float32(2.0))
+        b = R.Variable(np.float32(5.0))
+        with R.GradientTape() as tape:
+            y = a.value() * b.value()
+        ga, gb = tape.gradient(y, [a, b])
+        assert float(ga.numpy()) == pytest.approx(5.0)
+        assert float(gb.numpy()) == pytest.approx(2.0)
+
+    def test_no_recording_outside_context(self):
+        v = R.Variable(np.float32(2.0))
+        tape = R.GradientTape()
+        with tape:
+            y1 = v.value() * 2.0
+        _ = v.value() * 100.0  # after exit: must not be recorded
+        assert float(tape.gradient(y1, v).numpy()) == pytest.approx(2.0)
+
+
+class TestAccumulation:
+    def test_repeated_reads_accumulate(self):
+        v = R.Variable(np.float32(3.0))
+        with R.GradientTape() as tape:
+            y = v.value() * v.value()   # two separate reads
+        assert float(tape.gradient(y, v).numpy()) == pytest.approx(6.0)
+
+    def test_chain_rule_through_python_loop(self):
+        v = R.Variable(np.float32(1.5))
+        with R.GradientTape() as tape:
+            x = v.value()
+            for _ in range(3):
+                x = x * 2.0
+        assert float(tape.gradient(x, v).numpy()) == pytest.approx(8.0)
+
+    def test_branching_dataflow(self):
+        v = R.Variable(np.float32(2.0))
+        with R.GradientTape() as tape:
+            x = v.value()
+            y = x * x + api.exp(x)
+        expected = 2 * 2.0 + np.exp(2.0)
+        assert float(tape.gradient(y, v).numpy()) == \
+            pytest.approx(expected, rel=1e-5)
+
+
+class TestNesting:
+    def test_two_active_tapes_record_independently(self):
+        v = R.Variable(np.float32(2.0))
+        with R.GradientTape() as outer:
+            with R.GradientTape() as inner:
+                y = v.value() * 3.0
+            gi = inner.gradient(y, v)
+        go = outer.gradient(y, v)
+        assert float(gi.numpy()) == pytest.approx(3.0)
+        assert float(go.numpy()) == pytest.approx(3.0)
+
+    def test_gradient_computation_not_recorded(self):
+        """First-order only: backward ops must not pollute the tape."""
+        v = R.Variable(np.float32(2.0))
+        with R.GradientTape() as tape:
+            y = v.value() * v.value()
+        n_entries = len(tape._entries)
+        tape.gradient(y, v)
+        assert len(tape._entries) == n_entries

@@ -1,0 +1,149 @@
+"""Shape: partial dimensions, lattice operations, broadcasting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor.shape import Shape, broadcast_shapes
+
+dims = st.lists(st.one_of(st.integers(0, 8), st.none()), max_size=4)
+known_dims = st.lists(st.integers(1, 6), min_size=0, max_size=4)
+
+
+class TestConstruction:
+    def test_from_tuple(self):
+        assert Shape((2, 3)).dims == (2, 3)
+
+    def test_unknown_rank(self):
+        assert Shape.unknown().rank is None
+
+    def test_scalar(self):
+        s = Shape.scalar()
+        assert s.rank == 0 and s.is_fully_known
+
+    def test_partial(self):
+        s = Shape((None, 8))
+        assert not s.is_fully_known
+        assert s.rank == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            Shape((-1, 2))
+
+    def test_of_passthrough(self):
+        s = Shape((1,))
+        assert Shape.of(s) is s
+
+
+class TestQueries:
+    def test_num_elements(self):
+        assert Shape((2, 3, 4)).num_elements == 24
+
+    def test_num_elements_partial(self):
+        assert Shape((None, 3)).num_elements is None
+
+    def test_as_tuple_partial_raises(self):
+        with pytest.raises(ShapeError):
+            Shape((None,)).as_tuple()
+
+    def test_matches_value(self):
+        assert Shape((None, 8)).matches_value((4, 8))
+        assert not Shape((None, 8)).matches_value((4, 9))
+        assert not Shape((None, 8)).matches_value((4,))
+        assert Shape.unknown().matches_value((1, 2, 3))
+
+    def test_compatibility(self):
+        assert Shape((None, 8)).is_compatible_with(Shape((4, 8)))
+        assert not Shape((3, 8)).is_compatible_with(Shape((4, 8)))
+        assert Shape.unknown().is_compatible_with(Shape((4, 8)))
+
+    def test_indexing_and_slicing(self):
+        s = Shape((2, None, 4))
+        assert s[0] == 2 and s[1] is None
+        assert s[1:] == Shape((None, 4))
+
+    def test_iteration(self):
+        assert list(Shape((1, 2))) == [1, 2]
+
+    def test_iterate_unknown_rank_raises(self):
+        with pytest.raises(ShapeError):
+            list(Shape.unknown())
+
+
+class TestLattice:
+    """The specialization hierarchy of paper figure 4."""
+
+    def test_relax_exact_to_partial(self):
+        # (4, 8) then (3, 8) -> (?, 8): the figure's example.
+        assert Shape((4, 8)).relax_against(Shape((3, 8))) == \
+            Shape((None, 8))
+
+    def test_relax_covers_future_shapes(self):
+        relaxed = Shape((4, 8)).relax_against(Shape((3, 8)))
+        for batch in (2, 6, 100):
+            assert relaxed.matches_value((batch, 8))
+
+    def test_relax_rank_mismatch_goes_unknown(self):
+        assert Shape((4, 8)).relax_against(Shape((4,))).rank is None
+
+    def test_relax_identity(self):
+        assert Shape((4, 8)).relax_against(Shape((4, 8))) == Shape((4, 8))
+
+    def test_merge_refines(self):
+        assert Shape((None, 8)).merge_with(Shape((4, None))) == \
+            Shape((4, 8))
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ShapeError):
+            Shape((3,)).merge_with(Shape((4,)))
+
+    @given(known_dims)
+    def test_relax_is_idempotent(self, ds):
+        s = Shape(ds)
+        assert s.relax_against(s) == s
+
+    @given(known_dims, known_dims)
+    def test_relax_commutative(self, a, b):
+        assert Shape(a).relax_against(Shape(b)) == \
+            Shape(b).relax_against(Shape(a))
+
+    @given(known_dims, known_dims)
+    def test_relax_generalizes_both(self, a, b):
+        joined = Shape(a).relax_against(Shape(b))
+        if joined.dims is not None:
+            assert joined.matches_value(tuple(a))
+            assert joined.matches_value(tuple(b))
+
+    @given(dims)
+    def test_merge_with_unknown_is_identity(self, ds):
+        s = Shape(ds)
+        assert s.merge_with(Shape.unknown()) == s
+
+
+class TestBroadcast:
+    def test_simple(self):
+        assert broadcast_shapes((2, 1), (1, 3)) == Shape((2, 3))
+
+    def test_rank_padding(self):
+        assert broadcast_shapes((3,), (2, 3)) == Shape((2, 3))
+
+    def test_scalar(self):
+        assert broadcast_shapes((), (4, 5)) == Shape((4, 5))
+
+    def test_partial_dim(self):
+        assert broadcast_shapes((None, 3), (1, 3)) == Shape((None, 3))
+
+    def test_incompatible(self):
+        with pytest.raises(ShapeError):
+            broadcast_shapes((2,), (3,))
+
+    @given(known_dims, known_dims)
+    def test_matches_numpy(self, a, b):
+        try:
+            expected = np.broadcast_shapes(tuple(a), tuple(b))
+        except ValueError:
+            with pytest.raises(ShapeError):
+                broadcast_shapes(a, b)
+            return
+        assert broadcast_shapes(a, b) == Shape(expected)

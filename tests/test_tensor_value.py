@@ -1,0 +1,94 @@
+"""TensorValue, DType, and PyRef semantics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (DType, TensorValue, PyRef, float32, float64,
+                          int32, int64, bool_, result_dtype,
+                          from_python_scalar, is_numeric_pyvalue)
+
+
+class TestDType:
+    def test_interning(self):
+        assert DType.of("float32") is float32
+        assert DType.of(np.float32) is float32
+        assert DType.of(np.dtype("int64")) is int64
+
+    def test_properties(self):
+        assert float32.is_floating and not float32.is_integer
+        assert int32.is_integer and int32.is_numeric
+        assert bool_.is_bool and not bool_.is_numeric
+
+    def test_promotion(self):
+        assert result_dtype(float32, int64) is float64 or \
+            result_dtype(float32, int64).is_floating
+        assert result_dtype(int32, int64) is int64
+
+    def test_python_scalar_rules(self):
+        # Framework conventions: float -> float32, int -> int64.
+        assert from_python_scalar(1.5) is float32
+        assert from_python_scalar(3) is int64
+        assert from_python_scalar(True) is bool_
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises((KeyError, TypeError)):
+            DType.of("complex128")
+
+
+class TestTensorValue:
+    def test_python_float_becomes_float32(self):
+        assert TensorValue.of(1.5).dtype is float32
+
+    def test_python_int_becomes_int64(self):
+        assert TensorValue.of(7).dtype is int64
+
+    def test_float_list_becomes_float32(self):
+        tv = TensorValue.of([1.0, 2.0])
+        assert tv.dtype is float32
+        assert tv.shape.as_tuple() == (2,)
+
+    def test_numpy_dtype_preserved(self):
+        tv = TensorValue.of(np.zeros(3, np.float64))
+        assert tv.dtype is float64
+
+    def test_explicit_dtype(self):
+        tv = TensorValue.of([1, 2], dtype="float32")
+        assert tv.dtype is float32
+
+    def test_astype(self):
+        tv = TensorValue.of([1, 2]).astype("float32")
+        assert tv.dtype is float32
+
+    def test_item(self):
+        assert TensorValue.of(5).item() == 5
+
+    def test_copy_is_independent(self):
+        tv = TensorValue.of(np.zeros(2, np.float32))
+        cp = tv.copy()
+        cp.array[0] = 9
+        assert tv.array[0] == 0
+
+
+class TestPyRef:
+    def test_identity_semantics(self):
+        obj = object()
+        assert PyRef(obj) == PyRef(obj)
+        assert PyRef(obj) != PyRef(object())
+
+    def test_hash_by_identity(self):
+        obj = [1, 2]   # unhashable object still works
+        assert hash(PyRef(obj)) == id(obj)
+
+
+class TestNumericClassification:
+    """The 'basic translation rule' of paper section 4.2.2."""
+
+    def test_numeric_values(self):
+        for v in (1, 2.5, True, np.zeros(3), [1, 2], (1.0, 2.0)):
+            assert is_numeric_pyvalue(v)
+
+    def test_non_numeric_values(self):
+        class Thing:
+            pass
+        for v in (Thing(), "text", ["a", "b"], [object()]):
+            assert not is_numeric_pyvalue(v)

@@ -1,0 +1,124 @@
+"""The trace-based (defun-like) converter and its documented unsafety.
+
+Reproduces the Table 1 / section 6.2 failure modes: burned-in control
+flow, frozen heap state, and untraceable recursion — while confirming the
+baseline is *correct* on the static programs it was designed for.
+"""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import nn
+from repro.baselines import TracedFunction, TracingLimitation, \
+    trace_function
+
+
+class TestCorrectOnStaticPrograms:
+    def test_pure_function(self):
+        def f(x, y):
+            return R.reduce_sum(x * y + 1.0)
+
+        tf = trace_function(f)
+        a = np.ones((2, 2), np.float32)
+        b = np.full((2, 2), 3.0, np.float32)
+        assert float(np.asarray(tf(a, b))) == pytest.approx(4 * 4.0)
+        # replay on different values works (placeholders, not constants)
+        assert float(np.asarray(tf(a * 2, b))) == pytest.approx(4 * 7.0)
+
+    def test_variables_parameterized(self):
+        v = R.Variable(np.float32(2.0))
+
+        def f(x):
+            return R.reduce_sum(x) * v.value()
+
+        tf = trace_function(f)
+        x = np.ones(2, np.float32)
+        assert float(np.asarray(tf(x))) == 4.0
+        v.assign(5.0)
+        # variable reads are var_read nodes: new value is picked up
+        assert float(np.asarray(tf(x))) == 10.0
+
+    def test_training_step_updates_weights(self):
+        w = R.Variable(np.float32(0.0))
+        opt = nn.SGD(0.1)
+
+        def loss(x):
+            return R.square(w.value() - R.reduce_sum(x))
+
+        tf = trace_function(loss, optimizer=opt)
+        x = np.ones(1, np.float32)
+        first = float(np.asarray(tf(x)))
+        for _ in range(50):
+            tf(x)
+        last = float(np.asarray(tf(x)))
+        assert last < first * 0.01
+
+
+class TestUnsafeBehaviours:
+    def test_branch_direction_burned_in(self):
+        """The batch-norm bug of figure 6a, in miniature."""
+        def f(x):
+            if float(R.reduce_sum(x).numpy()) > 0:
+                return x * 2.0
+            return x - 100.0
+
+        tf = trace_function(f)
+        pos = np.ones(2, np.float32)
+        neg = -np.ones(2, np.float32)
+        np.testing.assert_allclose(tf(pos).numpy(), pos * 2)
+        # silently wrong: the traced (positive) branch replays
+        np.testing.assert_allclose(tf(neg).numpy(), neg * 2)
+
+    def test_loop_count_burned_in(self):
+        def f(x):
+            total = R.constant(0.0)
+            for i in range(int(x.shape[0])):
+                total = total + x[i]
+            return total
+
+        tf = trace_function(f)
+        assert float(np.asarray(tf(np.ones(3, np.float32)))) == 3.0
+        # a longer input still sums only the traced 3 elements
+        out = tf(np.ones(5, np.float32))
+        assert float(np.asarray(out)) == 3.0
+
+    def test_heap_state_frozen(self):
+        """The LM state-passing bug of figure 6b, in miniature."""
+        class Model:
+            def __init__(self):
+                self.state = R.constant(np.float32(0.0))
+
+            def step(self, x):
+                new = self.state + R.reduce_sum(x)
+                self.state = new
+                return new
+
+        m = Model()
+
+        def f(x):
+            return m.step(x)
+
+        tf = trace_function(f)
+        x = np.ones(1, np.float32)
+        v1 = float(np.asarray(tf(x)))
+        v2 = float(np.asarray(tf(x)))
+        v3 = float(np.asarray(tf(x)))
+        # state was captured as a constant at trace time: no progression
+        assert v1 == v2 == v3 == 1.0
+        # whereas the true imperative semantics accumulate
+        m2 = Model()
+        outs = [float(m2.step(R.constant(x)).numpy()) for _ in range(3)]
+        assert outs == [1.0, 2.0, 3.0]
+
+    def test_recursion_not_traceable(self):
+        """The TreeLSTM failure of figure 6c."""
+        def rec(x):
+            # value-dependent recursion cannot unroll into a finite graph
+            if float(R.reduce_sum(x).numpy()) <= 0:
+                return x
+            return rec(x - 1.0)
+
+        tf = TracedFunction(rec, max_trace_ops=50)
+        with pytest.raises(TracingLimitation):
+            tf(np.full(1, 100.0, np.float32))
