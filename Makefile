@@ -1,0 +1,20 @@
+# Convenience targets for the JANUS reproduction.
+#
+#   make test        - the tier-1 test suite
+#   make trace-demo  - run a traced training loop, write trace.json,
+#                      print the text summary (docs/observability.md)
+#   make bench       - regenerate the paper-evaluation tables/figures
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test trace-demo bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+trace-demo:
+	JANUS_TRACE=2 $(PYTHON) -m repro.observability.demo --out trace.json
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,6 +14,7 @@ import numpy as np
 
 import repro as R
 from repro import janus, nn, data, envs, models
+from repro import observability as obs
 from repro.modes import make_step
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -21,6 +22,13 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 def save_results(name, payload):
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    if obs.trace_level() and isinstance(payload, dict):
+        # Tracing was on for this benchmark run: embed the counter totals
+        # and write the chrome trace next to the JSON results.
+        payload = dict(payload)
+        payload["observability"] = obs.get_counters().snapshot()
+        obs.write_chrome_trace(os.path.join(RESULTS_DIR,
+                                            name + ".trace.json"))
     path = os.path.join(RESULTS_DIR, name + ".json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, default=str)
@@ -214,18 +222,22 @@ def measure_throughput(step, batches, spec, warmup=4, iters=8,
     try:
         total_items = 0
         count = 0
-        start = time.perf_counter()
-        while count < iters or \
-                time.perf_counter() - start < min_seconds:
-            batch = batches[count % len(batches)]
-            step(*batch)
-            total_items += items_in(spec, batch)
-            count += 1
-            if count > 10000:
-                break
-        elapsed = time.perf_counter() - start
+        with obs.TRACER.span("bench", spec.name):
+            start = time.perf_counter()
+            while count < iters or \
+                    time.perf_counter() - start < min_seconds:
+                batch = batches[count % len(batches)]
+                step(*batch)
+                total_items += items_in(spec, batch)
+                count += 1
+                if count > 10000:
+                    break
+            elapsed = time.perf_counter() - start
     finally:
         gc.enable()
+    if obs.trace_level():
+        obs.get_counters().inc("bench.%s.steps" % spec.name, count)
+        obs.get_counters().add_time("bench.%s" % spec.name, elapsed)
     return total_items / elapsed
 
 

@@ -52,7 +52,7 @@ def __getattr__(name):
     # Lazy subpackage access (repro.janus, repro.graph, ...) keeps import
     # time low and avoids circular imports during bootstrap.
     if name in ("graph", "janus", "nn", "models", "data", "envs",
-                "distributed", "baselines"):
+                "distributed", "baselines", "observability"):
         import importlib
         module = importlib.import_module("." + name, __name__)
         globals()[name] = module

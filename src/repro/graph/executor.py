@@ -19,11 +19,13 @@ buffers.  Three properties reproduce the paper's execution model:
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor, wait
 
 import numpy as np
 
 from ..errors import AssumptionFailed, ExecutionError, GraphError
+from ..observability import TRACER
 from ..tensor import TensorValue, PyRef
 
 _POOL_LOCK = threading.Lock()
@@ -166,6 +168,7 @@ class GraphExecutor:
         self._py_objects = {}
 
         instructions = []
+        labels = []
         self._placeholder_slots = {}
         for node in order:
             in_slots = tuple(self._slots[(id(i.node), i.index)]
@@ -175,7 +178,10 @@ class GraphExecutor:
             instr = self._compile_node(node, in_slots, out_slots)
             if instr is not None:
                 instructions.append(instr)
+                labels.append((node.op_name, node.debug_name))
         self._instructions = instructions
+        #: Aligned with _instructions; consumed by level-2 op tracing.
+        self._instr_labels = labels
         self._ph_slot_order = [
             self._placeholder_slots[node.attrs["ph_name"]]
             for node in graph.placeholders]
@@ -353,6 +359,8 @@ class GraphExecutor:
         top_level = run_state is None
         if top_level:
             run_state = RunState()
+        run_start = time.perf_counter() if (top_level and TRACER.level) \
+            else 0.0
         values = [None] * self._slot_count
         ph_slots = self._ph_slot_order
         if len(feeds) != len(ph_slots):
@@ -365,6 +373,8 @@ class GraphExecutor:
 
         if self.parallel:
             self._run_parallel(values, run_state)
+        elif TRACER.level >= 2:
+            self._run_traced(values, run_state)
         else:
             execute = self._execute
             for instr in self._instructions:
@@ -374,7 +384,25 @@ class GraphExecutor:
         if top_level:
             run_state.commit(self._py_objects_transitive())
             run_state.stats["nodes_executed"] += len(self._instructions)
+            if TRACER.level:
+                TRACER.complete("op", "run:%s" % self.graph.name,
+                                run_start,
+                                time.perf_counter() - run_start,
+                                instructions=len(self._instructions),
+                                parallel=self.parallel)
         return outputs
+
+    def _run_traced(self, values, run_state):
+        """Sequential execution with a level-2 timing event per node."""
+        execute = self._execute
+        perf = time.perf_counter
+        for instr, (op_name, debug_name) in zip(self._instructions,
+                                                self._instr_labels):
+            start = perf()
+            execute(instr, values, run_state)
+            TRACER.complete("op", op_name, start, perf() - start,
+                            level=2, node=debug_name,
+                            graph=self.graph.name)
 
     def _py_objects_transitive(self):
         """Python objects referenced here and in nested subgraphs."""
@@ -406,20 +434,29 @@ class GraphExecutor:
 
     def _run_parallel(self, values, run_state):
         pool = _shared_pool()
-        for run_parallel, level in self._levels:
+        trace_levels = TRACER.level >= 2
+        for index, (run_parallel, level) in enumerate(self._levels):
+            start = time.perf_counter() if trace_levels else 0.0
             if not run_parallel or len(level) == 1:
                 for instr in level:
                     self._execute(instr, values, run_state)
-                continue
-            futures = [pool.submit(self._execute, instr, values, run_state)
-                       for instr in level]
-            done, _ = wait(futures)
-            for future in done:
-                exc = future.exception()
-                if exc is not None:
-                    for f in futures:
-                        f.cancel()
-                    raise exc
+            else:
+                futures = [pool.submit(self._execute, instr, values,
+                                       run_state)
+                           for instr in level]
+                done, _ = wait(futures)
+                for future in done:
+                    exc = future.exception()
+                    if exc is not None:
+                        for f in futures:
+                            f.cancel()
+                        raise exc
+            if trace_levels:
+                TRACER.complete("level", "L%d" % index, start,
+                                time.perf_counter() - start, level=2,
+                                graph=self.graph.name,
+                                instructions=len(level),
+                                parallel=run_parallel)
 
     # -- instruction dispatch -----------------------------------------------------
 

@@ -8,8 +8,11 @@ them bite — once profiled shapes and stable values are burned into the
 graph as constants, folding and simplification cascade.
 """
 
+import time
+
 import numpy as np
 
+from ..observability import TRACER
 from ..tensor import TensorValue
 from .core import Graph
 
@@ -250,10 +253,22 @@ class PassManager:
         if id(graph) in _seen_graphs:
             return graph
         _seen_graphs.add(id(graph))
-        for _ in range(self.max_rounds):
+        for round_index in range(self.max_rounds):
             changed = False
             for pass_ in self.passes:
-                changed |= bool(pass_.run(graph))
+                if TRACER.level:
+                    before = len(graph.nodes)
+                    start = time.perf_counter()
+                    pass_changed = bool(pass_.run(graph))
+                    TRACER.complete(
+                        "pass", pass_.name, start,
+                        time.perf_counter() - start, graph=graph.name,
+                        round=round_index, nodes_before=before,
+                        nodes_after=len(graph.nodes),
+                        changed=pass_changed)
+                else:
+                    pass_changed = bool(pass_.run(graph))
+                changed |= pass_changed
             if not changed:
                 break
         if recurse:

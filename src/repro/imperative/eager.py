@@ -10,6 +10,7 @@ exactly the cost JANUS amortizes by converting programs to symbolic graphs.
 import numpy as np
 
 from ..errors import DTypeError
+from ..observability import COUNTERS, TRACER
 from ..tensor import TensorValue
 from ..ops.dispatch import ExecutionContext, set_default_context
 from . import tape as tape_module
@@ -182,6 +183,11 @@ class EagerContext(ExecutionContext):
         return variable.value()
 
     def execute(self, op_def, inputs, attrs):
+        # One attribute load + integer compare when tracing is off: the
+        # eager dispatch path stays as hot as before.
+        if TRACER.level:
+            COUNTERS.inc("eager.dispatch")
+            COUNTERS.inc("eager.dispatch." + op_def.name)
         arrays = [t.value.array for t in inputs]
         result = op_def.kernel(attrs, *arrays)
         if isinstance(result, tuple):

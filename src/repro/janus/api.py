@@ -25,6 +25,7 @@ import functools
 from ..errors import AssumptionFailed, NotConvertible
 from ..graph.executor import GraphExecutor
 from ..imperative.tape import GradientTape
+from ..observability import TRACER, override_level
 from .cache import CacheEntry, GraphCache
 from .config import get_config
 from .graphgen import GraphGenerator
@@ -42,6 +43,9 @@ class JanusFunction:
         self.cache = GraphCache()
         self.imperative_only = False
         self.not_convertible_reason = None
+        #: Human-readable description of the most recent failed runtime
+        #: assumption (None until a fallback happens).
+        self.last_assumption_failure = None
         self.stats = {
             "calls": 0, "imperative_runs": 0, "graph_runs": 0,
             "fallbacks": 0, "graphs_generated": 0,
@@ -63,6 +67,13 @@ class JanusFunction:
     # -- the execution model (figure 2) ---------------------------------------
 
     def __call__(self, *args):
+        cfg_level = self.config.trace_level
+        if cfg_level is not None and cfg_level != TRACER.level:
+            with override_level(cfg_level):
+                return self._call(args)
+        return self._call(args)
+
+    def _call(self, args):
         args = tuple(_ensure_tensor(a) for a in args)
         self.stats["calls"] += 1
         if self.imperative_only:
@@ -75,13 +86,22 @@ class JanusFunction:
         if entry is not None and not entry.dirty:
             if entry.generated.check_preconditions(args):
                 entry.hits += 1
+                if TRACER.level:
+                    TRACER.instant("cache_hit", self.__name__,
+                                   hits=entry.hits)
                 return self._run_graph(entry, args, signature)
             # Cache miss on precheck: relax + regenerate on the next call.
             entry.misses += 1
+            if TRACER.level:
+                TRACER.instant("cache_miss", self.__name__,
+                               reason="precheck_failed")
             self.cache.invalidate(signature)
             self.profiler.record_args(list(args))
             return self._run_imperative(args, profile=True)
 
+        if TRACER.level:
+            TRACER.instant("cache_miss", self.__name__,
+                           reason="no_entry", signature=repr(signature))
         generated = self._generate(signature)
         if generated is None:
             return self._run_imperative(args, profile=False)
@@ -98,19 +118,25 @@ class JanusFunction:
         return self._run_graph(entry, args, signature)
 
     def _generate(self, signature=None):
-        try:
-            generator = GraphGenerator(self.func, self.profiler,
-                                       self.config,
-                                       optimizer=self.optimizer,
-                                       signature=signature)
-            return generator.generate()
-        except NotConvertible as exc:
-            # Figure 2 (C): permanently imperative-only.
-            self.imperative_only = True
-            self.not_convertible_reason = str(exc)
-            if self.config.fail_on_not_convertible:
-                raise
-            return None
+        with TRACER.span("graphgen", self.__name__,
+                         regeneration=self.stats["graphs_generated"] > 0):
+            try:
+                generator = GraphGenerator(self.func, self.profiler,
+                                           self.config,
+                                           optimizer=self.optimizer,
+                                           signature=signature)
+                return generator.generate()
+            except NotConvertible as exc:
+                # Figure 2 (C): permanently imperative-only.
+                self.imperative_only = True
+                self.not_convertible_reason = str(exc)
+                if TRACER.level:
+                    TRACER.instant("fallback", self.__name__,
+                                   reason="not_convertible",
+                                   feature=exc.feature, detail=str(exc))
+                if self.config.fail_on_not_convertible:
+                    raise
+                return None
 
     def _run_graph(self, entry, args, signature):
         generated = entry.generated
@@ -122,6 +148,12 @@ class JanusFunction:
             # regenerate with the broken assumption removed.
             entry.failures += 1
             self.stats["fallbacks"] += 1
+            self.last_assumption_failure = str(exc)
+            if TRACER.level:
+                TRACER.instant("assumption_fail", self.__name__,
+                               guard=str(exc), site=repr(exc.site))
+                TRACER.instant("fallback", self.__name__,
+                               reason="assumption_failed", guard=str(exc))
             self._relax(exc)
             self.cache.invalidate(signature)
             return self._run_imperative(args, profile=True)

@@ -5,7 +5,14 @@ of the arguments (tensor dtype/rank, Python value types).  Retrieval
 validates the entry's precheckable assumptions (constant values, shape
 specs, object identities); a failed precheck is a cache miss, after which
 the entry is relaxed and regenerated (figure 2, check 1).
+
+Cache population and eviction emit ``cache_store`` / ``cache_invalidate``
+trace events (retrieval outcomes — ``cache_hit`` / ``cache_miss`` — are
+emitted by :mod:`repro.janus.api`, which knows the precheck result); see
+:mod:`repro.observability`.
 """
+
+from ..observability import TRACER
 
 
 class CacheEntry:
@@ -38,9 +45,18 @@ class GraphCache:
 
     def store(self, signature, entry):
         self._entries[signature] = entry
+        if TRACER.level:
+            TRACER.instant("cache_store", entry.generated.graph.name,
+                           signature=repr(signature),
+                           entries=len(self._entries))
 
     def invalidate(self, signature):
-        self._entries.pop(signature, None)
+        entry = self._entries.pop(signature, None)
+        if entry is not None and TRACER.level:
+            TRACER.instant("cache_invalidate", entry.generated.graph.name,
+                           signature=repr(signature),
+                           hits=entry.hits, misses=entry.misses,
+                           failures=entry.failures)
 
     def clear(self):
         self._entries.clear()

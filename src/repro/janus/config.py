@@ -25,7 +25,8 @@ class JanusConfig:
                  deferred_state_update=True,
                  max_unroll=256,
                  max_recursion_inline=0,
-                 fail_on_not_convertible=False):
+                 fail_on_not_convertible=False,
+                 trace_level=None):
         #: Imperative profiling iterations before generating a graph
         #: (the paper found 3 sufficient — section 3.1 footnote).
         self.profile_runs = profile_runs
@@ -43,6 +44,11 @@ class JanusConfig:
         #: Raise instead of silently falling back when a program cannot be
         #: converted (useful in tests).
         self.fail_on_not_convertible = fail_on_not_convertible
+        #: Per-function observability override: None inherits the global
+        #: tracer level (the JANUS_TRACE env var); 0 forces tracing off
+        #: for this function, 1 records lifecycle events, 2 adds per-op
+        #: timing.  See :mod:`repro.observability`.
+        self.trace_level = trace_level
 
     def copy(self, **overrides):
         new = copy.copy(self)

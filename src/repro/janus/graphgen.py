@@ -20,6 +20,14 @@ symbolic dataflow graph, using the profile gathered by
 Any construct outside the supported subset raises
 :class:`~repro.errors.NotConvertible`, routing the function to the
 imperative executor (4.3).
+
+Paper correspondence: this module is §4.1 (the speculative graph
+generator itself — AST-to-graph conversion under profiled assumptions,
+with AssertOp guards) and the conversion rules of §4.2.1–4.2.3 listed
+above; the permanent imperative-only routing on ``NotConvertible`` is
+the §4.3 fallback path.  Each completed generation emits a ``graphgen``
+trace event with node counts (:mod:`repro.observability`); the spans
+around generation are recorded by :mod:`repro.janus.api`.
 """
 
 import ast
@@ -416,8 +424,16 @@ class GraphGenerator:
                                                         flat)
             self.builder.mark_outputs(flat)
         graph = self.builder.graph
+        nodes_before = len(graph.nodes)
         if self.config.optimize_graph:
             PassManager().run(graph)
+        from ..observability import TRACER
+        if TRACER.level:
+            TRACER.instant("graphgen", "generated", graph=graph.name,
+                           nodes_raw=nodes_before,
+                           nodes_optimized=len(graph.nodes),
+                           prechecks=len(self.prechecks),
+                           training=self.optimizer is not None)
         return GeneratedGraph(graph, arg_plan, structure, self.prechecks,
                               graph.outputs and None)
 

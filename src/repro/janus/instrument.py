@@ -12,6 +12,16 @@ profiling iterations.
 Site identifiers are ``(function_key, lineno, col, kind)`` tuples, which
 the graph generator later uses to look up profiled facts for the exact
 syntactic element it is converting.
+
+Paper correspondence: this is the profiling substrate of §4.1 — the
+observation mechanism that feeds the speculative graph generator's
+assumptions.  The events it records map onto the dynamic features of
+§4.2: branch directions and trip counts for dynamic control flow
+(§4.2.1), value observations on the specialization lattice for dynamic
+types (§4.2.2), and attribute/subscript access sites for impure
+functions (§4.2.3).  Functions whose source is unavailable raise
+:class:`~repro.errors.NotConvertible` and stay on the §4.3 imperative
+path.
 """
 
 import ast

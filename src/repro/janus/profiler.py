@@ -21,6 +21,7 @@ import builtins
 import types
 
 from ..errors import NotConvertible
+from ..observability import TRACER
 from . import specialization as spec
 from .instrument import instrument_function, function_key
 from .whitelist import is_whitelisted
@@ -270,12 +271,20 @@ class Profiler:
         entry = self.sites.get(site)
         if entry is not None:
             entry.forced_dynamic = True
+            if TRACER.level:
+                TRACER.instant("relax", "force_dynamic", site=repr(site),
+                               kind=entry.kind)
 
     def relax_attr_spec(self, site, observed_value):
         entry = self.sites.get(site)
         if entry is not None:
             observed = spec.observe(observed_value)
+            before = entry.value_spec
             entry.value_spec = spec.merge(entry.value_spec, observed)
+            if TRACER.level:
+                TRACER.instant("relax", "attr_spec", site=repr(site),
+                               before=spec.describe(before),
+                               after=spec.describe(entry.value_spec))
             for owner_id, (owner, prior) in list(entry.per_owner.items()):
                 entry.per_owner[owner_id] = (owner,
                                              spec.merge(prior, observed))

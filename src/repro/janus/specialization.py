@@ -7,12 +7,23 @@ shape ``(4, 8)`` relaxes dimension-wise to ``(?, 8)``, and a rank mismatch
 relaxes to a tensor of unknown shape.  Assumption failures at runtime
 trigger the same merge against the offending value, so JANUS never
 regenerates a graph for a shape family it has already generalized over.
+
+Paper correspondence: this module is the *dynamic types* machinery of
+§4.2.2 — the type/shape/value assumptions the speculative graph
+generator (§4.1, :mod:`repro.janus.graphgen`) burns into specialized
+graphs, the prechecks validated at cache retrieval, and the relaxation
+(lattice join) performed after the §4.3 imperative fallback.  Every
+genuine relaxation — a spec moving strictly down the lattice — emits a
+``relax`` trace event (:mod:`repro.observability`) naming the old and
+new points, so a trace shows exactly *which* assumption each fallback
+cost.
 """
 
 import numpy as np
 
 from ..imperative.eager import Tensor
 from ..imperative.variable import Variable
+from ..observability import TRACER
 from ..tensor import TensorValue
 from ..tensor.shape import Shape
 
@@ -131,8 +142,52 @@ def observe(value):
     return ValueSpec(PYOBJ, py_type=type(value), value=value)
 
 
+def describe(spec):
+    """A short human-readable label for a spec (used in trace events)."""
+    if spec is None:
+        return "none"
+    if spec.is_tensor_like:
+        label = "%s[%s %s]" % (spec.kind, spec.dtype.name, spec.shape)
+        return label
+    if spec.kind == LIST:
+        return "%s(%s)" % ("tuple" if spec.is_tuple else "list",
+                           ", ".join(describe(e) for e in spec.elements))
+    if spec.kind == PYOBJ:
+        return "pyobj[%s]" % spec.py_type.__name__
+    return spec.kind
+
+
 def merge(a, b):
-    """Lattice join: the most specific spec generalizing both."""
+    """Lattice join: the most specific spec generalizing both.
+
+    A join that *loses* information (constant -> shaped tensor, concrete
+    dim -> ``?``, anything -> bottom) is a relaxation and is reported as
+    a ``relax`` trace event when tracing is enabled.
+    """
+    result = _merge(a, b)
+    if TRACER.level and a is not None and b is not None \
+            and result is not a and result is not b \
+            and _is_relaxation(a, result):
+        TRACER.instant("relax", "spec_merge",
+                       before=describe(a), observed=describe(b),
+                       after=describe(result))
+    return result
+
+
+def _is_relaxation(before, after):
+    """Did the join move strictly down the lattice (lose an assumption)?"""
+    if before.kind == BOTTOM:
+        return False    # already at the bottom: nothing left to lose
+    if after.kind == BOTTOM or after.kind != before.kind:
+        return True
+    if before.is_tensor_like and after.is_tensor_like:
+        before_dims = None if before.shape is None else before.shape.dims
+        after_dims = None if after.shape is None else after.shape.dims
+        return before_dims != after_dims
+    return False
+
+
+def _merge(a, b):
     if a is None:
         return b
     if b is None:

@@ -1,0 +1,53 @@
+"""Runtime observability for the JANUS reproduction.
+
+Structured event tracing, counters/timers, and exporters that make the
+speculate → guard → fallback → relax lifecycle visible:
+
+* :mod:`repro.observability.tracer` — ring-buffered :class:`TraceEvent`
+  recorder with level gating (``JANUS_TRACE`` / ``set_trace_level``),
+* :mod:`repro.observability.counters` — counters + scoped timers,
+* :mod:`repro.observability.export` — ``chrome://tracing`` JSON and a
+  plain-text summary,
+* :mod:`repro.observability.demo` — ``python -m repro.observability.demo``
+  runs a small training loop with tracing on and writes ``trace.json``.
+
+Quick use::
+
+    JANUS_TRACE=1 python examples/quickstart.py   # writes trace.json on exit
+
+or programmatically::
+
+    from repro import observability as obs
+    obs.set_trace_level(2)
+    train_step(x, y)
+    print(obs.text_summary())
+    obs.write_chrome_trace("trace.json")
+
+See ``docs/observability.md`` for the full guide and
+``docs/architecture.md`` for where each event category is emitted.
+"""
+
+from .tracer import (TRACER, CATEGORIES, TraceEvent, Tracer, get_tracer,
+                     override_level, set_trace_level, trace_level)
+from .counters import COUNTERS, CounterRegistry, get_counters
+from .export import (chrome_trace_events, install_atexit_dump, text_summary,
+                     write_chrome_trace)
+
+__all__ = [
+    "TRACER", "CATEGORIES", "TraceEvent", "Tracer", "get_tracer",
+    "override_level", "set_trace_level", "trace_level",
+    "COUNTERS", "CounterRegistry", "get_counters",
+    "chrome_trace_events", "install_atexit_dump", "text_summary",
+    "write_chrome_trace", "clear",
+]
+
+
+def clear():
+    """Reset the global tracer buffer and counter registry."""
+    TRACER.clear()
+    COUNTERS.clear()
+
+
+# Env-var-enabled tracing dumps the trace at interpreter exit.
+if TRACER.level > 0:
+    install_atexit_dump()

@@ -1,0 +1,121 @@
+"""Counters and scoped timers for the JANUS runtime.
+
+A :class:`CounterRegistry` aggregates two kinds of scalar metrics:
+
+* **counters** — monotonically-increasing integers (eager dispatches,
+  graph runs, fallbacks), incremented with :meth:`CounterRegistry.inc`;
+* **timers** — ``(call count, total seconds)`` pairs accumulated either
+  directly via :meth:`CounterRegistry.add_time` or with the
+  :meth:`CounterRegistry.timer` scoped context manager.
+
+Unlike the event tracer (which keeps a bounded *window* of recent
+events), the registry is a running total: it is what the text summary
+reports and what benchmark results embed.  Registries from independent
+runs (e.g. worker subprocesses, or per-function registries) combine
+with :meth:`CounterRegistry.merge`.
+"""
+
+import threading
+import time
+
+_perf_counter = time.perf_counter
+
+
+class _ScopedTimer:
+    """Context manager adding its elapsed wall time to one timer."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry, name):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self):
+        self._start = _perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._registry.add_time(self._name, _perf_counter() - self._start)
+        return False
+
+
+class CounterRegistry:
+    """Thread-safe named counters and timers."""
+
+    def __init__(self):
+        self._counters = {}
+        self._timers = {}       # name -> [count, total_seconds]
+        self._lock = threading.Lock()
+
+    # -- counters ----------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name, default=0):
+        return self._counters.get(name, default)
+
+    # -- timers -------------------------------------------------------------
+
+    def add_time(self, name, seconds):
+        with self._lock:
+            entry = self._timers.get(name)
+            if entry is None:
+                self._timers[name] = [1, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+
+    def timer(self, name):
+        """Scoped timer: ``with counters.timer("executor.run"): ...``."""
+        return _ScopedTimer(self, name)
+
+    def timer_stats(self, name):
+        """``(count, total_seconds)`` for one timer (``(0, 0.0)`` if unused)."""
+        entry = self._timers.get(name)
+        return (0, 0.0) if entry is None else (entry[0], entry[1])
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other):
+        """Accumulate ``other``'s counters and timers into this registry.
+
+        Returns ``self`` so merges chain:
+        ``total = CounterRegistry().merge(a).merge(b)``.
+        """
+        with self._lock:
+            for name, value in other.snapshot()["counters"].items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, (count, total) in other.snapshot()["timers"].items():
+                entry = self._timers.get(name)
+                if entry is None:
+                    self._timers[name] = [count, total]
+                else:
+                    entry[0] += count
+                    entry[1] += total
+        return self
+
+    def snapshot(self):
+        """Plain-dict copy: ``{"counters": {...}, "timers": {name: (n, s)}}``."""
+        return {
+            "counters": dict(self._counters),
+            "timers": {k: (v[0], v[1]) for k, v in self._timers.items()},
+        }
+
+    def clear(self):
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+    def __repr__(self):
+        return "CounterRegistry(%d counters, %d timers)" % (
+            len(self._counters), len(self._timers))
+
+
+#: The process-wide registry used by the runtime's instrumentation sites.
+COUNTERS = CounterRegistry()
+
+
+def get_counters():
+    return COUNTERS

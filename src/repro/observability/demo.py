@@ -1,0 +1,90 @@
+"""Trace demo: run a small JANUS training loop with tracing on.
+
+Usage (also wired as ``make trace-demo``)::
+
+    PYTHONPATH=src python -m repro.observability.demo [--out trace.json]
+                                                      [--steps 12]
+                                                      [--level 2]
+
+The demo trains the quickstart MLP for a few steps — enough for the
+full lifecycle to appear in the trace: imperative profiling runs, one
+``graphgen`` span, ``cache_store`` + ``cache_hit`` events, per-op
+timing (at level 2) — then deliberately changes a heap attribute the
+generated graph speculated on, so one ``assumption_fail`` + ``fallback``
++ ``relax`` + regeneration sequence is recorded too.  It writes the
+Chrome-trace JSON and prints the text summary.
+"""
+
+import argparse
+
+import numpy as np
+
+
+def build_step():
+    """The quickstart training step plus a speculated-on scale attribute."""
+    import repro as R
+    from repro import janus, nn
+
+    nn.init.seed(0)
+    model = nn.Sequential([
+        nn.Dense(8, 32, activation=R.relu),
+        nn.Dense(32, 2),
+    ])
+    optimizer = nn.SGD(0.1)
+
+    class LossScale:
+        def __init__(self):
+            self.value = 1.0
+
+    scale = LossScale()
+
+    @janus.function(optimizer=optimizer)
+    def train_step(x, y):
+        logits = model(x)
+        return nn.losses.softmax_cross_entropy(logits, y) * scale.value
+
+    return train_step, scale
+
+
+def run(steps=12, out="trace.json", level=2):
+    from . import (clear, set_trace_level, text_summary, trace_level,
+                   write_chrome_trace)
+
+    if trace_level() < level:
+        set_trace_level(level)
+    clear()
+
+    train_step, scale = build_step()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 8)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(np.int64)
+
+    for step in range(steps):
+        if step == steps - 3:
+            # Break the burned-in constant: assumption fails, the runtime
+            # falls back, relaxes the spec, and regenerates the graph.
+            scale.value = 0.5
+        loss = train_step(x, y)
+
+    print(text_summary())
+    path = write_chrome_trace(out)
+    print("\nwrote %s — open chrome://tracing (or https://ui.perfetto.dev) "
+          "and load it" % path)
+    print("final loss %.4f, stats %r" % (float(loss.numpy()),
+                                         train_step.cache_stats()))
+    return path
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="trace.json",
+                        help="chrome-trace output path (default trace.json)")
+    parser.add_argument("--steps", type=int, default=12)
+    parser.add_argument("--level", type=int, default=2,
+                        help="trace level: 1 lifecycle, 2 per-op")
+    args = parser.parse_args(argv)
+    run(steps=args.steps, out=args.out, level=args.level)
+
+
+if __name__ == "__main__":
+    main()
