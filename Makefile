@@ -4,11 +4,16 @@
 #   make trace-demo  - run a traced training loop, write trace.json,
 #                      print the text summary (docs/observability.md)
 #   make bench       - regenerate the paper-evaluation tables/figures
+#   make bench-check - rerun Table 3 and fail on >10% JANUS throughput
+#                      regression vs benchmarks/results/baseline_table3.json
+#                      (on noisy hosts, run the bench several times and
+#                      pass the labelled snapshots to check_regression.py
+#                      --current a.json b.json c.json to gate on medians)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-demo bench
+.PHONY: test trace-demo bench bench-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,3 +23,8 @@ trace-demo:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-check:
+	$(PYTHON) -m pytest benchmarks/bench_table3_throughput.py \
+		--benchmark-only -q
+	$(PYTHON) benchmarks/check_regression.py

@@ -7,7 +7,11 @@ fine-grained models (TreeNNs by the most), within a few percent of
 symbolic everywhere.
 """
 
+import os
+
 import pytest
+
+from repro import observability as obs
 
 from harness import (MODEL_BENCHES, MODEL_ORDER, format_table,
                      measure_throughput, save_results, items_in)
@@ -67,7 +71,19 @@ def test_zz_report(benchmark):
         ["Model", "(A) Imp.", "(B) JANUS", "(C) Sym.", "(B)/(A)",
          "(B)/(C)-1", "unit"],
         rows, title="Table 3 — single-machine training throughput"))
+    # Every run embeds the runtime-counter totals alongside throughput,
+    # so a results file is enough to audit what the run actually did
+    # (graphs generated/compiled, cache traffic, pass-analysis reuse).
+    payload["meta"] = {
+        "label": os.environ.get("BENCH_LABEL", "dev"),
+        "counters": obs.get_counters().snapshot(),
+    }
     save_results("table3_throughput", payload)
+    label = os.environ.get("BENCH_LABEL")
+    if label:
+        # Per-PR snapshot: kept under version control so `make
+        # bench-check` regressions are attributable to a specific change.
+        save_results("table3_throughput-%s" % label, payload)
     # Shape assertions on the models whose gains are robust to this
     # host's single-core timing noise: JANUS beats imperative execution
     # on the fine-grained workloads.  (The paper's TreeNN gains rely on

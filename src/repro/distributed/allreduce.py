@@ -11,7 +11,11 @@ become graph nodes so communication overlaps with computation (section
   algorithm on a given interconnect, used by the scalability benchmark.
 """
 
+import time
+
 import numpy as np
+
+from ..observability import COUNTERS, TRACER
 
 
 def ring_allreduce(worker_arrays, average=True):
@@ -25,8 +29,10 @@ def ring_allreduce(worker_arrays, average=True):
     steps, only ever exchanging single chunks with its ring neighbour.
     """
     workers = len(worker_arrays)
+    COUNTERS.inc("distributed.allreduces")
     if workers == 1:
         return [worker_arrays[0].copy()]
+    start = time.perf_counter() if TRACER.level else 0.0
     shape = worker_arrays[0].shape
     dtype = worker_arrays[0].dtype
     flat = [np.ascontiguousarray(a, dtype=np.float64).reshape(-1)
@@ -55,7 +61,13 @@ def ring_allreduce(worker_arrays, average=True):
             dst_chunk = (w - step) % workers
             chunk(flat[w], dst_chunk)[:] = sends[src]
     scale = 1.0 / workers if average else 1.0
-    return [(buf * scale).reshape(shape).astype(dtype) for buf in flat]
+    results = [(buf * scale).reshape(shape).astype(dtype) for buf in flat]
+    if TRACER.level:
+        TRACER.complete("distributed", "ring_allreduce", start,
+                        time.perf_counter() - start, workers=workers,
+                        bytes=int(worker_arrays[0].nbytes),
+                        average=average)
+    return results
 
 
 class AllReduceCostModel:

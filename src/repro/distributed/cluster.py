@@ -18,6 +18,7 @@ overlap computation and communication").
 
 import time
 
+from ..observability import COUNTERS, TRACER
 from .allreduce import AllReduceCostModel
 
 
@@ -50,6 +51,12 @@ def measure_step(step_fn, args, warmup=2, iters=5, variables=None,
     if variables:
         grad_bytes = sum(v.storage.array.nbytes for v in variables
                          if v.trainable)
+    COUNTERS.inc("distributed.steps_measured")
+    if TRACER.level:
+        TRACER.complete("distributed", "measure_step", start,
+                        time.perf_counter() - start, warmup=warmup,
+                        iters=iters, step_ms=round(total * 1e3, 3),
+                        grad_bytes=grad_bytes)
     return StepTiming(total, grad_bytes, examples_per_step)
 
 
@@ -63,12 +70,19 @@ class DataParallelSimulator:
         comm = self.cost_model.allreduce_seconds(timing.grad_bytes,
                                                  workers)
         if workers == 1:
-            return timing.total_seconds
-        if overlap:
+            result = timing.total_seconds
+        elif overlap:
             fwd = timing.total_seconds * (1 - timing.backward_fraction)
             bwd = timing.total_seconds * timing.backward_fraction
-            return fwd + max(bwd, comm)
-        return timing.total_seconds + comm
+            result = fwd + max(bwd, comm)
+        else:
+            result = timing.total_seconds + comm
+        if TRACER.level:
+            TRACER.instant("distributed", "simulated_step",
+                           workers=workers, overlap=overlap,
+                           comm_ms=round(comm * 1e3, 4),
+                           step_ms=round(result * 1e3, 4))
+        return result
 
     def throughput(self, timing, workers, overlap):
         """Examples/second across the whole simulated cluster."""

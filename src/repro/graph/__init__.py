@@ -3,7 +3,7 @@
 from .core import Graph, Node, NodeOutput, GraphFunction, collect_variables
 from .builder import GraphBuilder
 from .executor import GraphExecutor, RunState
-from .passes import (PassManager, DeadCodeElimination,
+from .passes import (AnalysisContext, PassManager, DeadCodeElimination,
                      CommonSubexpressionElimination, ConstantFolding,
                      ArithmeticSimplification, DEFAULT_PASSES)
 from . import autodiff
@@ -13,7 +13,8 @@ from . import export
 __all__ = [
     "Graph", "Node", "NodeOutput", "GraphFunction", "collect_variables",
     "GraphBuilder", "GraphExecutor", "RunState",
-    "PassManager", "DeadCodeElimination", "CommonSubexpressionElimination",
+    "AnalysisContext", "PassManager", "DeadCodeElimination",
+    "CommonSubexpressionElimination",
     "ConstantFolding", "ArithmeticSimplification", "DEFAULT_PASSES",
     "autodiff", "control_primitives", "export",
 ]

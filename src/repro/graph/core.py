@@ -263,6 +263,10 @@ class Graph:
         self.outputs = []           # NodeOutputs returned by execution
         self._next_id = 0
         self._executor_cache = {}   # config key -> compiled executor
+        #: Monotonic structural version: bumped on node addition/removal.
+        #: Cached whole-graph analyses (see graph.passes.AnalysisContext)
+        #: key off it so they can never serve a stale order.
+        self.version = 0
 
     def new_node(self, op_name, op_def=None, attrs=None, inputs=(),
                  control_inputs=(), name=None):
@@ -270,6 +274,7 @@ class Graph:
                     control_inputs, name)
         self._next_id += 1
         self.nodes.append(node)
+        self.version += 1
         self._executor_cache.clear()
         return node
 
@@ -277,6 +282,7 @@ class Graph:
         """Drop a set of nodes (used by optimization passes)."""
         dead = set(dead)
         self.nodes = [n for n in self.nodes if n not in dead]
+        self.version += 1
         self._executor_cache.clear()
 
     def topological_order(self, targets=None):

@@ -103,6 +103,31 @@ def _externalize(raw):
     return raw
 
 
+#: Sentinel meaning "no value validated yet" in a py_get identity memo.
+_MEMO_MISS = object()
+_MEMO_SAFE = None
+
+
+def _memo_safe_types():
+    """Types whose identity pins both internal form and guard verdict.
+
+    The py_get identity memo may only skip re-internalization and
+    re-checking when ``value is memo[0]`` implies the internalized form
+    and the guard outcome are unchanged.  That holds for immutable
+    scalars and for Variable (internalized to a PyRef that reads through
+    to current storage; its guard only checks the type name).  It does
+    NOT hold for ndarrays, Tensors, lists or dicts — in-place mutation
+    preserves identity while changing content, which would let a stale
+    memo bypass the assumption guard.
+    """
+    global _MEMO_SAFE
+    if _MEMO_SAFE is None:
+        _, variable_cls = _lazy_types()
+        _MEMO_SAFE = frozenset([bool, int, float, complex, str, bytes,
+                                type(None), variable_cls])
+    return _MEMO_SAFE
+
+
 def _internalize(value):
     """Convert a heap/user value into executor-internal form."""
     if type(value) is np.ndarray:
@@ -276,15 +301,71 @@ class GraphExecutor:
         return run_multi
 
     def _compile_py_get(self, node, in_slots, out_slots):
+        """Specialize one heap read into a precompiled closure.
+
+        Mirrors :meth:`_make_op_closure`: the object, key, guard check
+        and output slot are all bound at compile time, so a run costs
+        two dict probes plus (at most) one getattr.  A per-node identity
+        memo additionally skips re-internalizing and re-checking a value
+        that was already validated on an earlier run — safe exactly when
+        the value's internal form and guard verdict cannot change while
+        its identity is unchanged (immutable scalars, PyRef wrappers).
+        """
         kind = "attr" if node.op_name == "py_get_attr" else "subscr"
         key = node.attrs["name"] if kind == "attr" else node.attrs["key"]
-        obj = None
-        if node.py_object is not None:
-            obj = node.py_object.obj
-            self._py_objects[id(obj)] = obj
-        dyn_slot = in_slots[0] if in_slots else None
-        return ("py_get", kind, obj, dyn_slot, key,
-                node.attrs.get("expected"), out_slots[0], node)
+        check = _compile_expected_check(node.attrs.get("expected"), node)
+        out_slot = out_slots[0]
+        if node.py_object is None:
+            # Dynamic receiver: the object arrives on an input edge, so
+            # only the guard check can be precompiled.
+            return ("py_get", kind, in_slots[0], key, check, out_slot)
+        obj = node.py_object.obj
+        self._py_objects[id(obj)] = obj
+        local_key = (id(obj), kind, key)
+        memo_safe = _memo_safe_types()
+        memo = [_MEMO_MISS, None]   # [last validated heap value, raw form]
+        internalize = _internalize
+        if kind == "attr":
+            def run_get(values, run_state, obj=obj, key=key,
+                        local_key=local_key, check=check, memo=memo,
+                        out_slot=out_slot):
+                raw = run_state.py_local.get(local_key)
+                if raw is None:
+                    raw = run_state.py_read_cache.get(local_key)
+                    if raw is None:
+                        value = getattr(obj, key)
+                        if value is memo[0]:
+                            raw = memo[1]
+                        else:
+                            raw = internalize(value)
+                            if check is not None:
+                                check(raw)
+                            if type(value) in memo_safe:
+                                memo[0] = value
+                                memo[1] = raw
+                        run_state.py_read_cache[local_key] = raw
+                values[out_slot] = raw
+        else:
+            def run_get(values, run_state, obj=obj, key=key,
+                        local_key=local_key, check=check, memo=memo,
+                        out_slot=out_slot):
+                raw = run_state.py_local.get(local_key)
+                if raw is None:
+                    raw = run_state.py_read_cache.get(local_key)
+                    if raw is None:
+                        value = obj[key]
+                        if value is memo[0]:
+                            raw = memo[1]
+                        else:
+                            raw = internalize(value)
+                            if check is not None:
+                                check(raw)
+                            if type(value) in memo_safe:
+                                memo[0] = value
+                                memo[1] = raw
+                        run_state.py_read_cache[local_key] = raw
+                values[out_slot] = raw
+        return ("closure", run_get)
 
     def _compile_py_set(self, node, in_slots, out_slots):
         kind = "attr" if node.op_name == "py_set_attr" else "subscr"
@@ -512,12 +593,11 @@ class GraphExecutor:
             raise ExecutionError("unknown instruction %r" % (kind,))
 
     def _exec_py_get(self, instr, values, run_state):
-        _, kind, obj, dyn_slot, key, expected, out_slot, node = instr
-        if obj is None:
-            ref = values[dyn_slot]
-            if not isinstance(ref, PyRef):
-                raise ExecutionError("py_get on non-PyRef input")
-            obj = ref.obj
+        _, kind, dyn_slot, key, check, out_slot = instr
+        ref = values[dyn_slot]
+        if not isinstance(ref, PyRef):
+            raise ExecutionError("py_get on non-PyRef input")
+        obj = ref.obj
         local_key = (id(obj), kind, key)
         raw = run_state.py_local.get(local_key)
         if raw is None:
@@ -525,8 +605,8 @@ class GraphExecutor:
             if raw is None:
                 raw = _internalize(getattr(obj, key) if kind == "attr"
                                    else obj[key])
-                if expected is not None:
-                    _check_expected(expected, raw, node)
+                if check is not None:
+                    check(raw)
                 run_state.py_read_cache[local_key] = raw
         values[out_slot] = raw
 
@@ -601,45 +681,74 @@ class GraphExecutor:
             values[slot] = value
 
 
-def _check_expected(expected, raw, node):
+def _compile_expected_check(expected, node):
+    """Precompile a node's expected-value guard into a bound check closure.
+
+    The per-kind reference data (the profiled constant as an ndarray, the
+    numpy dtype, the Shape object, the type name) is derived once at
+    compile time; the returned closure performs only the comparisons.
+    Returns None when the node carries no expectation.
+    """
+    if expected is None:
+        return None
     kind = expected[0]
+    debug_name = node.debug_name
     if kind == "const":
-        _, dtype, value = expected
-        if not isinstance(raw, np.ndarray) or \
-                raw.shape != np.asarray(value).shape or \
-                not np.array_equal(raw, value):
-            raise AssumptionFailed(
-                "heap read %s: value changed from its profiled constant"
-                % node.debug_name,
-                site=node.attrs.get("prof_site", node.debug_name),
-                observed=raw)
-        return
+        _, _dtype, value = expected
+        expected_arr = np.asarray(value)
+        expected_shape = expected_arr.shape
+        site = node.attrs.get("prof_site", debug_name)
+        array_equal = np.array_equal
+        ndarray = np.ndarray
+
+        def check_const(raw):
+            if not isinstance(raw, ndarray) or raw.shape != expected_shape \
+                    or not array_equal(raw, expected_arr):
+                raise AssumptionFailed(
+                    "heap read %s: value changed from its profiled constant"
+                    % debug_name, site=site, observed=raw)
+        return check_const
     if kind == "tensor":
         _, dtype, shape = expected
-        if not isinstance(raw, np.ndarray):
-            raise AssumptionFailed(
-                "heap read %s: expected a tensor, got %s"
-                % (node.debug_name, type(raw).__name__),
-                site=node.debug_name, observed=raw)
-        if dtype is not None and raw.dtype != dtype.np_dtype:
-            raise AssumptionFailed(
-                "heap read %s: dtype %s != expected %s"
-                % (node.debug_name, raw.dtype, dtype.name),
-                site=node.debug_name, observed=raw)
-        from ..tensor.shape import Shape
-        if shape is not None and not Shape.of(shape).matches_value(raw.shape):
-            raise AssumptionFailed(
-                "heap read %s: shape %s violates assumption %s"
-                % (node.debug_name, raw.shape, shape),
-                site=node.debug_name, observed=raw)
-    elif kind == "pyref":
+        np_dtype = dtype.np_dtype if dtype is not None else None
+        dtype_name = dtype.name if dtype is not None else None
+        if shape is not None:
+            from ..tensor.shape import Shape
+            shape_obj = Shape.of(shape)
+        else:
+            shape_obj = None
+        ndarray = np.ndarray
+
+        def check_tensor(raw):
+            if not isinstance(raw, ndarray):
+                raise AssumptionFailed(
+                    "heap read %s: expected a tensor, got %s"
+                    % (debug_name, type(raw).__name__),
+                    site=debug_name, observed=raw)
+            if np_dtype is not None and raw.dtype != np_dtype:
+                raise AssumptionFailed(
+                    "heap read %s: dtype %s != expected %s"
+                    % (debug_name, raw.dtype, dtype_name),
+                    site=debug_name, observed=raw)
+            if shape_obj is not None \
+                    and not shape_obj.matches_value(raw.shape):
+                raise AssumptionFailed(
+                    "heap read %s: shape %s violates assumption %s"
+                    % (debug_name, raw.shape, shape),
+                    site=debug_name, observed=raw)
+        return check_tensor
+    if kind == "pyref":
         type_name = expected[1]
-        obj = raw.obj if isinstance(raw, PyRef) else raw
-        if type(obj).__name__ != type_name:
-            raise AssumptionFailed(
-                "heap read %s: type %s != expected %s"
-                % (node.debug_name, type(obj).__name__, type_name),
-                site=node.debug_name, observed=raw)
+
+        def check_pyref(raw):
+            obj = raw.obj if isinstance(raw, PyRef) else raw
+            if type(obj).__name__ != type_name:
+                raise AssumptionFailed(
+                    "heap read %s: type %s != expected %s"
+                    % (debug_name, type(obj).__name__, type_name),
+                    site=debug_name, observed=raw)
+        return check_pyref
+    return None
 
 
 def _invoke_memo_key(func, args):

@@ -12,17 +12,83 @@ import time
 
 import numpy as np
 
-from ..observability import TRACER
+from ..observability import COUNTERS, TRACER
 from ..tensor import TensorValue
 from .core import Graph
 
 
+class AnalysisContext:
+    """Shared per-round graph analyses for a :class:`PassManager` run.
+
+    Every structural pass needs a topological order (and DCE a liveness
+    set), but within one round most passes observe the *same* graph: the
+    order only changes when a pass actually mutates the structure.  The
+    context computes each analysis lazily, hands the cached result to
+    every consumer, and is invalidated by the manager only when a pass
+    reports a mutation — so a steady-state round performs zero
+    ``topological_order()`` recomputations after the first.
+
+    The cached order is additionally keyed to ``graph.version`` so a
+    structural change that slips past a pass's changed-report (e.g. a
+    helper adding nodes) can never serve a stale order.
+    """
+
+    __slots__ = ("graph", "_topo", "_topo_version", "_live",
+                 "_live_version", "computes", "reuses")
+
+    def __init__(self, graph):
+        self.graph = graph
+        self._topo = None
+        self._topo_version = -1
+        self._live = None
+        self._live_version = -1
+        self.computes = 0
+        self.reuses = 0
+
+    def topological_order(self):
+        version = self.graph.version
+        if self._topo is None or self._topo_version != version:
+            self._topo = self.graph.topological_order()
+            self._topo_version = version
+            self.computes += 1
+            COUNTERS.inc("passes.topo_computed")
+        else:
+            self.reuses += 1
+            COUNTERS.inc("passes.topo_reused")
+        return self._topo
+
+    def live_nodes(self):
+        version = self.graph.version
+        if self._live is None or self._live_version != version:
+            self._live = self.graph.live_nodes()
+            self._live_version = version
+        return self._live
+
+    def invalidate(self):
+        """Drop every cached analysis (a pass mutated the graph)."""
+        self._topo = None
+        self._live = None
+
+
+def _order_of(graph, ctx):
+    """Topological order via the shared context when one is available."""
+    if ctx is not None:
+        return ctx.topological_order()
+    return graph.topological_order()
+
+
 class Pass:
-    """Base class: a transformation applied in place to a Graph."""
+    """Base class: a transformation applied in place to a Graph.
+
+    ``run`` takes an optional :class:`AnalysisContext`; passes that
+    consume whole-graph analyses read them through the context so one
+    computation serves the whole round.  Called without a context (tests,
+    ad-hoc single-pass use) they fall back to computing their own.
+    """
 
     name = "pass"
 
-    def run(self, graph):
+    def run(self, graph, ctx=None):
         """Apply the pass; returns True when the graph changed."""
         raise NotImplementedError
 
@@ -64,8 +130,8 @@ class DeadCodeElimination(Pass):
 
     name = "dce"
 
-    def run(self, graph):
-        live = graph.live_nodes()
+    def run(self, graph, ctx=None):
+        live = ctx.live_nodes() if ctx is not None else graph.live_nodes()
         dead = [n for n in graph.nodes if n not in live]
         if not dead:
             return False
@@ -78,10 +144,10 @@ class CommonSubexpressionElimination(Pass):
 
     name = "cse"
 
-    def run(self, graph):
+    def run(self, graph, ctx=None):
         canonical = {}
         replacements = {}
-        for node in graph.topological_order():
+        for node in _order_of(graph, ctx):
             # Resolve this node's inputs through pending replacements so
             # chained duplicates collapse in one run.
             for i, inp in enumerate(node.inputs):
@@ -118,10 +184,10 @@ class ConstantFolding(Pass):
     # Refuse to materialize folded constants bigger than this (bytes).
     MAX_BYTES = 1 << 20
 
-    def run(self, graph):
+    def run(self, graph, ctx=None):
         replacements = {}
         changed = False
-        for node in graph.topological_order():
+        for node in _order_of(graph, ctx):
             for i, inp in enumerate(node.inputs):
                 rep = replacements.get((id(inp.node), inp.index))
                 if rep is not None:
@@ -179,9 +245,9 @@ class ArithmeticSimplification(Pass):
 
     name = "arithmetic_simplify"
 
-    def run(self, graph):
+    def run(self, graph, ctx=None):
         replacements = {}
-        for node in graph.topological_order():
+        for node in _order_of(graph, ctx):
             for i, inp in enumerate(node.inputs):
                 rep = replacements.get((id(inp.node), inp.index))
                 if rep is not None:
@@ -253,13 +319,14 @@ class PassManager:
         if id(graph) in _seen_graphs:
             return graph
         _seen_graphs.add(id(graph))
+        ctx = AnalysisContext(graph)
         for round_index in range(self.max_rounds):
             changed = False
             for pass_ in self.passes:
                 if TRACER.level:
                     before = len(graph.nodes)
                     start = time.perf_counter()
-                    pass_changed = bool(pass_.run(graph))
+                    pass_changed = bool(pass_.run(graph, ctx))
                     TRACER.complete(
                         "pass", pass_.name, start,
                         time.perf_counter() - start, graph=graph.name,
@@ -267,7 +334,9 @@ class PassManager:
                         nodes_after=len(graph.nodes),
                         changed=pass_changed)
                 else:
-                    pass_changed = bool(pass_.run(graph))
+                    pass_changed = bool(pass_.run(graph, ctx))
+                if pass_changed:
+                    ctx.invalidate()
                 changed |= pass_changed
             if not changed:
                 break

@@ -8,13 +8,15 @@ from .api import JanusFunction, function
 from .config import (JanusConfig, get_config, set_config, ABLATION_STAGES)
 from .profiler import Profiler
 from .graphgen import GraphGenerator, GeneratedGraph
-from .cache import GraphCache
+from .compiled import CompiledGraph, compile_generated
+from .cache import CacheEntry, GraphCache
 from . import specialization
 from . import coverage
 
 __all__ = [
     "JanusFunction", "function",
     "JanusConfig", "get_config", "set_config", "ABLATION_STAGES",
-    "Profiler", "GraphGenerator", "GeneratedGraph", "GraphCache",
+    "Profiler", "GraphGenerator", "GeneratedGraph",
+    "CompiledGraph", "compile_generated", "CacheEntry", "GraphCache",
     "specialization", "coverage",
 ]

@@ -23,10 +23,10 @@ automatic differentiation (section 3).
 import functools
 
 from ..errors import AssumptionFailed, NotConvertible
-from ..graph.executor import GraphExecutor
 from ..imperative.tape import GradientTape
 from ..observability import TRACER, override_level
 from .cache import CacheEntry, GraphCache
+from .compiled import compile_generated
 from .config import get_config
 from .graphgen import GraphGenerator
 from .profiler import Profiler
@@ -40,7 +40,7 @@ class JanusFunction:
         self.optimizer = optimizer
         self._config = config
         self.profiler = Profiler()
-        self.cache = GraphCache()
+        self.cache = GraphCache(max_entries=self.config.graph_cache_entries)
         self.imperative_only = False
         self.not_convertible_reason = None
         #: Human-readable description of the most recent failed runtime
@@ -84,14 +84,14 @@ class JanusFunction:
         signature = self.cache.signature_of(args)
         entry = self.cache.lookup(signature)
         if entry is not None and not entry.dirty:
-            if entry.generated.check_preconditions(args):
-                entry.hits += 1
+            if entry.compiled.check_preconditions(args):
+                self.cache.record_hit(entry)
                 if TRACER.level:
                     TRACER.instant("cache_hit", self.__name__,
                                    hits=entry.hits)
                 return self._run_graph(entry, args, signature)
             # Cache miss on precheck: relax + regenerate on the next call.
-            entry.misses += 1
+            self.cache.record_miss(entry)
             if TRACER.level:
                 TRACER.instant("cache_miss", self.__name__,
                                reason="precheck_failed")
@@ -102,22 +102,25 @@ class JanusFunction:
         if TRACER.level:
             TRACER.instant("cache_miss", self.__name__,
                            reason="no_entry", signature=repr(signature))
-        generated = self._generate(signature)
-        if generated is None:
+        compiled = self._generate(signature)
+        if compiled is None:
             return self._run_imperative(args, profile=False)
-        executor = GraphExecutor(generated.graph,
-                                 parallel=self.config.parallel_execution)
-        entry = CacheEntry(generated, executor)
+        entry = CacheEntry(compiled)
+        self.cache.max_entries = self.config.graph_cache_entries
         self.cache.store(signature, entry)
         self.stats["graphs_generated"] += 1
-        if not generated.check_preconditions(args):
-            entry.misses += 1
+        if not compiled.check_preconditions(args):
+            self.cache.record_miss(entry)
             self.profiler.record_args(list(args))
             return self._run_imperative(args, profile=True)
-        entry.hits += 1
+        self.cache.record_hit(entry)
         return self._run_graph(entry, args, signature)
 
     def _generate(self, signature=None):
+        """Generate and compile: returns a CompiledGraph artifact (or
+        None when the function is imperative-only).  Conversion and
+        executor compilation happen together, inside one ``graphgen``
+        span — the compile-once point of the pipeline."""
         with TRACER.span("graphgen", self.__name__,
                          regeneration=self.stats["graphs_generated"] > 0):
             try:
@@ -125,7 +128,9 @@ class JanusFunction:
                                            self.config,
                                            optimizer=self.optimizer,
                                            signature=signature)
-                return generator.generate()
+                generated = generator.generate()
+                return compile_generated(generated, self.config,
+                                         signature=signature)
             except NotConvertible as exc:
                 # Figure 2 (C): permanently imperative-only.
                 self.imperative_only = True
@@ -139,14 +144,14 @@ class JanusFunction:
                 return None
 
     def _run_graph(self, entry, args, signature):
-        generated = entry.generated
-        feeds = generated.bind_feeds(args)
+        compiled = entry.compiled
+        feeds = compiled.bind_feeds(args)
         try:
-            flat = entry.executor.run(feeds)
+            flat = compiled.run_flat(feeds)
         except AssumptionFailed as exc:
             # Figure 2 (E): no state was committed; fall back, relax,
             # regenerate with the broken assumption removed.
-            entry.failures += 1
+            self.cache.record_failure(entry)
             self.stats["fallbacks"] += 1
             self.last_assumption_failure = str(exc)
             if TRACER.level:
@@ -158,7 +163,7 @@ class JanusFunction:
             self.cache.invalidate(signature)
             return self._run_imperative(args, profile=True)
         self.stats["graph_runs"] += 1
-        return generated.repack_outputs(flat)
+        return compiled.repack_outputs(flat)
 
     def _relax(self, failure):
         site = failure.site

@@ -1,62 +1,138 @@
 """The graph cache (paper figure 2).
 
-Generated graphs are cached per *call signature* — the type-level summary
+Compiled graphs are cached per *call signature* — the type-level summary
 of the arguments (tensor dtype/rank, Python value types).  Retrieval
 validates the entry's precheckable assumptions (constant values, shape
 specs, object identities); a failed precheck is a cache miss, after which
 the entry is relaxed and regenerated (figure 2, check 1).
 
-Cache population and eviction emit ``cache_store`` / ``cache_invalidate``
-trace events (retrieval outcomes — ``cache_hit`` / ``cache_miss`` — are
-emitted by :mod:`repro.janus.api`, which knows the precheck result); see
-:mod:`repro.observability`.
+Two properties matter for long-running programs:
+
+* **Bounded size** — workloads that keep producing novel signatures
+  (e.g. TreeNN, one graph per parse-tree topology; paper §6.3.2) would
+  otherwise grow the cache without limit.  The cache is an LRU: storing
+  past ``max_entries`` evicts the least-recently-retrieved artifact.
+* **Lifetime accounting** — hit/miss/assumption-failure totals live on
+  the cache itself, updated through ``record_hit`` / ``record_miss`` /
+  ``record_failure``.  Per-entry counts still exist for introspection,
+  but invalidating or evicting an entry no longer erases history, so
+  ``cache_stats()`` reflects everything that ever happened.
+
+Population and eviction emit ``cache_store`` / ``cache_evict`` /
+``cache_invalidate`` trace events (retrieval outcomes — ``cache_hit`` /
+``cache_miss`` — are emitted by :mod:`repro.janus.api`, which knows the
+precheck result); see :mod:`repro.observability`.
 """
 
-from ..observability import TRACER
+from collections import OrderedDict
+
+from ..observability import COUNTERS, TRACER
 
 
 class CacheEntry:
-    """One generated graph plus everything needed to run and re-check it."""
+    """One compiled graph artifact plus its per-entry retrieval counts."""
 
-    __slots__ = ("generated", "executor", "hits", "misses", "failures",
-                 "dirty")
+    __slots__ = ("compiled", "hits", "misses", "failures", "dirty")
 
-    def __init__(self, generated, executor):
-        self.generated = generated
-        self.executor = executor
+    def __init__(self, compiled):
+        self.compiled = compiled
         self.hits = 0
         self.misses = 0
         self.failures = 0
         self.dirty = False
 
+    @property
+    def generated(self):
+        return self.compiled.generated
+
+    @property
+    def executor(self):
+        return self.compiled.executor
+
 
 class GraphCache:
-    """Signature-keyed cache of speculatively-generated graphs."""
+    """Signature-keyed bounded LRU cache of compiled graph artifacts."""
 
-    def __init__(self):
-        self._entries = {}
+    def __init__(self, max_entries=None):
+        self._entries = OrderedDict()
+        #: Maximum live entries (None = unbounded).  May be adjusted at
+        #: any time; enforced on the next ``store``.
+        self.max_entries = max_entries
+        # Lifetime totals — survive invalidate/evict/clear.
+        self.total_hits = 0
+        self.total_misses = 0
+        self.total_failures = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def signature_of(self, args):
         from . import specialization as spec
         return tuple(spec.observe(a).signature() for a in args)
 
     def lookup(self, signature):
-        return self._entries.get(signature)
+        entry = self._entries.get(signature)
+        if entry is not None:
+            self._entries.move_to_end(signature)
+        return entry
+
+    # -- outcome accounting -------------------------------------------------
+
+    def record_hit(self, entry):
+        entry.hits += 1
+        self.total_hits += 1
+        COUNTERS.inc("cache.hits")
+
+    def record_miss(self, entry=None):
+        if entry is not None:
+            entry.misses += 1
+        self.total_misses += 1
+        COUNTERS.inc("cache.misses")
+
+    def record_failure(self, entry=None):
+        if entry is not None:
+            entry.failures += 1
+        self.total_failures += 1
+        COUNTERS.inc("cache.assumption_failures")
+
+    # -- population ----------------------------------------------------------
 
     def store(self, signature, entry):
         self._entries[signature] = entry
+        self._entries.move_to_end(signature)
+        self.stores += 1
+        COUNTERS.inc("cache.stores")
         if TRACER.level:
             TRACER.instant("cache_store", entry.generated.graph.name,
                            signature=repr(signature),
                            entries=len(self._entries))
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                evicted_sig, evicted = self._entries.popitem(last=False)
+                self.evictions += 1
+                COUNTERS.inc("cache.evictions")
+                if TRACER.level:
+                    TRACER.instant("cache_evict",
+                                   evicted.generated.graph.name,
+                                   signature=repr(evicted_sig),
+                                   hits=evicted.hits,
+                                   entries=len(self._entries))
 
     def invalidate(self, signature):
+        """Drop one entry.  Lifetime totals are unaffected (they are
+        accumulated through ``record_*`` at outcome time, not summed over
+        live entries), so invalidation no longer erases history."""
         entry = self._entries.pop(signature, None)
-        if entry is not None and TRACER.level:
-            TRACER.instant("cache_invalidate", entry.generated.graph.name,
-                           signature=repr(signature),
-                           hits=entry.hits, misses=entry.misses,
-                           failures=entry.failures)
+        if entry is not None:
+            self.invalidations += 1
+            COUNTERS.inc("cache.invalidations")
+            if TRACER.level:
+                TRACER.instant("cache_invalidate",
+                               entry.generated.graph.name,
+                               signature=repr(signature),
+                               hits=entry.hits, misses=entry.misses,
+                               failures=entry.failures)
+        return entry
 
     def clear(self):
         self._entries.clear()
@@ -64,11 +140,17 @@ class GraphCache:
     def __len__(self):
         return len(self._entries)
 
+    def entries(self):
+        """Live entries in LRU order (oldest first); for introspection."""
+        return list(self._entries.items())
+
     def stats(self):
         return {
             "entries": len(self._entries),
-            "hits": sum(e.hits for e in self._entries.values()),
-            "misses": sum(e.misses for e in self._entries.values()),
-            "assumption_failures": sum(e.failures
-                                       for e in self._entries.values()),
+            "hits": self.total_hits,
+            "misses": self.total_misses,
+            "assumption_failures": self.total_failures,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }

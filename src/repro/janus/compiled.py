@@ -1,0 +1,87 @@
+"""The compile-once execution artifact.
+
+JANUS's speedup claim (paper §4.3) rests on paying conversion and
+specialization cost once and then executing a cheap specialized graph
+many times.  :class:`CompiledGraph` is the unit that bet is made on: it
+bundles everything produced at graph-generation time — the converted
+:class:`~repro.janus.graphgen.GeneratedGraph` (graph + binding plan +
+prechecks), the compiled :class:`~repro.graph.executor.GraphExecutor`
+schedule (with its specialized per-node guard closures), and the
+compile-time metadata used to audit the amortization — so nothing is
+re-derived on the hot path.
+
+``compile_generated`` is the single construction point, called from
+:mod:`repro.janus.api` inside the ``graphgen`` trace span; the artifact
+then lives in the :class:`~repro.janus.cache.GraphCache` until evicted
+or invalidated.
+"""
+
+import time
+
+from ..graph.executor import GraphExecutor
+from ..observability import COUNTERS, TRACER
+
+
+class CompiledGraph:
+    """Everything needed to run one specialized graph, built exactly once.
+
+    Thin by design: the artifact owns its pieces and forwards the calls
+    the runtime makes per invocation (``bind_feeds`` /
+    ``check_preconditions`` / ``repack_outputs``), so callers never
+    reach around it to re-create executors or re-inspect the generator.
+    """
+
+    __slots__ = ("generated", "executor", "signature", "node_count",
+                 "compile_seconds")
+
+    def __init__(self, generated, executor, signature=None,
+                 compile_seconds=0.0):
+        self.generated = generated
+        self.executor = executor
+        self.signature = signature
+        self.node_count = len(generated.graph.nodes)
+        self.compile_seconds = compile_seconds
+
+    @property
+    def graph(self):
+        return self.generated.graph
+
+    def bind_feeds(self, args):
+        return self.generated.bind_feeds(args)
+
+    def check_preconditions(self, args):
+        return self.generated.check_preconditions(args)
+
+    def repack_outputs(self, flat_values):
+        return self.generated.repack_outputs(flat_values)
+
+    def run_flat(self, feeds):
+        """Execute the precompiled schedule over already-bound feeds."""
+        return self.executor.run(feeds)
+
+    def __repr__(self):
+        return "CompiledGraph(%s, %d nodes, compiled in %.1f ms)" % (
+            self.graph.name, self.node_count,
+            self.compile_seconds * 1e3)
+
+
+def compile_generated(generated, config, signature=None):
+    """Build the :class:`CompiledGraph` artifact for a generated graph.
+
+    This is the one place executor schedules (and with them the
+    specialized guard/heap-read closures) are compiled on the JANUS
+    path; everything downstream reuses the artifact.
+    """
+    start = time.perf_counter()
+    executor = GraphExecutor(generated.graph,
+                             parallel=config.parallel_execution)
+    elapsed = time.perf_counter() - start
+    COUNTERS.inc("janus.graphs_compiled")
+    COUNTERS.add_time("janus.compile", elapsed)
+    compiled = CompiledGraph(generated, executor, signature=signature,
+                             compile_seconds=elapsed)
+    if TRACER.level:
+        TRACER.instant("graphgen", "compiled", graph=generated.graph.name,
+                       nodes=compiled.node_count,
+                       compile_ms=round(elapsed * 1e3, 3))
+    return compiled

@@ -26,7 +26,8 @@ class JanusConfig:
                  max_unroll=256,
                  max_recursion_inline=0,
                  fail_on_not_convertible=False,
-                 trace_level=None):
+                 trace_level=None,
+                 graph_cache_entries=64):
         #: Imperative profiling iterations before generating a graph
         #: (the paper found 3 sufficient — section 3.1 footnote).
         self.profile_runs = profile_runs
@@ -49,6 +50,11 @@ class JanusConfig:
         #: for this function, 1 records lifecycle events, 2 adds per-op
         #: timing.  See :mod:`repro.observability`.
         self.trace_level = trace_level
+        #: Bound on live per-function GraphCache entries (LRU eviction
+        #: beyond it; None = unbounded).  Novel-structure workloads like
+        #: TreeNN generate one graph per input topology (§6.3.2) and
+        #: would otherwise grow the cache without limit.
+        self.graph_cache_entries = graph_cache_entries
 
     def copy(self, **overrides):
         new = copy.copy(self)

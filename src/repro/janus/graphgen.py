@@ -321,6 +321,9 @@ class GeneratedGraph:
         self.output_structure = output_structure
         self.prechecks = prechecks        # list of (describe, check_fn)
         self.variables = variables
+        #: Node count before the optimization passes ran (compile-time
+        #: metadata surfaced through CompiledGraph / trace events).
+        self.nodes_raw = len(graph.nodes)
 
     def bind_feeds(self, args):
         feeds = []
@@ -425,17 +428,21 @@ class GraphGenerator:
             self.builder.mark_outputs(flat)
         graph = self.builder.graph
         nodes_before = len(graph.nodes)
+        from ..observability import COUNTERS, TRACER
         if self.config.optimize_graph:
-            PassManager().run(graph)
-        from ..observability import TRACER
+            with COUNTERS.timer("graphgen.optimize"):
+                PassManager().run(graph)
+        COUNTERS.inc("janus.graphs_generated")
         if TRACER.level:
             TRACER.instant("graphgen", "generated", graph=graph.name,
                            nodes_raw=nodes_before,
                            nodes_optimized=len(graph.nodes),
                            prechecks=len(self.prechecks),
                            training=self.optimizer is not None)
-        return GeneratedGraph(graph, arg_plan, structure, self.prechecks,
-                              graph.outputs and None)
+        generated = GeneratedGraph(graph, arg_plan, structure,
+                                   self.prechecks, graph.outputs and None)
+        generated.nodes_raw = nodes_before
+        return generated
 
     def _attach_training(self, result, structure, flat):
         """Append autodiff + optimizer update ops (training functions)."""

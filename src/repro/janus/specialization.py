@@ -19,6 +19,9 @@ new points, so a trace shows exactly *which* assumption each fallback
 cost.
 """
 
+import threading
+import weakref
+
 import numpy as np
 
 from ..imperative.eager import Tensor
@@ -37,6 +40,66 @@ PYOBJ = "pyobj"                 # arbitrary object, stable type
 LIST = "list"                   # list/tuple of element specs
 NONE = "none"                   # literal None
 BOTTOM = "bottom"               # nothing can be assumed
+
+
+class CallableRegistry:
+    """Stable, non-reusable tokens for callables appearing in cache keys.
+
+    Keying a cache signature by ``id(fn)`` alone is unsound: once the
+    callable is garbage-collected, CPython may hand the same address to
+    a brand-new function, silently matching a stale cache entry built
+    for different code.  The registry instead assigns each distinct
+    *live* callable a monotonically increasing token, tracking liveness
+    with a weak reference — when the callable dies its slot is cleared,
+    so a reallocated callable at a reused address always receives a
+    fresh token and can never alias the old entry.
+
+    Callables that do not support weak references (builtins, some
+    C-implemented methods) are held strongly; they are module-lifetime
+    objects, so pinning them cannot leak meaningfully.
+    """
+
+    def __init__(self):
+        self._slots = {}      # id(fn) -> (weakref-or-strong-ref, token)
+        self._next_token = 0
+        self._lock = threading.Lock()
+
+    def token_for(self, fn):
+        key = id(fn)
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is not None:
+                ref, token = slot
+                target = ref() if isinstance(ref, weakref.ref) else ref
+                if target is fn:
+                    return token
+                # Address reuse beat the death callback: fall through
+                # and overwrite with a fresh token.
+            token = self._next_token
+            self._next_token += 1
+            try:
+                ref = weakref.ref(fn, self._reaper(key))
+            except TypeError:
+                ref = fn
+            self._slots[key] = (ref, token)
+            return token
+
+    def _reaper(self, key):
+        def _on_death(dead_ref):
+            with self._lock:
+                slot = self._slots.get(key)
+                # Only clear our own slot: the id may already belong to
+                # a newly registered callable.
+                if slot is not None and slot[0] is dead_ref:
+                    del self._slots[key]
+        return _on_death
+
+    def __len__(self):
+        return len(self._slots)
+
+
+#: Process-wide registry backing CALLABLE signatures.
+CALLABLE_REGISTRY = CallableRegistry()
 
 
 class ValueSpec:
@@ -84,7 +147,9 @@ class ValueSpec:
                 return ("P", type(self.value).__qualname__)
             return ("C", self.value)
         if self.kind == CALLABLE:
-            return ("F", id(self.value))
+            # Registry token, not raw id(): a GC'd-then-reallocated
+            # callable at the same address must not alias a cache entry.
+            return ("F", CALLABLE_REGISTRY.token_for(self.value))
         if self.kind == VARIABLE:
             return ("V", self.value.uid)
         if self.kind == PYOBJ:

@@ -41,7 +41,8 @@ CATEGORIES = (
     "graphgen",          # speculative graph generation / regeneration
     "cache_hit",         # graph cache retrieval: prechecks passed
     "cache_miss",        # graph cache retrieval: absent or precheck failed
-    "cache_store",       # a generated graph entered the cache
+    "cache_store",       # a compiled graph entered the cache
+    "cache_evict",       # LRU bound exceeded: oldest entry dropped
     "cache_invalidate",  # an entry was dropped (relaxation pending)
     "assumption_fail",   # a runtime guard (AssertOp) fired
     "fallback",          # execution fell back to the imperative executor
@@ -50,6 +51,7 @@ CATEGORIES = (
     "op",                # graph-executor timing (per run; per node at level 2)
     "level",             # parallel-schedule level timing (level 2)
     "bench",             # benchmark-harness measurement windows
+    "distributed",       # cluster simulation / ring all-reduce (figure 8)
 )
 
 _perf_counter = time.perf_counter

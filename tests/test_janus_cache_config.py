@@ -24,7 +24,7 @@ class TestGraphCache:
 
     def test_store_lookup_invalidate(self):
         cache = GraphCache()
-        entry = CacheEntry(None, None)
+        entry = CacheEntry(None)
         cache.store(("sig",), entry)
         assert cache.lookup(("sig",)) is entry
         cache.invalidate(("sig",))
@@ -33,13 +33,48 @@ class TestGraphCache:
 
     def test_stats_aggregate(self):
         cache = GraphCache()
-        e1, e2 = CacheEntry(None, None), CacheEntry(None, None)
-        e1.hits, e2.misses, e2.failures = 3, 1, 2
+        e1, e2 = CacheEntry(None), CacheEntry(None)
         cache.store(("a",), e1)
         cache.store(("b",), e2)
+        for _ in range(3):
+            cache.record_hit(e1)
+        cache.record_miss(e2)
+        cache.record_failure(e2)
+        cache.record_failure(e2)
         stats = cache.stats()
-        assert stats == {"entries": 2, "hits": 3, "misses": 1,
-                         "assumption_failures": 2}
+        assert stats["entries"] == 2
+        assert stats["hits"] == 3
+        assert stats["misses"] == 1
+        assert stats["assumption_failures"] == 2
+        assert (e1.hits, e2.misses, e2.failures) == (3, 1, 2)
+
+    def test_lifetime_totals_survive_invalidate(self):
+        # Regression: stats used to be summed over live entries, so an
+        # invalidate erased the history of everything that had happened.
+        cache = GraphCache()
+        entry = CacheEntry(None)
+        cache.store(("sig",), entry)
+        cache.record_hit(entry)
+        cache.record_failure(entry)
+        cache.invalidate(("sig",))
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 1
+        assert stats["assumption_failures"] == 1
+        assert stats["invalidations"] == 1
+
+    def test_lru_eviction_bound(self):
+        cache = GraphCache(max_entries=2)
+        a, b, c = CacheEntry(None), CacheEntry(None), CacheEntry(None)
+        cache.store(("a",), a)
+        cache.store(("b",), b)
+        cache.lookup(("a",))        # refresh a: b is now LRU
+        cache.store(("c",), c)
+        assert len(cache) == 2
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) is a
+        assert cache.lookup(("c",)) is c
+        assert cache.stats()["evictions"] == 1
 
 
 class TestJanusConfig:
