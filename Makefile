@@ -4,16 +4,23 @@
 #   make trace-demo  - run a traced training loop, write trace.json,
 #                      print the text summary (docs/observability.md)
 #   make bench       - regenerate the paper-evaluation tables/figures
-#   make bench-check - rerun Table 3 and fail on >10% JANUS throughput
-#                      regression vs benchmarks/results/baseline_table3.json
-#                      (on noisy hosts, run the bench several times and
-#                      pass the labelled snapshots to check_regression.py
-#                      --current a.json b.json c.json to gate on medians)
+#   make bench-check - run Table 3 three times and fail on >10% median
+#                      JANUS throughput regression vs
+#                      benchmarks/results/baseline_table3.json
+#   make ci          - tier-1 tests + the gated benchmark (what CI runs)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-demo bench bench-check
+#: Number of Table-3 reruns the gate medians over.  Host noise on shared
+#: machines swings single runs by +/-15-20%, so one run trips the 10%
+#: threshold spuriously; three runs gate each model on its median.
+GATE_RUNS ?= 3
+GATE_LABELS := $(shell seq 1 $(GATE_RUNS))
+GATE_FILES := $(foreach n,$(GATE_LABELS),\
+	benchmarks/results/table3_throughput-gate-run$(n).json)
+
+.PHONY: test trace-demo bench bench-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +32,11 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-check:
-	$(PYTHON) -m pytest benchmarks/bench_table3_throughput.py \
-		--benchmark-only -q
-	$(PYTHON) benchmarks/check_regression.py
+	for n in $(GATE_LABELS); do \
+		BENCH_LABEL=gate-run$$n $(PYTHON) -m pytest \
+			benchmarks/bench_table3_throughput.py \
+			--benchmark-only -q || exit $$?; \
+	done
+	$(PYTHON) benchmarks/check_regression.py --current $(GATE_FILES)
+
+ci: test bench-check

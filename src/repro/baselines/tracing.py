@@ -22,6 +22,7 @@ parameters.
 import numpy as np
 
 from ..errors import ReproError
+from ..observability import COUNTERS, TRACER
 from ..graph.builder import GraphBuilder
 from ..graph.executor import GraphExecutor
 from ..graph.core import NodeOutput
@@ -33,7 +34,17 @@ from ..tensor import TensorValue
 
 
 class TracingLimitation(ReproError):
-    """The trace hit something a trace-based converter cannot express."""
+    """The trace hit something a trace-based converter cannot express.
+
+    ``kind`` names the limitation class (``"op_budget"`` or
+    ``"recursion"``) and doubles as the counter suffix:
+    ``baseline.tracing_limitation.<kind>``.
+    """
+
+    def __init__(self, message, kind="other"):
+        super().__init__(message)
+        self.kind = kind
+        COUNTERS.inc("baseline.tracing_limitation.%s" % kind)
 
 
 class _ShadowContext(EagerContext):
@@ -81,7 +92,7 @@ class _ShadowContext(EagerContext):
                 "trace exceeded %d operations — unbounded (e.g. "
                 "recursive) programs cannot be traced into a finite "
                 "graph (paper section 6.2, TreeLSTM case)"
-                % self.max_trace_ops)
+                % self.max_trace_ops, kind="op_budget")
         outputs = super().execute(op_def, inputs, attrs)
         shadow_inputs = [self.shadow_of(t) for t in inputs]
         shadow_out = self.builder.execute(op_def, shadow_inputs, attrs)
@@ -119,8 +130,12 @@ class TracedFunction:
         return outs[0] if len(outs) == 1 else tuple(outs)
 
     def _trace(self, args):
-        builder = GraphBuilder(name="trace_%s"
-                               % getattr(self.func, "__name__", "fn"))
+        name = getattr(self.func, "__name__", "fn")
+        with TRACER.span("baseline", "trace:%s" % name):
+            return self._trace_inner(args, name)
+
+    def _trace_inner(self, args, name):
+        builder = GraphBuilder(name="trace_%s" % name)
         ctx = _ShadowContext(builder, max_trace_ops=self.max_trace_ops)
         arg_tensors = []
         with builder:
@@ -158,6 +173,11 @@ class TracedFunction:
             builder.mark_outputs([ctx.shadow_of(t) for t in outputs])
         if self.optimize_graph:
             PassManager().run(builder.graph)
+        COUNTERS.inc("baseline.ops_traced", ctx.ops_traced)
+        if TRACER.level:
+            TRACER.instant("baseline", "traced:%s" % name,
+                           ops_traced=ctx.ops_traced,
+                           nodes=len(builder.graph.nodes))
         self._generated = builder.graph
         self._executor = GraphExecutor(builder.graph)
         return result
@@ -168,7 +188,8 @@ class TracedFunction:
         except RecursionError as exc:
             raise TracingLimitation(
                 "recursion cannot be traced into a finite graph "
-                "(paper section 6.2, TreeLSTM case)") from exc
+                "(paper section 6.2, TreeLSTM case)",
+                kind="recursion") from exc
 
 
 def _raw(value):

@@ -267,6 +267,11 @@ class Graph:
         #: Cached whole-graph analyses (see graph.passes.AnalysisContext)
         #: key off it so they can never serve a stale order.
         self.version = 0
+        #: (version, pass-pipeline key) of the last full PassManager run,
+        #: or None.  Any structural change bumps ``version`` and thereby
+        #: invalidates the stamp, so an already-optimized graph spliced
+        #: unchanged into a regeneration is skipped by the passes.
+        self._opt_stamp = None
 
     def new_node(self, op_name, op_def=None, attrs=None, inputs=(),
                  control_inputs=(), name=None):

@@ -168,13 +168,17 @@ def _internalize(value):
 class GraphExecutor:
     """A compiled, reusable schedule for one graph."""
 
-    def __init__(self, graph, parallel=False, _nested=False):
+    def __init__(self, graph, parallel=False, _nested=False,
+                 heavy_threshold=2):
         self.graph = graph
         # Inter-op parallelism needs real cores; on a single-CPU host the
         # level-parallel schedule only adds synchronization overhead.
         self.parallel = (parallel and not _nested
                          and (os.cpu_count() or 1) > 1)
         self._nested = _nested
+        #: Heavy ops per level required before the level fans out across
+        #: threads; see ``JanusConfig.parallel_heavy_ops_threshold``.
+        self.heavy_threshold = max(1, int(heavy_threshold))
         self._compile()
 
     # -- compilation -------------------------------------------------------
@@ -391,9 +395,11 @@ class GraphExecutor:
     def _compile_levels(self, order):
         """Group instructions into dependency levels for parallel runs.
 
-        A level only runs on the thread pool when it contains at least two
-        *heavy* instructions — scattering sub-microsecond elementwise ops
-        across threads costs far more than it saves.  This mirrors how a
+        A level only runs on the thread pool when it contains at least
+        ``heavy_threshold`` *heavy* instructions (default 2, tunable via
+        ``JanusConfig.parallel_heavy_ops_threshold``) — scattering
+        sub-microsecond elementwise ops across threads costs far more
+        than it saves.  This mirrors how a
         real dataflow runtime's inter-op parallelism only pays off for
         coarse kernels (paper section 6.3.1: +PARL gains are largest for
         TreeNNs with many concurrently executable matmuls).
@@ -419,7 +425,7 @@ class GraphExecutor:
             members = levels[key]
             heavy = sum(1 for node, _ in members
                         if node.op_name in self._HEAVY_OPS)
-            run_parallel = heavy >= 2
+            run_parallel = heavy >= self.heavy_threshold
             self._levels.append((run_parallel,
                                  [instr for _, instr in members]))
         if not any(p for p, _ in self._levels):

@@ -319,6 +319,16 @@ class PassManager:
         if id(graph) in _seen_graphs:
             return graph
         _seen_graphs.add(id(graph))
+        stamp = (graph.version, tuple(type(p) for p in self.passes))
+        if getattr(graph, "_opt_stamp", None) == stamp:
+            # Already optimized by this pipeline and structurally
+            # untouched since (any mutation bumps graph.version).  This
+            # is what scopes passes to dirty fragments on incremental
+            # regeneration: spliced sub-graphs keep their stamp — and
+            # their warm executor cache, which we deliberately do not
+            # clear here.
+            COUNTERS.inc("passes.graphs_skipped")
+            return graph
         ctx = AnalysisContext(graph)
         for round_index in range(self.max_rounds):
             changed = False
@@ -348,4 +358,7 @@ class PassManager:
                     self.run(func.graph, recurse=True,
                              _seen_graphs=_seen_graphs)
         graph._executor_cache.clear()
+        # Stamp with the post-run version: a later run of the same
+        # pipeline over the unchanged graph is a no-op and skips.
+        graph._opt_stamp = (graph.version, stamp[1])
         return graph

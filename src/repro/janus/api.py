@@ -26,8 +26,9 @@ from ..errors import AssumptionFailed, NotConvertible
 from ..imperative.tape import GradientTape
 from ..observability import TRACER, override_level
 from .cache import CacheEntry, GraphCache
-from .compiled import compile_generated
+from .compiled import RegenerationSeed, compile_generated
 from .config import get_config
+from .fragments import FragmentCache
 from .graphgen import GraphGenerator
 from .profiler import Profiler
 
@@ -41,6 +42,12 @@ class JanusFunction:
         self._config = config
         self.profiler = Profiler()
         self.cache = GraphCache(max_entries=self.config.graph_cache_entries)
+        #: Reusable conversion fragments surviving across regenerations
+        #: (incremental regeneration, §4.3 recovery).
+        self._fragment_cache = FragmentCache()
+        #: Profiler sites relaxed since the last successful generate —
+        #: the dirty set handed to the incremental generator.
+        self._dirty_sites = set()
         self.imperative_only = False
         self.not_convertible_reason = None
         #: Human-readable description of the most recent failed runtime
@@ -95,7 +102,7 @@ class JanusFunction:
             if TRACER.level:
                 TRACER.instant("cache_miss", self.__name__,
                                reason="precheck_failed")
-            self.cache.invalidate(signature)
+            self._retire_entry(signature)
             self.profiler.record_args(list(args))
             return self._run_imperative(args, profile=True)
 
@@ -116,6 +123,20 @@ class JanusFunction:
         self.cache.record_hit(entry)
         return self._run_graph(entry, args, signature)
 
+    def _retire_entry(self, signature):
+        """Invalidate a cache entry, keeping its artifact as a seed.
+
+        Called after an assumption failure or failed precheck: the old
+        CompiledGraph still holds the bound arg specs the regeneration
+        can reuse, and the dirty set accumulated by ``_relax`` tells the
+        incremental generator which fragments must reconvert.
+        """
+        entry = self.cache.invalidate(signature)
+        if entry is not None:
+            self.cache.remember_seed(
+                signature, RegenerationSeed(entry.compiled,
+                                            frozenset(self._dirty_sites)))
+
     def _generate(self, signature=None):
         """Generate and compile: returns a CompiledGraph artifact (or
         None when the function is imperative-only).  Conversion and
@@ -124,11 +145,23 @@ class JanusFunction:
         with TRACER.span("graphgen", self.__name__,
                          regeneration=self.stats["graphs_generated"] > 0):
             try:
-                generator = GraphGenerator(self.func, self.profiler,
-                                           self.config,
-                                           optimizer=self.optimizer,
-                                           signature=signature)
+                incremental = self.config.incremental_regeneration
+                seed = self.cache.take_seed(signature) \
+                    if incremental else None
+                dirty = frozenset(self._dirty_sites)
+                if seed is not None:
+                    dirty |= seed.dirty_sites
+                generator = GraphGenerator(
+                    self.func, self.profiler, self.config,
+                    optimizer=self.optimizer, signature=signature,
+                    fragments=self._fragment_cache if incremental else None,
+                    dirty_sites=dirty, seed=seed)
                 generated = generator.generate()
+                # The reconverted graph no longer embeds the relaxed
+                # assumptions; clearing the dirty set lets fragments
+                # recorded during THIS conversion (which legitimately
+                # depend on the now-relaxed sites) be reused next time.
+                self._dirty_sites.clear()
                 return compile_generated(generated, self.config,
                                          signature=signature)
             except NotConvertible as exc:
@@ -160,7 +193,7 @@ class JanusFunction:
                 TRACER.instant("fallback", self.__name__,
                                reason="assumption_failed", guard=str(exc))
             self._relax(exc)
-            self.cache.invalidate(signature)
+            self._retire_entry(signature)
             return self._run_imperative(args, profile=True)
         self.stats["graph_runs"] += 1
         return compiled.repack_outputs(flat)
@@ -169,6 +202,7 @@ class JanusFunction:
         site = failure.site
         if isinstance(site, tuple) and len(site) == 2:
             kind, prof_site = site
+            self._dirty_sites.add(prof_site)
             if kind in ("branch", "loop"):
                 self.profiler.force_dynamic(prof_site)
             elif kind in ("attr", "subscr"):

@@ -53,8 +53,15 @@ class CacheEntry:
 class GraphCache:
     """Signature-keyed bounded LRU cache of compiled graph artifacts."""
 
+    #: Bound on remembered regeneration seeds (invalidation is rare, so
+    #: this stays tiny; oldest dropped beyond it).
+    MAX_SEEDS = 8
+
     def __init__(self, max_entries=None):
         self._entries = OrderedDict()
+        #: signature -> RegenerationSeed left behind by the invalidated
+        #: entry for that signature; consumed by the next regeneration.
+        self._seeds = OrderedDict()
         #: Maximum live entries (None = unbounded).  May be adjusted at
         #: any time; enforced on the next ``store``.
         self.max_entries = max_entries
@@ -134,8 +141,28 @@ class GraphCache:
                                failures=entry.failures)
         return entry
 
+    # -- regeneration seeds ---------------------------------------------------
+
+    def remember_seed(self, signature, seed):
+        """Keep the invalidated entry's artifact around for regeneration.
+
+        The next ``take_seed`` for the same signature pops it; seeds
+        beyond ``MAX_SEEDS`` signatures drop oldest-first so a workload
+        churning through signatures cannot pin arbitrarily many dead
+        graphs alive.
+        """
+        self._seeds[signature] = seed
+        self._seeds.move_to_end(signature)
+        while len(self._seeds) > self.MAX_SEEDS:
+            self._seeds.popitem(last=False)
+
+    def take_seed(self, signature):
+        """Pop and return the seed for *signature* (None if absent)."""
+        return self._seeds.pop(signature, None)
+
     def clear(self):
         self._entries.clear()
+        self._seeds.clear()
 
     def __len__(self):
         return len(self._entries)

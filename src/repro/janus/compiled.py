@@ -65,6 +65,32 @@ class CompiledGraph:
             self.compile_seconds * 1e3)
 
 
+class RegenerationSeed:
+    """What an invalidated :class:`CompiledGraph` bequeaths its successor.
+
+    When an assumption failure invalidates a cache entry, the old
+    artifact still holds two things the regeneration can reuse instead
+    of re-deriving from profile data: the bound argument specs of the
+    previous graph (valid wherever the relaxation did not touch them)
+    and the set of profiler sites whose assumptions were relaxed — the
+    *dirty set* that tells the incremental generator which fragments
+    must reconvert.  The seed is remembered per call signature by the
+    :class:`~repro.janus.cache.GraphCache` and consumed (popped) by the
+    next ``generate()`` for that signature.
+    """
+
+    __slots__ = ("compiled", "dirty_sites")
+
+    def __init__(self, compiled, dirty_sites=frozenset()):
+        self.compiled = compiled
+        self.dirty_sites = frozenset(dirty_sites)
+
+    @property
+    def bound_arg_specs(self):
+        """Arg specs the previous graph was specialized on (or None)."""
+        return getattr(self.compiled.generated, "bound_arg_specs", None)
+
+
 def compile_generated(generated, config, signature=None):
     """Build the :class:`CompiledGraph` artifact for a generated graph.
 
@@ -73,8 +99,9 @@ def compile_generated(generated, config, signature=None):
     path; everything downstream reuses the artifact.
     """
     start = time.perf_counter()
-    executor = GraphExecutor(generated.graph,
-                             parallel=config.parallel_execution)
+    executor = GraphExecutor(
+        generated.graph, parallel=config.parallel_execution,
+        heavy_threshold=getattr(config, "parallel_heavy_ops_threshold", 2))
     elapsed = time.perf_counter() - start
     COUNTERS.inc("janus.graphs_compiled")
     COUNTERS.add_time("janus.compile", elapsed)

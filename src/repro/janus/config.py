@@ -27,7 +27,9 @@ class JanusConfig:
                  max_recursion_inline=0,
                  fail_on_not_convertible=False,
                  trace_level=None,
-                 graph_cache_entries=64):
+                 graph_cache_entries=64,
+                 incremental_regeneration=True,
+                 parallel_heavy_ops_threshold=2):
         #: Imperative profiling iterations before generating a graph
         #: (the paper found 3 sufficient — section 3.1 footnote).
         self.profile_runs = profile_runs
@@ -55,6 +57,20 @@ class JanusConfig:
         #: TreeNN generate one graph per input topology (§6.3.2) and
         #: would otherwise grow the cache without limit.
         self.graph_cache_entries = graph_cache_entries
+        #: Reuse unchanged conversion fragments and seed specs from the
+        #: previous CompiledGraph when regenerating after an assumption
+        #: failure (§4.3 recovery).  Off = every regeneration reconverts
+        #: the full AST, the behaviour before the fragment cache existed.
+        self.incremental_regeneration = incremental_regeneration
+        #: Minimum number of "heavy" ops (matmul/conv-class, see
+        #: ``repro.graph.executor._HEAVY_OPS``) in a schedule level
+        #: before the executor fans that level out across threads.
+        #: Tune from a ``JANUS_TRACE=2`` trace: each ``level`` event
+        #: records its op count and wall time — if wide levels of cheap
+        #: ops dominate, raise the threshold to keep them serial (thread
+        #: handoff costs ~10-50 µs); if single heavy levels show
+        #: multi-ms serial times on a multi-core host, lower it to 1.
+        self.parallel_heavy_ops_threshold = parallel_heavy_ops_threshold
 
     def copy(self, **overrides):
         new = copy.copy(self)

@@ -1,0 +1,225 @@
+"""Fragment cache for incremental graph regeneration.
+
+When a speculative assumption fails at runtime, JANUS falls back to
+imperative execution, relaxes the broken assumption, and regenerates the
+specialized graph (paper section 4.3).  A full ``generate()`` reconverts
+the entire function AST even though a single relaxed branch assumption
+usually invalidates only one small region.  This module keeps the
+conversion artifacts of *regions* — dynamic branch arms and dynamic loop
+bodies, which ``GraphGenerator`` builds as nested ``GraphFunction``
+sub-graphs — alive across regenerations so the next ``generate()`` can
+splice them back in instead of reconverting them.
+
+A fragment is valid for reuse only if everything that influenced its
+original conversion is unchanged:
+
+* the profiler state it consulted (branch directions, trip counts,
+  callees, attribute/subscript specs) — recorded as *deps*, each a
+  ``(label, fetch, digest)`` closure that re-queries the current
+  profiler and compares digests at splice time;
+* external Python values burned into the graph at build time (globals,
+  closure cells, constant attributes) — recorded as value deps;
+* the symbolic environment it read, summarized per name as external /
+  graph-structure / burned-constant (``env_summary``), checked against
+  the current environment before splicing;
+* the capture plan and the exact shape/dtype of every captured edge and
+  loop-init (checked structurally by the caller).
+
+The dirty set — profiler sites whose assumptions were just relaxed —
+fast-rejects any fragment that recorded a dependency on a relaxed site,
+which is what makes regeneration *incremental*: only dirty regions are
+reconverted, everything else splices.
+
+Fragments whose conversion mutated shared build-time state (symbolic
+list append/pop, stacked-list growth) are *poisoned* and never cached:
+splicing them would skip the mutation replay.
+"""
+
+import numpy as np
+
+from ..imperative.eager import Tensor
+from ..imperative.variable import Variable
+from ..tensor import TensorValue
+
+__all__ = [
+    "Fragment",
+    "FragmentCache",
+    "FragmentRecorder",
+    "attr_digest",
+    "deps_valid",
+    "value_digest",
+]
+
+#: Bound on ndarray bytes digested by content; larger arrays digest by
+#: identity (pinned in the keepalive list against id reuse).
+_CONTENT_BYTES = 4096
+#: Container recursion bounds for :func:`value_digest`.
+_MAX_DEPTH = 3
+_MAX_ITEMS = 32
+
+
+def value_digest(value, keep=None, depth=0):
+    """Summarize a Python value for change detection.
+
+    Returns a hashable, ``==``-comparable token.  Small immutable values
+    digest by content; identity-digested objects are appended to *keep*
+    so the fragment pins them alive (a garbage-collected id could be
+    reused by an unrelated object and alias the digest).
+    """
+    if value is None or isinstance(value, (bool, int, float, complex,
+                                           str, bytes)):
+        return ("val", type(value).__name__, value)
+    if isinstance(value, Variable):
+        return ("var", value.uid)
+    if isinstance(value, (Tensor, TensorValue, np.ndarray)):
+        arr = np.asarray(value.numpy() if isinstance(value, Tensor)
+                         else value.value if isinstance(value, TensorValue)
+                         else value)
+        if arr.nbytes <= _CONTENT_BYTES:
+            return ("arr", str(arr.dtype), arr.shape, arr.tobytes())
+        if keep is not None:
+            keep.append(value)
+        return ("arrid", id(value))
+    if isinstance(value, range):
+        return ("range", value.start, value.stop, value.step)
+    if isinstance(value, (list, tuple)):
+        if depth >= _MAX_DEPTH or len(value) > _MAX_ITEMS:
+            if keep is not None:
+                keep.append(value)
+            return ("seqid", id(value), len(value))
+        return (type(value).__name__,
+                tuple(value_digest(v, keep, depth + 1) for v in value))
+    if isinstance(value, dict):
+        if depth >= _MAX_DEPTH or len(value) > _MAX_ITEMS:
+            if keep is not None:
+                keep.append(value)
+            return ("mapid", id(value), len(value))
+        try:
+            items = sorted(value.items())
+        except TypeError:
+            items = list(value.items())
+        return ("map", tuple((value_digest(k, keep, depth + 1),
+                              value_digest(v, keep, depth + 1))
+                             for k, v in items))
+    # Functions, modules, classes, arbitrary objects: identity.  These
+    # are burned in by reference, so identity is exactly the contract.
+    if keep is not None:
+        keep.append(value)
+    return ("objid", id(value))
+
+
+def attr_digest(obj, name, keep=None):
+    """Digest ``obj.name`` for a heap-attribute dependency.
+
+    Tensor-valued attributes are read through ``py_get_attr`` nodes at
+    run time (guarded by the spec, not burned in), so their *value* is
+    irrelevant to the fragment — only the spec matters, and that is
+    recorded separately.
+    """
+    try:
+        value = getattr(obj, name)
+    except AttributeError:
+        return ("miss",)
+    if isinstance(value, (Tensor, TensorValue, np.ndarray)):
+        return ("dyn",)
+    return value_digest(value, keep)
+
+
+class FragmentRecorder:
+    """Accumulates the dependency record while a region converts."""
+
+    __slots__ = ("deps", "dep_sites", "keepalive", "poisoned",
+                 "precheck_start")
+
+    def __init__(self, precheck_start=0):
+        self.deps = []           # (label, fetch, digest)
+        self.dep_sites = set()   # profiler sites consulted
+        self.keepalive = []      # objects pinned for id-digest validity
+        self.poisoned = False    # build-time side effects: do not cache
+        self.precheck_start = precheck_start
+
+
+class Fragment:
+    """One cached conversion artifact for an AST region.
+
+    ``kind`` is ``"cond"`` or ``"loop"``; the remaining payload fields
+    are whatever the splice site needs to rebuild its builder call
+    (branch/loop sub-``GraphFunction``s, output structure, capture plan,
+    exact edge specs).  Validation data: ``deps``/``dep_sites`` from the
+    recorder, ``env_summary`` mapping read names to how they resolved,
+    and the precheck entries minted during the original conversion.
+    """
+
+    def __init__(self, kind, key, recorder, env_summary, prechecks,
+                 **payload):
+        self.kind = kind
+        self.key = key
+        self.deps = recorder.deps
+        self.dep_sites = frozenset(recorder.dep_sites)
+        self.keepalive = recorder.keepalive
+        self.env_summary = env_summary
+        self.precheck_entries = prechecks
+        self.__dict__.update(payload)
+
+
+def deps_valid(frag, dirty_sites):
+    """Whether every recorded dependency still holds.
+
+    Dirty sites (just-relaxed assumptions) reject without re-querying:
+    the whole point of the dirty set is that those regions *must*
+    reconvert.  Everything else re-fetches and compares digests.
+    """
+    if dirty_sites and not frag.dep_sites.isdisjoint(dirty_sites):
+        return False
+    for _label, fetch, digest in frag.deps:
+        try:
+            if fetch() != digest:
+                return False
+        except Exception:
+            return False
+    return True
+
+
+class FragmentCache:
+    """Per-``JanusFunction`` store of reusable fragments.
+
+    Keys identify the AST region (profiler site plus a salt for loops
+    whose body burned in iteration parameters); each key holds a short
+    MRU list of variants because the same site can convert differently
+    under different environments (e.g. different capture shapes across
+    call signatures).
+    """
+
+    #: Variants kept per region key.
+    MAX_VARIANTS = 4
+
+    def __init__(self):
+        self._by_key = {}
+        self.stats = {"hits": 0, "misses": 0, "stores": 0}
+
+    def lookup(self, key):
+        """All cached variants for *key* (MRU first)."""
+        return self._by_key.get(key, ())
+
+    def touch(self, key, frag):
+        """Move *frag* to the front of its variant list after a hit."""
+        variants = self._by_key.get(key)
+        if variants and frag in variants:
+            variants.remove(frag)
+            variants.insert(0, frag)
+        self.stats["hits"] += 1
+
+    def store(self, key, frag):
+        variants = self._by_key.setdefault(key, [])
+        variants.insert(0, frag)
+        del variants[self.MAX_VARIANTS:]
+        self.stats["stores"] += 1
+
+    def miss(self):
+        self.stats["misses"] += 1
+
+    def clear(self):
+        self._by_key.clear()
+
+    def __len__(self):
+        return sum(len(v) for v in self._by_key.values())

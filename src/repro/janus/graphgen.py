@@ -45,6 +45,7 @@ from ..imperative.variable import Variable
 from ..ops import api
 from ..tensor import TensorValue, PyRef, dtype as dtypes
 from ..tensor.shape import Shape
+from . import fragments as frag_mod
 from . import specialization as spec
 from .coverage import check_convertible
 from .instrument import get_function_ast, function_key
@@ -192,6 +193,27 @@ def rebuild_value(structure, flat_iter):
     raise NotConvertible("bad structure %r" % (structure,))
 
 
+def _structure_token(structure, keep=None):
+    """Hashable digest of a flatten_value structure spec.
+
+    Const leaves are burned into converted fragments by value, so they
+    digest by content (via fragments.value_digest); edge leaves carry no
+    value — their shapes/dtypes are validated through the capture plan.
+    """
+    kind = structure[0]
+    if kind in ("edge", "stacked"):
+        return (kind,)
+    if kind == "seq":
+        return ("seq", structure[1],
+                tuple(_structure_token(p, keep) for p in structure[2]))
+    if kind == "dict":
+        return ("dict", structure[1],
+                tuple(_structure_token(p, keep) for p in structure[2]))
+    if kind == "const":
+        return ("const", frag_mod.value_digest(structure[1], keep))
+    return ("?",)
+
+
 def structures_compatible(a, b):
     if a[0] != b[0]:
         return False
@@ -324,6 +346,10 @@ class GeneratedGraph:
         #: Node count before the optimization passes ran (compile-time
         #: metadata surfaced through CompiledGraph / trace events).
         self.nodes_raw = len(graph.nodes)
+        #: The argument specs this graph was specialized on; handed to
+        #: the next regeneration as a RegenerationSeed (None until
+        #: generate() attaches them).
+        self.bound_arg_specs = None
 
     def bind_feeds(self, args):
         feeds = []
@@ -366,7 +392,8 @@ class GraphGenerator:
     """Converts one profiled function into a :class:`GeneratedGraph`."""
 
     def __init__(self, func, profiler, config, optimizer=None,
-                 signature=None):
+                 signature=None, fragments=None, dirty_sites=frozenset(),
+                 seed=None):
         self.func = func
         self.profiler = profiler
         self.config = config
@@ -376,6 +403,18 @@ class GraphGenerator:
         self.prechecks = []
         self.graph_functions = {}    # function_key -> GraphFunction
         self.recursive_keys = self._find_recursive_keys()
+        #: FragmentCache for incremental regeneration (None = full
+        #: reconversion, the pre-fragment behaviour).
+        self.fragments = fragments
+        #: Profiler sites whose assumptions were just relaxed: fragments
+        #: depending on them must reconvert.
+        self.dirty_sites = frozenset(dirty_sites)
+        #: RegenerationSeed from the invalidated predecessor (or None).
+        self.seed = seed
+        self._frag_stack = []        # active FragmentRecorders, innermost last
+        self.fragments_reused = 0
+        self.fragments_reconverted = 0
+        self.specs_seeded = 0
 
     # -- call-graph cycle analysis (invoke vs inline) ------------------------
 
@@ -433,6 +472,22 @@ class GraphGenerator:
             with COUNTERS.timer("graphgen.optimize"):
                 PassManager().run(graph)
         COUNTERS.inc("janus.graphs_generated")
+        if self.fragments is not None:
+            if self.fragments_reused:
+                COUNTERS.inc("graphgen.fragments_reused",
+                             self.fragments_reused)
+            if self.fragments_reconverted:
+                COUNTERS.inc("graphgen.fragments_reconverted",
+                             self.fragments_reconverted)
+            if self.specs_seeded:
+                COUNTERS.inc("graphgen.specs_seeded", self.specs_seeded)
+            if TRACER.level:
+                TRACER.instant("graphgen", "incremental", graph=graph.name,
+                               fragments_reused=self.fragments_reused,
+                               fragments_reconverted=
+                               self.fragments_reconverted,
+                               specs_seeded=self.specs_seeded,
+                               dirty_sites=len(self.dirty_sites))
         if TRACER.level:
             TRACER.instant("graphgen", "generated", graph=graph.name,
                            nodes_raw=nodes_before,
@@ -442,6 +497,7 @@ class GraphGenerator:
         generated = GeneratedGraph(graph, arg_plan, structure,
                                    self.prechecks, graph.outputs and None)
         generated.nodes_raw = nodes_before
+        generated.bound_arg_specs = getattr(self, "_bound_specs", None)
         return generated
 
     def _attach_training(self, result, structure, flat):
@@ -472,6 +528,8 @@ class GraphGenerator:
             specs = self.profiler.arg_specs_for(self.signature)
         if specs is None:
             specs = self.profiler.arg_specs or []
+        specs = self._seed_arg_specs(specs)
+        self._bound_specs = list(specs)
         if self.is_method():
             names = [a.arg for a in args.args]
         else:
@@ -584,6 +642,145 @@ class GraphGenerator:
     def _add_precheck(self, description, check):
         self.prechecks.append((description, check))
 
+    # -- spec seeding from the previous artifact -----------------------------
+
+    def _seed_arg_specs(self, specs):
+        """Reuse the predecessor's bound specs where digest-equal.
+
+        Equal digests mean the regenerated graph would bind the argument
+        identically, so the previous artifact's spec object is carried
+        over instead of the freshly re-derived one (keeping any identity
+        tokens/guard closures keyed on it warm).  Unequal digests mean
+        the relaxation touched this argument, and the profile-derived
+        spec wins — which is what prevents a seed from reintroducing a
+        just-relaxed assumption.
+        """
+        if self.seed is None:
+            return specs
+        old = self.seed.bound_arg_specs
+        if not old or len(old) != len(specs):
+            return specs
+        seeded = []
+        for old_sp, new_sp in zip(old, specs):
+            if old_sp is not None and spec.spec_digest(old_sp) == \
+                    spec.spec_digest(new_sp):
+                seeded.append(old_sp)
+                self.specs_seeded += 1
+            else:
+                seeded.append(new_sp)
+        return seeded
+
+    # -- incremental fragment machinery --------------------------------------
+
+    def _begin_fragment(self):
+        """Push a dependency recorder for a region conversion (or None
+        when incremental regeneration is disabled)."""
+        if self.fragments is None:
+            return None
+        rec = frag_mod.FragmentRecorder(precheck_start=len(self.prechecks))
+        self._frag_stack.append(rec)
+        return rec
+
+    def _end_fragment(self, rec):
+        if rec is not None:
+            self._frag_stack.pop()
+
+    def _dep(self, label, fetch, digest, site=None, keep=None):
+        """Record a dependency into every active fragment recorder, so
+        outer fragments absorb the deps of regions converted inside
+        them."""
+        if not self._frag_stack:
+            return
+        for rec in self._frag_stack:
+            rec.deps.append((label, fetch, digest))
+            if site is not None:
+                rec.dep_sites.add(site)
+            if keep:
+                rec.keepalive.extend(keep)
+
+    def _poison_fragments(self):
+        """Mark every active recorder unreusable (the conversion had a
+        build-time side effect that splicing would not replay)."""
+        for rec in self._frag_stack:
+            rec.poisoned = True
+
+    def _adopt_fragment(self, key, frag):
+        """Account a splice and re-adopt the fragment's record: its
+        prechecks re-enter the new graph's list, and its deps flow into
+        any outer recorders still being built."""
+        self.fragments_reused += 1
+        self.fragments.touch(key, frag)
+        self.prechecks.extend(frag.precheck_entries)
+        for rec in self._frag_stack:
+            rec.deps.extend(frag.deps)
+            rec.dep_sites.update(frag.dep_sites)
+            rec.keepalive.extend(frag.keepalive)
+
+    # Profiler queries route through these wrappers so active fragment
+    # recorders capture exactly which profiled facts a region's
+    # conversion consumed — re-queried and digest-compared at splice time.
+
+    def prof_branch_direction(self, site):
+        direction = self.profiler.branch_direction(site)
+        if self._frag_stack:
+            prof = self.profiler
+            self._dep(("branch", site),
+                      lambda s=site: prof.branch_direction(s),
+                      direction, site=site)
+        return direction
+
+    def prof_trip_count(self, site):
+        trip = self.profiler.trip_count(site)
+        if self._frag_stack:
+            prof = self.profiler
+            self._dep(("trip", site), lambda s=site: prof.trip_count(s),
+                      trip, site=site)
+        return trip
+
+    def prof_callee(self, site):
+        callee = self.profiler.callee(site)
+        if self._frag_stack:
+            prof = self.profiler
+            keep = []
+            digest = frag_mod.value_digest(callee, keep)
+            self._dep(("callee", site),
+                      lambda s=site: frag_mod.value_digest(prof.callee(s)),
+                      digest, site=site, keep=keep)
+        return callee
+
+    def prof_attr_spec(self, site, owner=None):
+        sp = self.profiler.attr_spec(site, owner=owner)
+        if self._frag_stack:
+            prof = self.profiler
+            keep = [x for x in (sp, owner) if x is not None]
+            self._dep(("attr_spec", site),
+                      lambda s=site, o=owner:
+                          spec.spec_digest(prof.attr_spec(s, owner=o)),
+                      spec.spec_digest(sp), site=site, keep=keep)
+        return sp
+
+    def prof_subscr_spec(self, site):
+        sp = self.profiler.subscr_spec(site)
+        if self._frag_stack:
+            prof = self.profiler
+            self._dep(("subscr_spec", site),
+                      lambda s=site:
+                          spec.spec_digest(prof.subscr_spec(s)),
+                      spec.spec_digest(sp), site=site,
+                      keep=[sp] if sp is not None else None)
+        return sp
+
+    def prof_return_spec(self, target):
+        sp = self.profiler.return_spec(target)
+        if self._frag_stack:
+            prof = self.profiler
+            self._dep(("return_spec", function_key(target)),
+                      lambda t=target:
+                          spec.spec_digest(prof.return_spec(t)),
+                      spec.spec_digest(sp),
+                      keep=[sp] if sp is not None else None)
+        return sp
+
     # -- recursive functions as GraphFunctions ---------------------------------------
 
     def get_graph_function(self, callee, arg_values):
@@ -601,7 +798,7 @@ class GraphGenerator:
                 const_mask.append(False)
             else:
                 const_mask.append(True)
-        ret_spec = self.profiler.return_spec(target)
+        ret_spec = self.prof_return_spec(target)
         if ret_spec is None or ret_spec.kind == spec.BOTTOM:
             raise NotConvertible(
                 "recursive function %s has no stable return spec"
@@ -693,13 +890,51 @@ class _FunctionConverter:
         freevars = target.__code__.co_freevars
         if name in freevars and target.__closure__:
             cell = target.__closure__[freevars.index(name)]
+            self._record_external_dep(("closure", name), cell=cell)
             return self._classify_external(cell.cell_contents, name)
         if name in target.__globals__:
+            self._record_external_dep(("global", name),
+                                      globals_dict=target.__globals__,
+                                      global_name=name)
             return self._classify_external(target.__globals__[name], name)
         import builtins as _bi
         if hasattr(_bi, name):
             return Const(getattr(_bi, name))
         raise NotConvertible("unresolved name %r" % name, feature="name")
+
+    def _record_external_dep(self, label, cell=None, globals_dict=None,
+                             global_name=None):
+        """Fragment dep on a closure cell / global burned in at build."""
+        gen = self.gen
+        if not gen._frag_stack:
+            return
+        keep = []
+        if cell is not None:
+            fetch = lambda c=cell: frag_mod.value_digest(c.cell_contents)
+            digest = frag_mod.value_digest(cell.cell_contents, keep)
+            keep.append(cell)
+        else:
+            fetch = lambda g=globals_dict, n=global_name: \
+                frag_mod.value_digest(g.get(n, _MISSING))
+            digest = frag_mod.value_digest(
+                globals_dict.get(global_name, _MISSING), keep)
+        gen._dep(label, fetch, digest, keep=keep)
+
+    def _record_attr_dep(self, obj, name):
+        """Fragment dep on an object attribute read at build time.
+
+        Tensor-valued attributes digest as ``("dyn",)`` on both sides
+        (they are read through guarded heap-read nodes, not burned), so
+        recording unconditionally is safe.
+        """
+        gen = self.gen
+        if not gen._frag_stack:
+            return
+        keep = [obj]
+        digest = frag_mod.attr_digest(obj, name, keep)
+        gen._dep(("attrval", name),
+                 lambda o=obj, n=name: frag_mod.attr_digest(o, n),
+                 digest, keep=keep)
 
     def _classify_external(self, value, name):
         """Globals/closure values become build-time constants.
@@ -898,8 +1133,10 @@ class _FunctionConverter:
             if not isinstance(key, int):
                 raise NotConvertible("non-constant list index store",
                                      feature="setitem")
+            self.gen._poison_fragments()
             owner.elements[key] = value
         elif isinstance(owner, SymDict):
+            self.gen._poison_fragments()
             owner.entries[key] = value
         else:
             raise NotConvertible("subscript store on %r" % (owner,),
@@ -1095,7 +1332,7 @@ class _FunctionConverter:
             return self.convert_expr(node.body if test.value
                                      else node.orelse)
         site = self._site(node, "ifexp")
-        direction = self.gen.profiler.branch_direction(site)
+        direction = self.gen.prof_branch_direction(site)
         pred = self._tensorize(test)
         if self.gen.config.unroll_stable_control_flow and \
                 direction is not None:
@@ -1240,6 +1477,7 @@ class _FunctionConverter:
             # The attribute is created later by a heap write in this same
             # graph; fall back to a dynamic heap read.
             return self._load_heap_attr(PyRef(obj), name, site)
+        self._record_attr_dep(obj, name)
         if isinstance(value, Variable):
             return Const(value)
         if callable(value) or isinstance(value, (types.ModuleType, type)):
@@ -1249,7 +1487,7 @@ class _FunctionConverter:
             # profiling become build-time constants guarded by a runtime
             # value check (paper 4.2.2: stable expressions fold to
             # constants); an unstable scalar stays a dynamic heap read.
-            profiled = self.gen.profiler.attr_spec(site, owner=obj)
+            profiled = self.gen.prof_attr_spec(site, owner=obj)
             if profiled is not None and \
                     profiled.kind == spec.CONST_TENSOR:
                 guard = self.builder.py_get_attr(
@@ -1265,7 +1503,7 @@ class _FunctionConverter:
         if isinstance(value, (Tensor, np.ndarray, np.generic)):
             # Numeric instance state is mutable: read through the heap
             # with the profiled spec as a runtime assumption.
-            profiled = self.gen.profiler.attr_spec(site, owner=obj)
+            profiled = self.gen.prof_attr_spec(site, owner=obj)
             expected = spec.expected_attr_spec(
                 profiled if profiled is not None and
                 self.gen.config.specialize_types else
@@ -1292,7 +1530,7 @@ class _FunctionConverter:
         return Const(value)
 
     def _load_heap_attr(self, owner_edge, name, site):
-        profiled = self.gen.profiler.attr_spec(site)
+        profiled = self.gen.prof_attr_spec(site)
         expected = spec.expected_attr_spec(_type_only(profiled)
                                            if profiled else None)
         out = self.builder.py_get_attr(owner_edge, name, expected=expected)
@@ -1350,7 +1588,7 @@ class _FunctionConverter:
                 return self._tensor_getitem(self._tensorize(owner), index,
                                             slice_node)
             if isinstance(container, (list, tuple, dict)):
-                profiled = self.gen.profiler.subscr_spec(site)
+                profiled = self.gen.prof_subscr_spec(site)
                 expected = spec.expected_attr_spec(
                     profiled if self.gen.config.specialize_types else
                     _type_only(profiled))
@@ -1364,7 +1602,7 @@ class _FunctionConverter:
                 return out
         if isinstance(owner, NodeOutput) and owner.dtype is None:
             if isinstance(index, Const):
-                profiled = self.gen.profiler.subscr_spec(site)
+                profiled = self.gen.prof_subscr_spec(site)
                 expected = spec.expected_attr_spec(
                     profiled if self.gen.config.specialize_types else
                     _type_only(profiled))
@@ -1437,7 +1675,7 @@ class _FunctionConverter:
                                        node, self_value=owner)
         if isinstance(owner, NodeOutput) and owner.dtype is None:
             # Dynamic receiver: callee identity comes from the profile.
-            callee = self.gen.profiler.callee(site)
+            callee = self.gen.prof_callee(site)
             if callee is None:
                 raise NotConvertible("unstable method %r on dynamic object"
                                      % name, feature="method")
@@ -1475,21 +1713,29 @@ class _FunctionConverter:
 
     def _sym_container_method(self, owner, name, args, kwargs):
         if isinstance(owner, SymSeq):
+            # Build-time mutation of a container that may be shared with
+            # the enclosing environment: splicing a cached fragment would
+            # skip the mutation, so active fragments become uncacheable.
             if name == "append":
+                self.gen._poison_fragments()
                 owner.elements.append(args[0])
                 return Const(None)
             if name == "extend":
                 other = args[0]
                 if isinstance(other, SymSeq):
+                    self.gen._poison_fragments()
                     owner.elements.extend(other.elements)
                     return Const(None)
             if name == "pop":
+                self.gen._poison_fragments()
                 idx = args[0].value if args else -1
                 return owner.elements.pop(idx)
             if name == "insert":
+                self.gen._poison_fragments()
                 owner.elements.insert(args[0].value, args[1])
                 return Const(None)
         if isinstance(owner, StackedList) and name == "append":
+            self.gen._poison_fragments()
             elem = api.expand_dims(self._tensorize(args[0]), 0)
             owner.tensor = api.concat([owner.tensor, elem], 0)
             return Const(None)
@@ -1824,7 +2070,7 @@ class _FunctionConverter:
             return None
         pred = self._tensorize(test)
         site = self._site(stmt, "if")
-        direction = self.gen.profiler.branch_direction(site)
+        direction = self.gen.prof_branch_direction(site)
         if self.gen.config.unroll_stable_control_flow and \
                 direction is not None:
             taken = stmt.body if direction else stmt.orelse
@@ -1844,20 +2090,30 @@ class _FunctionConverter:
             consumed_rest = True
         orelse_returns = always_returns(orelse) if orelse else False
         if body_returns and orelse_returns:
-            value = self._dynamic_cond_returning(pred, stmt.body, orelse)
+            value = self._dynamic_cond_returning(pred, stmt.body, orelse,
+                                                 site=site)
             raise _ReturnValue(value)
         if body_returns != orelse_returns:
             raise NotConvertible("conditionally returning branch without "
                                  "a stable profile", feature="control-flow")
-        self._dynamic_cond_assigning(pred, stmt.body, orelse)
+        self._dynamic_cond_assigning(pred, stmt.body, orelse, site=site)
         return "consumed-rest" if consumed_rest else None
 
-    def _dynamic_cond_returning(self, pred, body, orelse):
-        t_func, t_struct, captured = self._build_branch(body, None, "true")
-        f_func, f_struct, captured2 = self._build_branch(orelse, None,
-                                                         "false",
-                                                         captured_plan=
-                                                         captured)
+    def _dynamic_cond_returning(self, pred, body, orelse, site=None):
+        gen = self.gen
+        key = ("cond_ret", site)
+        spliced = self._splice_cond(key, pred, body, orelse, None)
+        if spliced is not None:
+            outputs, structure = spliced
+            return rebuild_value(structure, iter(outputs))
+        rec = gen._begin_fragment()
+        try:
+            t_func, t_struct, captured = self._build_branch(body, None,
+                                                            "true")
+            f_func, f_struct, captured2 = self._build_branch(
+                orelse, None, "false", captured_plan=captured)
+        finally:
+            gen._end_fragment(rec)
         if not structures_compatible(t_struct, f_struct):
             raise NotConvertible("branches return different structures "
                                  "(section 4.3.1 type rule)",
@@ -1868,9 +2124,12 @@ class _FunctionConverter:
                                     out_specs)
         if not isinstance(outputs, tuple):
             outputs = (outputs,)
+        self._store_cond_fragment(key, rec, body, orelse, None,
+                                  t_func, f_func, t_struct, captured)
         return rebuild_value(t_struct, iter(outputs))
 
-    def _dynamic_cond_assigning(self, pred, body, orelse):
+    def _dynamic_cond_assigning(self, pred, body, orelse, site=None):
+        gen = self.gen
         in_body = assigned_names(body)
         in_orelse = assigned_names(orelse)
         # Names assigned on both paths always merge; one-sided names need
@@ -1878,16 +2137,29 @@ class _FunctionConverter:
         out_names = sorted((in_body & in_orelse) |
                            {n for n in (in_body | in_orelse)
                             if n in self.env})
+        key = ("cond_set", site)
+        spliced = self._splice_cond(key, pred, body, orelse,
+                                    tuple(out_names))
+        if spliced is not None:
+            outputs, structure = spliced
+            merged = rebuild_value(structure, iter(outputs))
+            for name, value in zip(out_names, merged.elements):
+                self.env[name] = value
+            return
 
         def trailer(env_after):
             return SymSeq([env_after.get(n, self.env.get(n))
                            for n in out_names], is_tuple=True)
 
-        t_func, t_struct, captured = self._build_branch(body, trailer,
-                                                        "true")
-        f_func, f_struct, _ = self._build_branch(orelse or [], trailer,
-                                                 "false",
-                                                 captured_plan=captured)
+        rec = gen._begin_fragment()
+        try:
+            t_func, t_struct, captured = self._build_branch(body, trailer,
+                                                            "true")
+            f_func, f_struct, _ = self._build_branch(orelse or [], trailer,
+                                                     "false",
+                                                     captured_plan=captured)
+        finally:
+            gen._end_fragment(rec)
         if not structures_compatible(t_struct, f_struct):
             raise NotConvertible("branches assign incompatible values",
                                  feature="control-flow")
@@ -1897,9 +2169,152 @@ class _FunctionConverter:
                                     out_specs)
         if not isinstance(outputs, tuple):
             outputs = (outputs,)
+        self._store_cond_fragment(key, rec, body, orelse or [],
+                                  tuple(out_names), t_func, f_func,
+                                  t_struct, captured)
         merged = rebuild_value(t_struct, iter(outputs))
         for name, value in zip(out_names, merged.elements):
             self.env[name] = value
+
+    # -- fragment splice / store (incremental regeneration) ------------------
+
+    def _env_token(self, value, keep=None):
+        """How an env name currently resolves, for fragment validation."""
+        if _holds_graph_value(value):
+            flat = []
+            structure = flatten_value(value, flat)
+            return ("graph", _structure_token(structure, keep))
+        return ("const", self._sym_digest(value, keep))
+
+    def _sym_digest(self, value, keep=None, depth=0):
+        if isinstance(value, Const):
+            return ("c", frag_mod.value_digest(value.value, keep))
+        if value is None:
+            return ("c", ("val", "NoneType", None))
+        if isinstance(value, SymSeq):
+            if depth >= 3 or len(value.elements) > 32:
+                return ("unsum", object())
+            return ("seq", value.is_tuple,
+                    tuple(self._sym_digest(e, keep, depth + 1)
+                          for e in value.elements))
+        if isinstance(value, SymDict):
+            if depth >= 3 or len(value.entries) > 32:
+                return ("unsum", object())
+            return ("map", tuple(
+                (k, self._sym_digest(v, keep, depth + 1))
+                for k, v in value.entries.items()))
+        if isinstance(value, SymRange):
+            return ("rng", self._sym_digest(value.start, keep, depth + 1),
+                    self._sym_digest(value.stop, keep, depth + 1),
+                    self._sym_digest(value.step, keep, depth + 1))
+        # SymFunc environments and anything else defy a cheap summary:
+        # a fresh sentinel never compares equal, so regions reading such
+        # values always reconvert rather than risk a stale splice.
+        return ("unsum", object())
+
+    def _env_summary_for(self, names, rec):
+        summary = {}
+        for name in sorted(names):
+            if name in self.env:
+                summary[name] = self._env_token(self.env[name],
+                                                rec.keepalive)
+            else:
+                summary[name] = ("ext",)
+        return summary
+
+    def _env_matches(self, frag):
+        for name, token in frag.env_summary.items():
+            if name in self.env:
+                if self._env_token(self.env[name]) != token:
+                    return False
+            elif token != ("ext",):
+                return False
+        return True
+
+    def _replay_captures(self, frag):
+        """Current capture edges matching the fragment's plan, or None.
+
+        Strict by design: every planned edge must exist with exactly the
+        recorded shape dims and dtype, because the fragment body's
+        placeholders were built against them.
+        """
+        flat_by_base = {}
+        edges = []
+        for ckey, (dims, dtype) in zip(frag.captured_keys,
+                                       frag.capture_specs):
+            base, _, idx = ckey.rpartition("#")
+            flat = flat_by_base.get(base)
+            if flat is None:
+                if base not in self.env:
+                    return None
+                flat = []
+                try:
+                    flatten_value(self.env[base], flat)
+                except NotConvertible:
+                    return None
+                flat_by_base[base] = flat
+            k = int(idx)
+            if k >= len(flat):
+                return None
+            edge = flat[k]
+            if not isinstance(edge, NodeOutput) or edge.dtype is not dtype \
+                    or edge.shape.dims != dims:
+                return None
+            edges.append(edge)
+        return edges
+
+    def _cond_env_names(self, body, orelse, out_names):
+        names = read_names(body) | read_names(orelse or [])
+        if out_names:
+            names |= set(out_names)
+        return names
+
+    def _splice_cond(self, key, pred, body, orelse, out_names):
+        gen = self.gen
+        if gen.fragments is None or key[1] is None:
+            return None
+        for frag in gen.fragments.lookup(key):
+            if frag.out_names != out_names:
+                continue
+            if not frag_mod.deps_valid(frag, gen.dirty_sites):
+                continue
+            if not self._env_matches(frag):
+                continue
+            edges = self._replay_captures(frag)
+            if edges is None:
+                continue
+            try:
+                out_specs = self._join_out_specs(frag.t_func, frag.f_func)
+            except NotConvertible:
+                continue
+            outputs = self.builder.cond(pred, frag.t_func, frag.f_func,
+                                        edges, out_specs)
+            if not isinstance(outputs, tuple):
+                outputs = (outputs,)
+            gen._adopt_fragment(key, frag)
+            return outputs, frag.structure
+        gen.fragments.miss()
+        return None
+
+    def _store_cond_fragment(self, key, rec, body, orelse, out_names,
+                             t_func, f_func, structure, captured):
+        gen = self.gen
+        if rec is None:
+            return
+        gen.fragments_reconverted += 1
+        if rec.poisoned or key[1] is None:
+            return
+        env_summary = self._env_summary_for(
+            self._cond_env_names(body, orelse, out_names), rec)
+        frag = frag_mod.Fragment(
+            "cond", key, rec, env_summary,
+            list(gen.prechecks[rec.precheck_start:]),
+            t_func=t_func, f_func=f_func, structure=structure,
+            out_names=out_names,
+            captured_keys=[k for k, _ in captured],
+            capture_specs=[(edge.shape.dims, edge.dtype)
+                           for _, edge in captured])
+        gen.fragments.store(key, frag)
 
     def _build_branch(self, stmts, trailer, label, captured_plan=None):
         """Convert a branch body into a GraphFunction.
@@ -1995,7 +2410,7 @@ class _FunctionConverter:
         if stmt.orelse:
             raise NotConvertible("while-else", feature="loop")
         site = self._site(stmt, "while")
-        trip = self.gen.profiler.trip_count(site)
+        trip = self.gen.prof_trip_count(site)
         if self.gen.config.unroll_stable_control_flow and \
                 trip is not None and trip <= self.gen.config.max_unroll:
             broke = False
@@ -2088,13 +2503,17 @@ class _FunctionConverter:
         return None
 
     def _as_dynamic_iterable(self, iterable, static_items):
-        """(count_expr, helper_env, elem_fn) for a dynamic loop, or None.
+        """(count_expr, helper_env, elem_fn, salt) for a dynamic loop,
+        or None.
 
         ``helper_env`` maps synthetic env names to graph values that must
         be carried into the loop body as invariants (the iterated tensor,
         a symbolic range start); ``elem_fn(converter, counter)`` produces
         the per-iteration element *inside* the body builder using those
-        carried values.
+        carried values.  ``salt`` extends the fragment-cache key with any
+        iteration parameter the body burns in as a constant (a
+        const-range start), so differently-parameterized bodies never
+        alias one cached fragment.
         """
         if isinstance(iterable, SymRange):
             step = iterable.step
@@ -2108,7 +2527,7 @@ class _FunctionConverter:
             def elem(conv, counter):
                 return api.add(counter, conv.env["__janus_range_start__"])
 
-            return count, helpers, elem
+            return count, helpers, elem, ()
         if isinstance(iterable, StackedList):
             iterable = iterable.tensor
         if isinstance(iterable, NodeOutput) and iterable.dtype is not None:
@@ -2118,7 +2537,7 @@ class _FunctionConverter:
             def elem(conv, counter):
                 return api.gather(conv.env["__janus_iterated__"], counter)
 
-            return api.cast(count, "int64"), helpers, elem
+            return api.cast(count, "int64"), helpers, elem, ()
         if isinstance(iterable, Const) and isinstance(iterable.value, range):
             r = iterable.value
             if r.step != 1:
@@ -2129,25 +2548,26 @@ class _FunctionConverter:
             def elem(conv, counter, s=start):
                 return api.add(counter, np.int64(s))
 
-            return count, {}, elem
+            return count, {}, elem, ("crange", start)
         return None
 
     def _dynamic_for(self, stmt, dynamic, site):
-        count_expr, helpers, elem_fn = dynamic
+        count_expr, helpers, elem_fn, salt = dynamic
         for name, value in helpers.items():
             self.env[name] = value
         try:
             self._dynamic_loop(test_stmts=None, body=stmt.body, site=site,
                                count_expr=count_expr, elem_fn=elem_fn,
                                for_target=stmt.target,
-                               extra_invariants=sorted(helpers))
+                               extra_invariants=sorted(helpers),
+                               fragment_salt=salt)
         finally:
             for name in helpers:
                 self.env.pop(name, None)
 
     def _dynamic_loop(self, test_stmts, body, site, count_expr=None,
                       elem_fn=None, for_target=None,
-                      extra_invariants=()):
+                      extra_invariants=(), fragment_salt=()):
         """Emit a while_loop node for a dynamic while/for (section 4.2.1).
 
         Loop-carried state is every env name assigned in the body plus
@@ -2207,58 +2627,77 @@ class _FunctionConverter:
             return placeholders[0], placeholders[-1] \
                 if count_expr is not None else None
 
-        # condition function
-        cond_sub = GraphBuilder(name="loop_cond")
-        with cond_sub:
-            phs = [cond_sub.placeholder("lv%d" % k, shape=v.shape,
-                                        dtype=v.dtype)
-                   for k, v in enumerate(all_inits)]
-            env = dict(self.env)
-            counter_edge, bound_edge = rebind(env, phs)
-            conv = _FunctionConverter(self.gen, self.func, env,
-                                      builder=cond_sub)
-            if count_expr is not None:
-                keep = api.less(counter_edge, bound_edge)
-            else:
-                keep = conv._tensorize(conv.convert_expr(test_stmts.test))
-            cond_sub.mark_outputs([keep])
-        cond_func = cond_sub.finalize_function("loop_cond")
-
-        # body function
-        body_sub = GraphBuilder(name="loop_body")
-        with body_sub:
-            phs = [body_sub.placeholder("lv%d" % k, shape=v.shape,
-                                        dtype=v.dtype)
-                   for k, v in enumerate(all_inits)]
-            env = dict(self.env)
-            counter_edge, bound_edge = rebind(env, phs)
-            conv = _FunctionConverter(self.gen, self.func, env,
-                                      builder=body_sub)
-            if elem_fn is not None:
-                conv._bind_target(for_target, elem_fn(conv, counter_edge))
+        key = ("loop", site, tuple(fragment_salt))
+        spliced = self._splice_loop(key, loop_names, structures, all_inits,
+                                    count_expr is not None)
+        if spliced is not None:
+            cond_func, body_func = spliced
+        else:
+            rec = self.gen._begin_fragment()
             try:
-                conv.convert_block(list(body))
-            except (_BreakSignal, _ContinueSignal):
-                raise NotConvertible(
-                    "break/continue inside a dynamic loop has no graph "
-                    "representation", feature="break")
-            new_flat = []
-            for name, structure in zip(loop_names, structures):
-                value = conv.env[name]
-                if isinstance(value, SymSeq):
-                    value = conv.env[name] = self._to_stacked(value, name)
-                flat = []
-                new_structure = flatten_value(value, flat)
-                if not structures_compatible(new_structure, structure):
-                    raise NotConvertible(
-                        "loop-carried %r changes structure across "
-                        "iterations" % name, feature="loop")
-                new_flat.extend(flat)
-            outputs = [api.add(counter_edge, np.int64(1))] + new_flat
-            if count_expr is not None:
-                outputs.append(bound_edge)
-            body_sub.mark_outputs(outputs)
-        body_func = body_sub.finalize_function("loop_body")
+                # condition function
+                cond_sub = GraphBuilder(name="loop_cond")
+                with cond_sub:
+                    phs = [cond_sub.placeholder("lv%d" % k, shape=v.shape,
+                                                dtype=v.dtype)
+                           for k, v in enumerate(all_inits)]
+                    env = dict(self.env)
+                    counter_edge, bound_edge = rebind(env, phs)
+                    conv = _FunctionConverter(self.gen, self.func, env,
+                                              builder=cond_sub)
+                    if count_expr is not None:
+                        keep = api.less(counter_edge, bound_edge)
+                    else:
+                        keep = conv._tensorize(
+                            conv.convert_expr(test_stmts.test))
+                    cond_sub.mark_outputs([keep])
+                cond_func = cond_sub.finalize_function("loop_cond")
+
+                # body function
+                body_sub = GraphBuilder(name="loop_body")
+                with body_sub:
+                    phs = [body_sub.placeholder("lv%d" % k, shape=v.shape,
+                                                dtype=v.dtype)
+                           for k, v in enumerate(all_inits)]
+                    env = dict(self.env)
+                    counter_edge, bound_edge = rebind(env, phs)
+                    conv = _FunctionConverter(self.gen, self.func, env,
+                                              builder=body_sub)
+                    if elem_fn is not None:
+                        conv._bind_target(for_target,
+                                          elem_fn(conv, counter_edge))
+                    try:
+                        conv.convert_block(list(body))
+                    except (_BreakSignal, _ContinueSignal):
+                        raise NotConvertible(
+                            "break/continue inside a dynamic loop has no "
+                            "graph representation", feature="break")
+                    new_flat = []
+                    for name, structure in zip(loop_names, structures):
+                        value = conv.env[name]
+                        if isinstance(value, SymSeq):
+                            value = conv.env[name] = self._to_stacked(
+                                value, name)
+                        flat = []
+                        new_structure = flatten_value(value, flat)
+                        if not structures_compatible(new_structure,
+                                                     structure):
+                            raise NotConvertible(
+                                "loop-carried %r changes structure across "
+                                "iterations" % name, feature="loop")
+                        new_flat.extend(flat)
+                    outputs = [api.add(counter_edge, np.int64(1))] + \
+                        new_flat
+                    if count_expr is not None:
+                        outputs.append(bound_edge)
+                    body_sub.mark_outputs(outputs)
+                body_func = body_sub.finalize_function("loop_body")
+            finally:
+                self.gen._end_fragment(rec)
+            self._store_loop_fragment(key, rec, test_stmts, body,
+                                      loop_names, structures, all_inits,
+                                      count_expr is not None, cond_func,
+                                      body_func)
 
         out_specs = []
         for init, out in zip(all_inits, body_func.graph.outputs):
@@ -2275,6 +2714,57 @@ class _FunctionConverter:
             self.env[name] = rebuild_value(
                 structure, iter(results[idx:idx + width]))
             idx += width
+
+    def _loop_env_names(self, test_stmts, body, loop_names):
+        names = read_names(body) | set(loop_names)
+        if test_stmts is not None and hasattr(test_stmts, "test"):
+            names |= read_names([test_stmts.test])
+        return names
+
+    def _splice_loop(self, key, loop_names, structures, all_inits,
+                     has_bound):
+        gen = self.gen
+        if gen.fragments is None:
+            return None
+        init_specs = [(e.shape.dims, e.dtype) for e in all_inits]
+        for frag in gen.fragments.lookup(key):
+            if frag.loop_names != tuple(loop_names) or \
+                    frag.has_bound != has_bound:
+                continue
+            if frag.init_specs != init_specs:
+                continue
+            if len(frag.structures) != len(structures) or not all(
+                    structures_compatible(a, b)
+                    for a, b in zip(frag.structures, structures)):
+                continue
+            if not frag_mod.deps_valid(frag, gen.dirty_sites):
+                continue
+            if not self._env_matches(frag):
+                continue
+            gen._adopt_fragment(key, frag)
+            return frag.cond_func, frag.body_func
+        gen.fragments.miss()
+        return None
+
+    def _store_loop_fragment(self, key, rec, test_stmts, body, loop_names,
+                             structures, all_inits, has_bound, cond_func,
+                             body_func):
+        gen = self.gen
+        if rec is None:
+            return
+        gen.fragments_reconverted += 1
+        if rec.poisoned:
+            return
+        env_summary = self._env_summary_for(
+            self._loop_env_names(test_stmts, body, loop_names), rec)
+        frag = frag_mod.Fragment(
+            "loop", key, rec, env_summary,
+            list(gen.prechecks[rec.precheck_start:]),
+            cond_func=cond_func, body_func=body_func,
+            loop_names=tuple(loop_names), structures=tuple(structures),
+            init_specs=[(e.shape.dims, e.dtype) for e in all_inits],
+            has_bound=has_bound)
+        gen.fragments.store(key, frag)
 
     def _to_stacked(self, seq, name):
         """Lower a SymSeq of same-shaped tensors into a StackedList."""

@@ -25,35 +25,58 @@ path.
 """
 
 import ast
+import copy
 import inspect
 import textwrap
 import types
+import weakref
 
 from ..errors import NotConvertible
 
 PROF_NAME = "__janus_prof__"
 
+#: Parsed-AST memo: source parsing costs a visible slice of every
+#: (re)generation, and the source of a live function cannot change, so
+#: parse once per function object.  Weak keys let dynamically created
+#: functions be collected normally.
+_AST_CACHE = weakref.WeakKeyDictionary()
 
-def get_function_ast(func):
-    """Parse a function's source into an ``ast.FunctionDef`` node."""
+
+def get_function_ast(func, mutable=False):
+    """Parse a function's source into an ``ast.FunctionDef`` node.
+
+    The parse is memoized per function object.  Callers that mutate the
+    returned tree (the profiler's instrumentation rewrite) must pass
+    ``mutable=True`` to receive a private deep copy; the default shares
+    the cached tree and must be treated as read-only.
+    """
+    target = getattr(func, "__func__", func)
     try:
-        source = inspect.getsource(func)
-    except (OSError, TypeError) as exc:
-        raise NotConvertible("no source available for %r" % func,
-                             feature="source") from exc
-    source = textwrap.dedent(source)
-    module = ast.parse(source)
-    fdef = module.body[0]
-    # Unwrap decorators so re-compilation does not re-apply them.
-    if isinstance(fdef, (ast.FunctionDef, ast.AsyncFunctionDef)):
-        fdef.decorator_list = []
-    if isinstance(fdef, ast.AsyncFunctionDef):
-        raise NotConvertible("async functions are imperative-only",
-                             feature="coroutine")
-    if not isinstance(fdef, ast.FunctionDef):
-        raise NotConvertible("expected a function definition",
-                             feature="source")
-    return fdef
+        fdef = _AST_CACHE.get(target)
+    except TypeError:           # unweakrefable callable: parse fresh
+        fdef = None
+        target = None
+    if fdef is None:
+        try:
+            source = inspect.getsource(func)
+        except (OSError, TypeError) as exc:
+            raise NotConvertible("no source available for %r" % func,
+                                 feature="source") from exc
+        source = textwrap.dedent(source)
+        module = ast.parse(source)
+        fdef = module.body[0]
+        # Unwrap decorators so re-compilation does not re-apply them.
+        if isinstance(fdef, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fdef.decorator_list = []
+        if isinstance(fdef, ast.AsyncFunctionDef):
+            raise NotConvertible("async functions are imperative-only",
+                                 feature="coroutine")
+        if not isinstance(fdef, ast.FunctionDef):
+            raise NotConvertible("expected a function definition",
+                                 feature="source")
+        if target is not None:
+            _AST_CACHE[target] = fdef
+    return copy.deepcopy(fdef) if mutable else fdef
 
 
 def function_key(func):
@@ -167,7 +190,7 @@ def instrument_function(func, recorder):
     The clone shares the original function's globals dict (augmented with
     the recorder) and its closure cells.
     """
-    fdef = get_function_ast(func)
+    fdef = get_function_ast(func, mutable=True)
     key = function_key(func)
     transformer = _InstrumentTransformer(key)
     new_body = [transformer.visit(stmt) for stmt in fdef.body]

@@ -366,3 +366,45 @@ def expected_attr_spec(spec):
     if spec.kind == PYOBJ:
         return ("pyref", spec.py_type.__name__)
     return None
+
+
+def spec_digest(spec):
+    """Hashable token capturing *everything* a graph burns in from a spec.
+
+    Unlike :meth:`ValueSpec.signature` (type-level only, used for cache
+    keys), this includes concrete shapes and constant values, because the
+    incremental regenerator (:mod:`repro.janus.fragments`) uses digest
+    equality to decide whether a cached conversion artifact built under
+    the old spec is still exact under the new one.  Two specs with equal
+    digests must produce identical converted graphs.
+    """
+    if spec is None:
+        return ("none",)
+    if spec.kind == CONST_TENSOR:
+        arr = np.asarray(spec.value)
+        dims = None if spec.shape is None else spec.shape.dims
+        if arr.nbytes <= 4096:
+            return (spec.kind, spec.dtype.name, dims, arr.shape,
+                    arr.tobytes())
+        return (spec.kind, spec.dtype.name, dims, arr.shape, id(spec.value))
+    if spec.kind == TENSOR:
+        dims = None if spec.shape is None else spec.shape.dims
+        return (spec.kind, spec.dtype.name, dims)
+    if spec.kind == CONST_PY:
+        try:
+            hash(spec.value)
+        except TypeError:
+            return (spec.kind, type(spec.value).__qualname__,
+                    id(spec.value))
+        return (spec.kind, type(spec.value).__name__, spec.value)
+    if spec.kind == CALLABLE:
+        return (spec.kind, CALLABLE_REGISTRY.token_for(spec.value))
+    if spec.kind == VARIABLE:
+        return (spec.kind, spec.value.uid)
+    if spec.kind == PYOBJ:
+        return (spec.kind, spec.py_type.__qualname__,
+                None if spec.value is None else id(spec.value))
+    if spec.kind == LIST:
+        return (spec.kind, spec.is_tuple,
+                tuple(spec_digest(e) for e in spec.elements))
+    return (spec.kind,)

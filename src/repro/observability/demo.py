@@ -39,9 +39,17 @@ def build_step():
     scale = LossScale()
 
     @janus.function(optimizer=optimizer)
-    def train_step(x, y):
+    def train_step(x, y, flag):
         logits = model(x)
-        return nn.losses.softmax_cross_entropy(logits, y) * scale.value
+        loss = nn.losses.softmax_cross_entropy(logits, y) * scale.value
+        # The flag alternates sign across calls, so this branch profiles
+        # as dynamic and converts to a cond fragment — which the
+        # incremental regeneration after the scale.value change reuses.
+        if R.reduce_sum(flag) > 0.0:
+            extra = loss * 2.0
+        else:
+            extra = loss * 0.5
+        return loss, extra
 
     return train_step, scale
 
@@ -62,9 +70,11 @@ def run(steps=12, out="trace.json", level=2):
     for step in range(steps):
         if step == steps - 3:
             # Break the burned-in constant: assumption fails, the runtime
-            # falls back, relaxes the spec, and regenerates the graph.
+            # falls back, relaxes the spec, and regenerates the graph —
+            # reusing the dynamic-branch fragment from the first build.
             scale.value = 0.5
-        loss = train_step(x, y)
+        flag = np.full((1,), 1.0 if step % 2 == 0 else -1.0, np.float32)
+        loss, _extra = train_step(x, y, flag)
 
     print(text_summary())
     path = write_chrome_trace(out)

@@ -1,0 +1,221 @@
+"""Incremental regeneration after assumption failures.
+
+When an assumption breaks, the runtime relaxes it and regenerates the
+graph.  With ``incremental_regeneration`` on, unchanged cond/loop
+regions splice from the fragment cache and argument specs seed from the
+retired artifact; with it off, every region reconverts from the AST.
+Either way the regenerated graph must match pure imperative execution
+bit-for-bit — these tests force branch, loop, and attribute failures
+and check exactly that, plus that the fragment machinery engages (or
+stays idle) when configured.
+"""
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from repro.observability import COUNTERS
+
+
+def strict(**kw):
+    return janus.JanusConfig(fail_on_not_convertible=True,
+                             parallel_execution=False, **kw)
+
+
+def counters():
+    return dict(COUNTERS.snapshot()["counters"])
+
+
+def delta(before, key):
+    return counters().get(key, 0) - before.get(key, 0)
+
+
+BOTH_MODES = pytest.mark.parametrize("incremental", [True, False],
+                                     ids=["incremental", "full"])
+
+
+@BOTH_MODES
+class TestForcedFailuresMatchImperative:
+    def test_branch_failure(self, incremental):
+        cfg = strict(incremental_regeneration=incremental)
+
+        @janus.function(config=cfg)
+        def f(x, gate):
+            if R.reduce_sum(gate) > 0.0:
+                y = x * 2.0 + 1.0
+            else:
+                y = x - 100.0
+            return y
+
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        # Varying positive gates: the direction is stable, so the branch
+        # unrolls behind an AssertOp.
+        for k in range(5):
+            f(x, R.constant(np.full(1, 1.0 + k, np.float32)))
+        assert f.stats["graph_runs"] > 0
+
+        neg = R.constant(-np.ones(1, np.float32))
+        out = f(x, neg)                       # assert fires -> fallback
+        assert f.stats["fallbacks"] == 1
+        assert np.array_equal(out.numpy(), f.func(x, neg).numpy())
+
+        graph_runs = f.stats["graph_runs"]
+        out_neg = f(x, neg)                   # regenerated, dynamic cond
+        out_pos = f(x, R.constant(np.full(1, 9.0, np.float32)))
+        assert f.stats["graph_runs"] >= graph_runs + 2
+        assert np.array_equal(out_neg.numpy(), f.func(x, neg).numpy())
+        assert np.array_equal(
+            out_pos.numpy(),
+            f.func(x, R.constant(np.full(1, 9.0, np.float32))).numpy())
+        entry = next(iter(f.cache._entries.values()))
+        ops = {n.op_name for n in entry.generated.graph.nodes}
+        assert "cond" in ops                  # the dirty region went dynamic
+
+    def test_loop_failure(self, incremental):
+        cfg = strict(incremental_regeneration=incremental)
+
+        @janus.function(config=cfg)
+        def f(x, n):
+            i = R.constant(0.0)
+            total = x * 0.0
+            while R.reduce_sum(i) < R.reduce_sum(n):
+                total = total + x * 2.0
+                i = i + 1.0
+            return total
+
+        x = R.constant(np.linspace(0, 1, 6).astype(np.float32))
+        # Varying bounds with a stable trip count of 3: the loop unrolls
+        # behind a trip-count assertion.
+        for k in range(5):
+            f(x, R.constant(np.full(1, 2.5 + 0.1 * k, np.float32)))
+        assert f.stats["graph_runs"] > 0
+
+        five = R.constant(np.full(1, 5.0, np.float32))
+        out = f(x, five)                      # trip count changes
+        assert f.stats["fallbacks"] == 1
+        assert np.array_equal(out.numpy(), f.func(x, five).numpy())
+
+        graph_runs = f.stats["graph_runs"]
+        out5 = f(x, five)                     # regenerated, dynamic loop
+        three = R.constant(np.full(1, 3.0, np.float32))
+        out3 = f(x, three)
+        assert f.stats["graph_runs"] >= graph_runs + 2
+        assert np.array_equal(out5.numpy(), f.func(x, five).numpy())
+        assert np.array_equal(out3.numpy(), f.func(x, three).numpy())
+
+    def test_attr_failure(self, incremental):
+        cfg = strict(incremental_regeneration=incremental)
+        knob = type("K", (), {})()
+        knob.gain = 1.5
+
+        @janus.function(config=cfg)
+        def f(x):
+            return R.tanh(x * knob.gain) + x
+
+        x = R.constant(np.linspace(-2, 2, 10).astype(np.float32))
+        for _ in range(5):
+            f(x)
+        assert f.stats["graph_runs"] > 0
+
+        knob.gain = 0.25                      # break the speculated const
+        out = f(x)
+        assert f.stats["fallbacks"] == 1
+        assert np.array_equal(out.numpy(), f.func(x).numpy())
+        out = f(x)                            # regenerated, gain dynamic
+        assert np.array_equal(out.numpy(), f.func(x).numpy())
+        knob.gain = -3.0                      # relaxed: no further fallback
+        out = f(x)
+        assert f.stats["fallbacks"] == 1
+        assert np.array_equal(out.numpy(), f.func(x).numpy())
+
+
+class TestFragmentReuse:
+    def _build(self, incremental):
+        cfg = strict(incremental_regeneration=incremental)
+        knob = type("K", (), {})()
+        knob.gain = 1.0
+
+        @janus.function(config=cfg)
+        def f(x, gate):
+            h = R.tanh(x * knob.gain)
+            if R.reduce_sum(gate) > 0.0:
+                y = h * 2.0
+            else:
+                y = h * 0.5
+            return y
+
+        return f, knob
+
+    def _warm_dynamic_branch(self, f, x):
+        # Alternating gate signs: the branch converts as a dynamic cond
+        # on the first generation, recording a reusable fragment.
+        for k in range(5):
+            sign = 1.0 if k % 2 == 0 else -1.0
+            f(x, R.constant(np.full(1, sign * (1.0 + k), np.float32)))
+
+    def test_unrelated_relaxation_reuses_branch_fragment(self):
+        f, knob = self._build(incremental=True)
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        self._warm_dynamic_branch(f, x)
+        assert f.stats["graphs_generated"] == 1
+        assert len(f._fragment_cache) >= 1
+
+        knob.gain = 2.0                       # dirty only the prologue
+        gate = R.constant(np.ones(1, np.float32))
+        f(x, gate)                            # fallback + relax
+        assert f.stats["fallbacks"] == 1
+
+        before = counters()
+        out = f(x, gate)                      # incremental regeneration
+        assert f.stats["graphs_generated"] == 2
+        assert delta(before, "graphgen.fragments_reused") >= 1
+        assert np.array_equal(out.numpy(), f.func(x, gate).numpy())
+        neg = R.constant(-np.ones(1, np.float32))
+        assert np.array_equal(f(x, neg).numpy(), f.func(x, neg).numpy())
+
+    def test_dirty_branch_is_reconverted_not_spliced(self):
+        """A fragment whose own site failed must not be reused."""
+        f, _knob = self._build(incremental=True)
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        # Stable positive gates: the branch speculates (no fragment).
+        for k in range(5):
+            f(x, R.constant(np.full(1, 1.0 + k, np.float32)))
+        neg = R.constant(-np.ones(1, np.float32))
+        f(x, neg)                             # branch assert fails
+        assert f.stats["fallbacks"] == 1
+
+        before = counters()
+        out = f(x, neg)                       # regeneration: branch dirty
+        assert delta(before, "graphgen.fragments_reused") == 0
+        assert delta(before, "graphgen.fragments_reconverted") >= 1
+        assert np.array_equal(out.numpy(), f.func(x, neg).numpy())
+
+    def test_off_mode_keeps_fragment_machinery_idle(self):
+        f, knob = self._build(incremental=False)
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        before = counters()
+        self._warm_dynamic_branch(f, x)
+        knob.gain = 2.0
+        gate = R.constant(np.ones(1, np.float32))
+        f(x, gate)
+        out = f(x, gate)                      # full regeneration
+        assert f.stats["graphs_generated"] == 2
+        assert len(f._fragment_cache) == 0
+        assert delta(before, "graphgen.fragments_reused") == 0
+        assert delta(before, "graphgen.fragments_reconverted") == 0
+        assert delta(before, "graphgen.specs_seeded") == 0
+        assert np.array_equal(out.numpy(), f.func(x, gate).numpy())
+
+    def test_modes_agree_bit_for_bit(self):
+        """The config gate changes latency, never results."""
+        outs = {}
+        for incremental in (True, False):
+            f, knob = self._build(incremental)
+            x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+            self._warm_dynamic_branch(f, x)
+            knob.gain = 2.0
+            gate = R.constant(np.ones(1, np.float32))
+            f(x, gate)
+            outs[incremental] = f(x, gate).numpy()
+        assert np.array_equal(outs[True], outs[False])
