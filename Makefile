@@ -5,8 +5,9 @@
 #                      print the text summary (docs/observability.md)
 #   make bench       - regenerate the paper-evaluation tables/figures
 #   make bench-check - run Table 3 three times and fail on >10% median
-#                      JANUS throughput regression vs
-#                      benchmarks/results/baseline_table3.json
+#                      regression vs benchmarks/results/baseline_table3.json
+#                      (absolute JANUS throughput, then the host-drift-
+#                      immune JANUS/imperative ratio)
 #   make ci          - tier-1 tests + the gated benchmark (what CI runs)
 
 PYTHON ?= python
@@ -20,10 +21,17 @@ GATE_LABELS := $(shell seq 1 $(GATE_RUNS))
 GATE_FILES := $(foreach n,$(GATE_LABELS),\
 	benchmarks/results/table3_throughput-gate-run$(n).json)
 
-.PHONY: test trace-demo bench bench-check ci
+.PHONY: test test-differential trace-demo bench bench-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The randomized write-barrier differential suite (>= 200 generated
+# programs across the barrier x regeneration matrix).  Part of the
+# tier-1 run too; this target re-runs it standalone with verbose
+# failure context, as CI does.
+test-differential:
+	$(PYTHON) -m pytest tests/test_write_barrier_differential.py -q
 
 trace-demo:
 	JANUS_TRACE=2 $(PYTHON) -m repro.observability.demo --out trace.json
@@ -38,5 +46,7 @@ bench-check:
 			--benchmark-only -q || exit $$?; \
 	done
 	$(PYTHON) benchmarks/check_regression.py --current $(GATE_FILES)
+	$(PYTHON) benchmarks/check_regression.py --relative \
+		--current $(GATE_FILES)
 
 ci: test bench-check

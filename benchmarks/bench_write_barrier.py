@@ -1,0 +1,136 @@
+"""Per-read cost of guarded Tensor-typed heap reads, barrier on vs off.
+
+The PR-2 identity memo skipped re-internalization and guard checks for
+immutable scalar attributes only; Tensor-typed ``py_get_attr`` reads
+paid the full internalize + dtype/shape-guard path on every run.  The
+tensor write barrier extends the memo to those reads — keyed on
+``(identity, TensorValue.version)`` with the buffer sealed against
+unsanctioned mutation — so a steady-state read costs an identity check,
+a version compare, and a shape/dtype compare.
+
+The workload isolates exactly that path: one graph of ``READS``
+``py_get_attr`` nodes with profiled tensor guards and nothing else,
+executed by two schedules compiled from the same graph — one with
+``tensor_write_barrier`` on, one with it off.  Everything outside the
+read closures (RunState setup, commit, output collection) is identical,
+so the per-run difference is pure heap-read cost.
+
+Run via ``pytest benchmarks/bench_write_barrier.py --benchmark-only``;
+``BENCH_LABEL=foo`` writes ``results/write_barrier-foo.json``.
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro.graph.builder import GraphBuilder
+from repro.graph.executor import GraphExecutor
+from repro.tensor import Shape, float32
+
+from harness import format_table, save_results
+
+#: Guarded Tensor reads per graph run.
+READS = 64
+#: Elements per read tensor (small on purpose: the read overhead, not
+#: kernel time, is what this bench isolates).
+ELEMS = 16
+
+_RESULTS = {}
+
+
+class _Holder:
+    pass
+
+
+def _build_read_graph(holder):
+    builder = GraphBuilder(name="heap_reads")
+    outputs = []
+    shape = Shape((ELEMS,))
+    for i in range(READS):
+        outputs.append(builder.py_get_attr(
+            holder, "t%d" % i, expected=("tensor", float32, shape)))
+    builder.mark_outputs(outputs)
+    return builder.graph
+
+
+def _fresh_holder(rng):
+    holder = _Holder()
+    for i in range(READS):
+        setattr(holder, "t%d" % i,
+                R.constant(rng.normal(size=(ELEMS,)).astype(np.float32)))
+    return holder
+
+
+def _per_run_seconds(executor, reps=2000):
+    executor.run(())                       # warm: validate + memoize
+    import gc
+    gc.collect()
+    gc.disable()
+    try:
+        samples = []
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(reps):
+                executor.run(())
+            samples.append((time.perf_counter() - start) / reps)
+    finally:
+        gc.enable()
+    return statistics.median(samples)
+
+
+def test_tensor_heap_read_memo_speedup(benchmark):
+    rng = np.random.default_rng(11)
+    holder_on = _fresh_holder(rng)
+    holder_off = _fresh_holder(rng)
+    exec_on = GraphExecutor(_build_read_graph(holder_on),
+                            tensor_write_barrier=True)
+    exec_off = GraphExecutor(_build_read_graph(holder_off),
+                             tensor_write_barrier=False)
+
+    # Same values out of both schedules, and the memoized path returns
+    # the live buffer (content aliasing preserved).
+    out_on = exec_on.run(())
+    out_off = exec_off.run(())
+    for i in range(READS):
+        np.testing.assert_array_equal(out_on[i],
+                                      getattr(holder_on, "t%d" % i).numpy())
+        np.testing.assert_array_equal(out_off[i],
+                                      getattr(holder_off, "t%d" % i).numpy())
+    assert holder_on.t0.value.tracked
+    assert not holder_off.t0.value.tracked
+
+    on_s = _per_run_seconds(exec_on)
+    off_s = _per_run_seconds(exec_off)
+    benchmark.pedantic(lambda: exec_on.run(()), rounds=3, iterations=100)
+
+    per_read_on_us = on_s / READS * 1e6
+    per_read_off_us = off_s / READS * 1e6
+    ratio = off_s / on_s
+    _RESULTS["write_barrier"] = {
+        "reads_per_run": READS,
+        "per_read_on_us": per_read_on_us,
+        "per_read_off_us": per_read_off_us,
+        "speedup": ratio,
+    }
+    assert ratio >= 1.5, _RESULTS["write_barrier"]
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    if not _RESULTS:
+        pytest.skip("no measurements")
+    r = _RESULTS["write_barrier"]
+    print()
+    print(format_table(
+        ["barrier on (us/read)", "barrier off (us/read)", "speedup"],
+        [["%.3f" % r["per_read_on_us"], "%.3f" % r["per_read_off_us"],
+          "%.2fx" % r["speedup"]]],
+        title="Guarded Tensor heap-read cost (%d reads/run)" % READS))
+    label = os.environ.get("BENCH_LABEL")
+    payload = dict(_RESULTS)
+    payload["meta"] = {"label": label or "dev"}
+    save_results("write_barrier" + ("-" + label if label else ""), payload)

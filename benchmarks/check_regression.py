@@ -16,6 +16,15 @@ Host noise on shared machines swings individual models by +/-15-20%
 between runs, so a single run trips the 10% gate spuriously.  Passing
 several ``--current`` files (separate benchmark runs of the same code)
 gates each model on its **median** throughput across the runs instead.
+
+``--relative`` switches the gated metric from absolute JANUS throughput
+to the per-model **JANUS/imperative ratio**.  Both columns come from
+the same run on the same host, so uniform host drift (a slower CI
+machine, a noisy neighbor) cancels out of the ratio — only a change in
+the runtime's overhead relative to eager execution can move it.  The
+two gates are complementary: absolute catches "everything got slower",
+relative stays meaningful when the host itself changed.  ``make
+bench-check`` runs both.
 """
 
 import argparse
@@ -38,6 +47,18 @@ def load_models(path):
             and "janus" in row}
 
 
+def relative_ratio(row):
+    """A model row's JANUS/imperative throughput ratio, or ``None``.
+
+    Both throughputs come from the same run, so host drift cancels;
+    rows without a positive ``imperative`` column cannot be ratio-gated.
+    """
+    imperative = row.get("imperative")
+    if not imperative:
+        return None
+    return row["janus"] / imperative
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline",
@@ -49,19 +70,33 @@ def main(argv=None):
                         help="one or more result files; with several, "
                              "each model gates on its median")
     parser.add_argument("--threshold", type=float, default=0.10,
-                        help="fractional JANUS drop that fails the gate")
+                        help="fractional drop that fails the gate")
+    parser.add_argument("--relative", action="store_true",
+                        help="gate the JANUS/imperative ratio instead of "
+                             "absolute JANUS throughput (host-drift-"
+                             "immune; rows need an 'imperative' column)")
     args = parser.parse_args(argv)
 
     for path in [args.baseline] + args.current:
         if not os.path.exists(path):
             print("check_regression: missing %s" % path)
             return 2
-    baseline = load_models(args.baseline)
+    metric_of = relative_ratio if args.relative else \
+        (lambda row: row["janus"])
+    metric_name = "JANUS/imperative ratio" if args.relative \
+        else "JANUS throughput"
+    baseline = {}
+    for name, row in load_models(args.baseline).items():
+        value = metric_of(row)
+        if value is not None:
+            baseline[name] = value
     runs = [load_models(path) for path in args.current]
     current = {}
     for name in runs[0]:
-        samples = [run[name]["janus"] for run in runs if name in run]
-        current[name] = {"janus": statistics.median(samples)}
+        samples = [metric_of(run[name]) for run in runs if name in run]
+        samples = [s for s in samples if s is not None]
+        if samples:
+            current[name] = statistics.median(samples)
     if len(runs) > 1:
         print("gating on the median of %d runs" % len(runs))
 
@@ -71,30 +106,32 @@ def main(argv=None):
               % (args.baseline, ", ".join(args.current)))
         return 2
 
+    fmt = "%-10s %12.3f %12.3f %7.2fx%s" if args.relative else \
+        "%-10s %12.1f %12.1f %7.2fx%s"
     regressions = []
+    print("gated metric: %s" % metric_name)
     print("%-10s %12s %12s %8s" % ("Model", "baseline", "current",
                                    "ratio"))
     for name in shared:
-        base = baseline[name]["janus"]
-        cur = current[name]["janus"]
+        base = baseline[name]
+        cur = current[name]
         ratio = cur / base if base else float("inf")
         flag = ""
         if ratio < 1.0 - args.threshold:
             flag = "  REGRESSION"
             regressions.append((name, base, cur, ratio))
-        print("%-10s %12.1f %12.1f %7.2fx%s"
-              % (name, base, cur, ratio, flag))
+        print(fmt % (name, base, cur, ratio, flag))
     missing = sorted(set(baseline) - set(current))
     if missing:
         print("note: models missing from current run: %s"
               % ", ".join(missing))
 
     if regressions:
-        print("\nFAIL: %d model(s) regressed more than %.0f%% on the "
-              "JANUS column" % (len(regressions), args.threshold * 100))
+        print("\nFAIL: %d model(s) regressed more than %.0f%% on %s"
+              % (len(regressions), args.threshold * 100, metric_name))
         return 1
-    print("\nOK: no JANUS throughput regression beyond %.0f%% "
-          "(%d models compared)" % (args.threshold * 100, len(shared)))
+    print("\nOK: no regression beyond %.0f%% on %s (%d models compared)"
+          % (args.threshold * 100, metric_name, len(shared)))
     return 0
 
 

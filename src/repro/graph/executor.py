@@ -25,7 +25,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 import numpy as np
 
 from ..errors import AssumptionFailed, ExecutionError, GraphError
-from ..observability import TRACER
+from ..observability import COUNTERS, TRACER
 from ..tensor import TensorValue, PyRef
 
 _POOL_LOCK = threading.Lock()
@@ -70,6 +70,7 @@ class RunState:
         """Write local copies back to variables and the Python heap."""
         for variable, array in self.var_local.items():
             variable.storage = TensorValue(array, variable.dtype)
+            variable.version += 1
         for (obj_id, kind, key), raw in self.py_local.items():
             obj = py_objects[obj_id]
             value = _externalize(raw)
@@ -107,18 +108,28 @@ def _externalize(raw):
 _MEMO_MISS = object()
 _MEMO_SAFE = None
 
+#: Memo hit/stale tallies, shared by all executors (nested included) and
+#: flushed to COUNTERS at the end of each traced top-level run.  A plain
+#: list mutated without a lock: the per-closure cost of the registry's
+#: lock would dwarf the memo's savings, and under the parallel schedule
+#: a lost increment only skews an advisory metric.
+_MEMO_COUNTS = [0, 0]   # [hits, stale revalidations]
+
 
 def _memo_safe_types():
-    """Types whose identity pins both internal form and guard verdict.
+    """Types whose identity *alone* pins internal form and guard verdict.
 
     The py_get identity memo may only skip re-internalization and
     re-checking when ``value is memo[0]`` implies the internalized form
     and the guard outcome are unchanged.  That holds for immutable
     scalars and for Variable (internalized to a PyRef that reads through
     to current storage; its guard only checks the type name).  It does
-    NOT hold for ndarrays, Tensors, lists or dicts — in-place mutation
-    preserves identity while changing content, which would let a stale
-    memo bypass the assumption guard.
+    NOT hold for lists or dicts — in-place mutation preserves identity
+    while changing content, which would let a stale memo bypass the
+    assumption guard.  Tensors / TensorValues / ndarrays are handled
+    separately by the version-stamped memo in ``_compile_py_get``, whose
+    hit test additionally compares the write-barrier version and the
+    buffer's shape and dtype (see docs/compilation.md#write-barrier).
     """
     global _MEMO_SAFE
     if _MEMO_SAFE is None:
@@ -169,7 +180,7 @@ class GraphExecutor:
     """A compiled, reusable schedule for one graph."""
 
     def __init__(self, graph, parallel=False, _nested=False,
-                 heavy_threshold=2):
+                 heavy_threshold=2, tensor_write_barrier=True):
         self.graph = graph
         # Inter-op parallelism needs real cores; on a single-CPU host the
         # level-parallel schedule only adds synchronization overhead.
@@ -179,6 +190,10 @@ class GraphExecutor:
         #: Heavy ops per level required before the level fans out across
         #: threads; see ``JanusConfig.parallel_heavy_ops_threshold``.
         self.heavy_threshold = max(1, int(heavy_threshold))
+        #: Whether py_get memos may cover Tensor-typed heap reads, keyed
+        #: on identity + TensorValue.version (JanusConfig flag; nested
+        #: executors inherit it through ``_function_executor``).
+        self.tensor_write_barrier = bool(tensor_write_barrier)
         self._compile()
 
     # -- compilation -------------------------------------------------------
@@ -311,9 +326,15 @@ class GraphExecutor:
         and output slot are all bound at compile time, so a run costs
         two dict probes plus (at most) one getattr.  A per-node identity
         memo additionally skips re-internalizing and re-checking a value
-        that was already validated on an earlier run — safe exactly when
-        the value's internal form and guard verdict cannot change while
-        its identity is unchanged (immutable scalars, PyRef wrappers).
+        that was already validated on an earlier run.  Immutable scalars
+        and PyRef wrappers hit on identity alone; Tensor-typed reads
+        (``memo[2]`` non-None) also require an unchanged write-barrier
+        version stamp plus the buffer's shape and dtype — the version
+        catches sanctioned in-place writes and COW rebinds, the
+        shape/dtype compare re-proves the guard for metadata mutation
+        that ``writeable=False`` cannot intercept (``a.shape = ...``).
+        A hit returns the *live* buffer, so content stays aliased
+        exactly as on the slow path (tensor guards never pin content).
         """
         kind = "attr" if node.op_name == "py_get_attr" else "subscr"
         key = node.attrs["name"] if kind == "attr" else node.attrs["key"]
@@ -327,48 +348,73 @@ class GraphExecutor:
         self._py_objects[id(obj)] = obj
         local_key = (id(obj), kind, key)
         memo_safe = _memo_safe_types()
-        memo = [_MEMO_MISS, None]   # [last validated heap value, raw form]
+        tensor_cls, _ = _lazy_types()
+        barrier = self.tensor_write_barrier
+        counts = _MEMO_COUNTS
+        # [heap value, raw form, None | (tv-or-None, version, shape, dtype)]
+        memo = [_MEMO_MISS, None, None]
         internalize = _internalize
+        ndarray = np.ndarray
         if kind == "attr":
-            def run_get(values, run_state, obj=obj, key=key,
-                        local_key=local_key, check=check, memo=memo,
-                        out_slot=out_slot):
-                raw = run_state.py_local.get(local_key)
-                if raw is None:
-                    raw = run_state.py_read_cache.get(local_key)
-                    if raw is None:
-                        value = getattr(obj, key)
-                        if value is memo[0]:
-                            raw = memo[1]
-                        else:
-                            raw = internalize(value)
-                            if check is not None:
-                                check(raw)
-                            if type(value) in memo_safe:
-                                memo[0] = value
-                                memo[1] = raw
-                        run_state.py_read_cache[local_key] = raw
-                values[out_slot] = raw
+            def fetch(obj=obj, key=key):
+                return getattr(obj, key)
         else:
-            def run_get(values, run_state, obj=obj, key=key,
-                        local_key=local_key, check=check, memo=memo,
-                        out_slot=out_slot):
-                raw = run_state.py_local.get(local_key)
+            def fetch(obj=obj, key=key):
+                return obj[key]
+
+        def run_get(values, run_state, fetch=fetch, local_key=local_key,
+                    check=check, memo=memo, counts=counts,
+                    out_slot=out_slot):
+            raw = run_state.py_local.get(local_key)
+            if raw is None:
+                raw = run_state.py_read_cache.get(local_key)
                 if raw is None:
-                    raw = run_state.py_read_cache.get(local_key)
-                    if raw is None:
-                        value = obj[key]
-                        if value is memo[0]:
+                    value = fetch()
+                    if value is memo[0]:
+                        state = memo[2]
+                        if state is None:
                             raw = memo[1]
+                            counts[0] += 1
                         else:
-                            raw = internalize(value)
-                            if check is not None:
-                                check(raw)
-                            if type(value) in memo_safe:
+                            tv = state[0]
+                            arr = value if tv is None else tv.array
+                            if (tv is None
+                                    or (tv.version == state[1]
+                                        and (value is tv
+                                             or value.value is tv))) \
+                                    and arr.shape == state[2] \
+                                    and arr.dtype is state[3]:
+                                raw = arr
+                                counts[0] += 1
+                            else:
+                                counts[1] += 1
+                    elif memo[0] is not _MEMO_MISS:
+                        counts[1] += 1
+                    if raw is None:
+                        raw = internalize(value)
+                        if check is not None:
+                            check(raw)
+                        t = type(value)
+                        if t in memo_safe:
+                            memo[0] = value
+                            memo[1] = raw
+                            memo[2] = None
+                        elif barrier:
+                            if t is tensor_cls:
+                                tv = value.value
+                            elif t is TensorValue:
+                                tv = value
+                            else:
+                                tv = None
+                            if (tv is not None and tv.track()) \
+                                    or t is ndarray:
                                 memo[0] = value
                                 memo[1] = raw
-                        run_state.py_read_cache[local_key] = raw
-                values[out_slot] = raw
+                                memo[2] = (tv,
+                                           0 if tv is None else tv.version,
+                                           raw.shape, raw.dtype)
+                    run_state.py_read_cache[local_key] = raw
+            values[out_slot] = raw
         return ("closure", run_get)
 
     def _compile_py_set(self, node, in_slots, out_slots):
@@ -472,6 +518,16 @@ class GraphExecutor:
             run_state.commit(self._py_objects_transitive())
             run_state.stats["nodes_executed"] += len(self._instructions)
             if TRACER.level:
+                # Flush the lock-free per-closure memo tallies once per
+                # run so the closures stay free of registry locking and
+                # the level-2 per-op timings stay free of counter cost.
+                hits, stale = _MEMO_COUNTS
+                if hits:
+                    COUNTERS.inc("executor.memo_hit", hits)
+                    _MEMO_COUNTS[0] = 0
+                if stale:
+                    COUNTERS.inc("executor.memo_stale", stale)
+                    _MEMO_COUNTS[1] = 0
                 TRACER.complete("op", "run:%s" % self.graph.name,
                                 run_start,
                                 time.perf_counter() - run_start,
@@ -583,7 +639,7 @@ class GraphExecutor:
                     for slot, r in zip(out_slots, cached):
                         values[slot] = r
                     return
-            sub = _function_executor(func)
+            sub = _function_executor(func, self.tensor_write_barrier)
             results = sub.run(args, run_state)
             if memo_key is not None:
                 run_state.invoke_memo[memo_key] = results
@@ -631,15 +687,17 @@ class GraphExecutor:
         pred = values[in_slots[0]]
         branch = node.branches["true" if bool(np.all(pred)) \
                                else "false"]
-        sub = _function_executor(branch)
+        sub = _function_executor(branch, self.tensor_write_barrier)
         results = sub.run([values[s] for s in in_slots[1:]], run_state)
         for slot, r in zip(out_slots, results):
             values[slot] = r
 
     def _exec_while(self, instr, values, run_state):
         _, node, in_slots, out_slots = instr
-        cond_exec = _function_executor(node.attrs["cond_func"])
-        body_exec = _function_executor(node.attrs["body_func"])
+        cond_exec = _function_executor(node.attrs["cond_func"],
+                                       self.tensor_write_barrier)
+        body_exec = _function_executor(node.attrs["body_func"],
+                                       self.tensor_write_barrier)
         state = [values[s] for s in in_slots]
         record = [] if node.attrs.get("record_grad") else None
         iteration = 0
@@ -663,7 +721,8 @@ class GraphExecutor:
     def _exec_while_grad(self, instr, values, run_state):
         _, node, in_slots, out_slots = instr
         forward = node.attrs["forward_node"]
-        body_grad = _function_executor(node.attrs["body_grad_func"])
+        body_grad = _function_executor(node.attrs["body_grad_func"],
+                                       self.tensor_write_barrier)
         grad_var_count = node.attrs["grad_var_count"]
         float_mask = node.attrs["float_mask"]
         stack = run_state.while_records.get(forward)
@@ -778,14 +837,21 @@ def _invoke_memo_key(func, args):
     return tuple(parts)
 
 
-def _function_executor(func):
-    """Compiled (sequential) executor for a GraphFunction, cached."""
+def _function_executor(func, tensor_write_barrier=True):
+    """Compiled (sequential) executor for a GraphFunction, cached.
+
+    Cached per barrier setting: the parent executor's flag decides
+    whether nested py_get closures may memoize Tensor reads, and both
+    variants can coexist (e.g. tests flipping the config).
+    """
     if func.graph is None:
         raise GraphError("function %s invoked before finalization"
                          % func.name)
     cache = func.graph._executor_cache
-    executor = cache.get("nested")
+    cache_key = "nested" if tensor_write_barrier else "nested-nobarrier"
+    executor = cache.get(cache_key)
     if executor is None:
-        executor = GraphExecutor(func.graph, parallel=False, _nested=True)
-        cache["nested"] = executor
+        executor = GraphExecutor(func.graph, parallel=False, _nested=True,
+                                 tensor_write_barrier=tensor_write_barrier)
+        cache[cache_key] = executor
     return executor

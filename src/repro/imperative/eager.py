@@ -18,7 +18,15 @@ from .variable import Variable
 
 
 class Tensor:
-    """An eagerly-computed immutable tensor."""
+    """An eagerly-computed tensor.
+
+    Immutable through the functional op API; the explicit in-place ops
+    (``assign_``/``add_``/``sub_``/``mul_``) are the one sanctioned
+    mutation path and route through the tensor write barrier
+    (:meth:`repro.tensor.TensorValue.inplace_write`), which bumps the
+    version stamp — and copies first when the buffer is sealed by a
+    guarded memo — so specialized graphs always observe the change.
+    """
 
     __slots__ = ("value",)
 
@@ -82,6 +90,38 @@ class Tensor:
     def __getitem__(self, index):
         from ..ops import api
         return api.getitem(self, index)
+
+    # -- sanctioned in-place mutation --------------------------------------
+
+    def _inplace_operand(self, other):
+        if isinstance(other, Tensor):
+            return other.value.array
+        if isinstance(other, TensorValue):
+            return other.array
+        return np.asarray(other, dtype=self.value.dtype.np_dtype)
+
+    def assign_(self, other):
+        """Overwrite this tensor's buffer in place (not tape-recorded)."""
+        src = self._inplace_operand(other)
+        self.value.inplace_write(lambda dst: np.copyto(dst, src))
+        return self
+
+    def add_(self, other):
+        src = self._inplace_operand(other)
+        self.value.inplace_write(lambda dst: np.add(dst, src, out=dst))
+        return self
+
+    def sub_(self, other):
+        src = self._inplace_operand(other)
+        self.value.inplace_write(
+            lambda dst: np.subtract(dst, src, out=dst))
+        return self
+
+    def mul_(self, other):
+        src = self._inplace_operand(other)
+        self.value.inplace_write(
+            lambda dst: np.multiply(dst, src, out=dst))
+        return self
 
     # -- operators -----------------------------------------------------------
 

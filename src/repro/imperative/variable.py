@@ -30,6 +30,12 @@ class Variable:
         self.uid = _next_uid()
         self.name = name or ("variable_%d" % self.uid)
         self.trainable = trainable
+        #: Assignment stamp, bumped by every storage replacement (eager
+        #: ``_assign_raw`` and the graph executor's commit writeback).
+        #: Complements ``TensorValue.version``: assignments *rebind*
+        #: ``storage`` — previously read tensors keep the old buffer —
+        #: so the mutation stamp lives on the Variable itself.
+        self.version = 0
 
     @property
     def shape(self):
@@ -65,6 +71,7 @@ class Variable:
     def _assign_raw(self, value):
         """Immediate storage replacement (the eager context's backend)."""
         self.storage = TensorValue.of(_unwrap(value), dtype=self.dtype)
+        self.version += 1
         return self
 
     def assign_add(self, value):

@@ -101,7 +101,8 @@ def compile_generated(generated, config, signature=None):
     start = time.perf_counter()
     executor = GraphExecutor(
         generated.graph, parallel=config.parallel_execution,
-        heavy_threshold=getattr(config, "parallel_heavy_ops_threshold", 2))
+        heavy_threshold=getattr(config, "parallel_heavy_ops_threshold", 2),
+        tensor_write_barrier=getattr(config, "tensor_write_barrier", True))
     elapsed = time.perf_counter() - start
     COUNTERS.inc("janus.graphs_compiled")
     COUNTERS.add_time("janus.compile", elapsed)

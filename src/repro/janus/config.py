@@ -29,7 +29,8 @@ class JanusConfig:
                  trace_level=None,
                  graph_cache_entries=64,
                  incremental_regeneration=True,
-                 parallel_heavy_ops_threshold=2):
+                 parallel_heavy_ops_threshold=2,
+                 tensor_write_barrier=True):
         #: Imperative profiling iterations before generating a graph
         #: (the paper found 3 sufficient — section 3.1 footnote).
         self.profile_runs = profile_runs
@@ -71,6 +72,15 @@ class JanusConfig:
         #: handoff costs ~10-50 µs); if single heavy levels show
         #: multi-ms serial times on a multi-core host, lower it to 1.
         self.parallel_heavy_ops_threshold = parallel_heavy_ops_threshold
+        #: Extend the executor's py_get identity memo to Tensor-typed
+        #: heap reads, keyed on ``(identity, TensorValue.version)``.
+        #: Memoized values are sealed (numpy buffer frozen) so
+        #: unsanctioned in-place mutation raises instead of bypassing a
+        #: guard; sanctioned writes (``Tensor.add_`` etc.) copy-on-write
+        #: and bump the version so stale memo entries miss.  Off keeps
+        #: the memo restricted to immutable scalars / PyRefs (the PR-2
+        #: behaviour).  See docs/compilation.md#write-barrier.
+        self.tensor_write_barrier = tensor_write_barrier
 
     def copy(self, **overrides):
         new = copy.copy(self)

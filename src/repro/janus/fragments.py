@@ -72,9 +72,17 @@ def value_digest(value, keep=None, depth=0):
     if isinstance(value, Variable):
         return ("var", value.uid)
     if isinstance(value, (Tensor, TensorValue, np.ndarray)):
-        arr = np.asarray(value.numpy() if isinstance(value, Tensor)
-                         else value.value if isinstance(value, TensorValue)
-                         else value)
+        tv = value.value if isinstance(value, Tensor) \
+            else value if isinstance(value, TensorValue) else None
+        if tv is not None and tv.tracked:
+            # Write-barrier fast path: a sealed TensorValue cannot
+            # change content under an unchanged (identity, version)
+            # pair, so the version stamp replaces content hashing.
+            # Pinned for the same id-reuse reason as the slow path.
+            if keep is not None:
+                keep.append(tv)
+            return ("tvv", id(tv), tv.version)
+        arr = np.asarray(tv.array if tv is not None else value)
         if arr.nbytes <= _CONTENT_BYTES:
             return ("arr", str(arr.dtype), arr.shape, arr.tobytes())
         if keep is not None:

@@ -106,10 +106,10 @@ class ValueSpec:
     """One point in the specialization lattice."""
 
     __slots__ = ("kind", "dtype", "shape", "value", "elements", "py_type",
-                 "is_tuple")
+                 "is_tuple", "source")
 
     def __init__(self, kind, dtype=None, shape=None, value=None,
-                 elements=None, py_type=None, is_tuple=False):
+                 elements=None, py_type=None, is_tuple=False, source=None):
         self.kind = kind
         self.dtype = dtype
         self.shape = shape
@@ -117,6 +117,11 @@ class ValueSpec:
         self.elements = elements
         self.py_type = py_type
         self.is_tuple = is_tuple
+        #: For CONST_TENSOR specs observed from a Tensor/TensorValue: the
+        #: originating TensorValue, so :func:`spec_digest` can use the
+        #: write-barrier version stamp instead of hashing array content
+        #: when the value is tracked (sealed buffer => content pinned).
+        self.source = source
 
     # -- constructors ---------------------------------------------------------
 
@@ -182,10 +187,10 @@ def observe(value):
     if isinstance(value, Tensor):
         tv = value.value
         return ValueSpec(CONST_TENSOR, dtype=tv.dtype, shape=tv.shape,
-                         value=tv.array)
+                         value=tv.array, source=tv)
     if isinstance(value, TensorValue):
         return ValueSpec(CONST_TENSOR, dtype=value.dtype, shape=value.shape,
-                         value=value.array)
+                         value=value.array, source=value)
     if isinstance(value, np.ndarray):
         tv = TensorValue.of(value)
         return ValueSpec(CONST_TENSOR, dtype=tv.dtype, shape=tv.shape,
@@ -381,8 +386,18 @@ def spec_digest(spec):
     if spec is None:
         return ("none",)
     if spec.kind == CONST_TENSOR:
-        arr = np.asarray(spec.value)
         dims = None if spec.shape is None else spec.shape.dims
+        src = spec.source
+        if src is not None and src.tracked and src.array is spec.value:
+            # Write-barrier fast path: a sealed buffer cannot change
+            # content without a COW rebind (which breaks the ``is``
+            # check) or a version bump, so (identity, version) is an
+            # exact stand-in for the content hash.  The spec pins
+            # ``src`` alive through its slot, so the id cannot be
+            # reused while this digest is comparable.
+            return (spec.kind, spec.dtype.name, dims, spec.value.shape,
+                    "wbv", id(src), src.version)
+        arr = np.asarray(spec.value)
         if arr.nbytes <= 4096:
             return (spec.kind, spec.dtype.name, dims, arr.shape,
                     arr.tobytes())

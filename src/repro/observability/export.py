@@ -106,10 +106,20 @@ def text_summary(tracer=None, counters=None, top=12):
                             total / count * 1e6))
 
     snap = counters.snapshot()
-    if snap["counters"]:
+    # Heap-read memo / write-barrier health is always reported (zeros
+    # included): a zero memo_hit row on a tensor-attr workload is itself
+    # the signal that the barrier is off or tracking is refusing.
+    lines.append("-- heap-read memo / write barrier --")
+    for name in ("executor.memo_hit", "executor.memo_stale",
+                 "tensor.cow_copies"):
+        lines.append("  %-40s %d" % (name, snap["counters"].get(name, 0)))
+    generic = {name: value for name, value in snap["counters"].items()
+               if name not in ("executor.memo_hit", "executor.memo_stale",
+                               "tensor.cow_copies")}
+    if generic:
         lines.append("-- counters --")
-        for name in sorted(snap["counters"]):
-            lines.append("  %-40s %d" % (name, snap["counters"][name]))
+        for name in sorted(generic):
+            lines.append("  %-40s %d" % (name, generic[name]))
     if snap["timers"]:
         lines.append("-- timers --")
         for name in sorted(snap["timers"]):

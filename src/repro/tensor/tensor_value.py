@@ -6,6 +6,18 @@ of our interned dtypes.  Non-numerical Python values crossing the graph
 boundary are carried by ``PyRef`` handles, mirroring the paper's rule of
 converting arbitrary objects into scalar tensors holding pointers into the
 Python heap (section 4.2.2).
+
+Write barrier (``docs/compilation.md#write-barrier``): every TensorValue
+carries a monotonically increasing ``version`` stamp, bumped by each
+sanctioned in-place write (:meth:`TensorValue.inplace_write` — the backend
+of eager ``Tensor.assign_/add_/...``).  A value enrolled in a guarded
+heap-read memo is *sealed* (:meth:`TensorValue.track`): its numpy buffer
+is made read-only, so unsanctioned in-place mutation raises instead of
+silently bypassing an assumption guard, and sanctioned writes go through a
+copy-on-write step that rebinds ``array`` to a private buffer.  Identity
+plus version therefore pins content — the soundness condition that lets
+the graph executor extend its identity memo to heap Tensor reads (JANUS
+section 4.2's guards must observe every state change before graph reuse).
 """
 
 import numpy as np
@@ -14,13 +26,49 @@ from . import dtype as dtypes
 from .dtype import DType
 from .shape import Shape
 
+#: Process-wide write-barrier switch.  Off restores the pre-barrier
+#: behaviour: ``track()`` refuses to seal, so executors never extend
+#: their identity memo to tensors and digests never use version tokens.
+_WRITE_BARRIER = [True]
+
+
+def set_write_barrier(enabled):
+    """Toggle the global write barrier; returns the previous setting."""
+    previous = _WRITE_BARRIER[0]
+    _WRITE_BARRIER[0] = bool(enabled)
+    return previous
+
+
+def write_barrier_enabled():
+    return _WRITE_BARRIER[0]
+
+
+#: Ownership modes.  UNKNOWN: provenance unclear (may alias a caller's
+#: ndarray), in-place writes copy unless the buffer is demonstrably ours.
+#: PRIVATE: exclusively owned (post-COW), writes go straight through.
+#: SEALED: enrolled in a guarded memo, buffer frozen, writes always COW.
+_UNKNOWN, _PRIVATE, _SEALED = 0, 1, 2
+
+_OBS = None
+
+
+def _obs():
+    """Lazy (COUNTERS, TRACER) import — tensor is below observability."""
+    global _OBS
+    if _OBS is None:
+        from ..observability import COUNTERS, TRACER
+        _OBS = (COUNTERS, TRACER)
+    return _OBS
+
 
 class TensorValue:
     """A concrete n-dimensional array with a fixed repro dtype."""
 
-    __slots__ = ("array", "dtype")
+    __slots__ = ("array", "dtype", "version", "_mode")
 
     def __init__(self, array, dtype=None):
+        self.version = 0
+        self._mode = _UNKNOWN
         if isinstance(array, TensorValue):
             dtype = dtype or array.dtype
             array = array.array
@@ -75,7 +123,68 @@ class TensorValue:
         return TensorValue(self.array.astype(dtype.np_dtype), dtype)
 
     def copy(self):
-        return TensorValue(self.array.copy(), self.dtype)
+        return TensorValue(self.array.copy(), self.dtype).mark_private()
+
+    # -- write barrier -----------------------------------------------------
+
+    @property
+    def tracked(self):
+        """Whether this value is sealed behind the write barrier."""
+        return self._mode == _SEALED
+
+    def mark_private(self):
+        """Claim exclusive buffer ownership (fresh, unaliased arrays)."""
+        if self._mode == _UNKNOWN:
+            self._mode = _PRIVATE
+        return self
+
+    def track(self):
+        """Seal the buffer for enrollment in a guarded identity memo.
+
+        Returns True when ``id(self)`` plus ``version`` pin the content
+        from here on: the buffer is frozen (unsanctioned in-place writes
+        raise ``ValueError: assignment destination is read-only``) and
+        every sanctioned write copies first.  Refuses — returning False,
+        leaving the value unmemoizable — when the barrier is globally
+        off or when the array is a view (a frozen view still sees writes
+        through its writable base, so freezing it would pin nothing).
+        """
+        if self._mode == _SEALED:
+            return True
+        if not _WRITE_BARRIER[0]:
+            return False
+        arr = self.array
+        if arr.base is not None or not arr.flags.owndata:
+            return False
+        try:
+            arr.flags.writeable = False
+        except ValueError:
+            return False
+        self._mode = _SEALED
+        return True
+
+    def inplace_write(self, write):
+        """Apply an in-place mutation through the barrier.
+
+        *write* receives a writable ndarray to mutate.  Sealed,
+        read-only, or possibly-aliased buffers are copied first
+        (copy-on-write: concurrent holders of the old buffer — memo
+        entries, previously read tensors — keep the content they
+        validated), then the version stamp is bumped so stale memo
+        entries and version-token digests miss.
+        """
+        arr = self.array
+        if self._mode == _SEALED or arr.base is not None \
+                or not arr.flags.owndata or not arr.flags.writeable:
+            arr = arr.copy()
+            self.array = arr
+            self._mode = _PRIVATE
+            counters, tracer = _obs()
+            if tracer.level:
+                counters.inc("tensor.cow_copies")
+        write(arr)
+        self.version += 1
+        return self
 
     def __repr__(self):
         return "TensorValue(dtype=%s, shape=%s)" % (

@@ -1,0 +1,114 @@
+"""Unit tests for the benchmark regression gate's ratio math.
+
+``benchmarks/check_regression.py`` gates CI in two modes: absolute
+JANUS throughput and the host-drift-immune ``--relative`` mode, which
+gates each model's JANUS/imperative ratio instead.  These tests drive
+``main(argv)`` on synthetic result files so the gating arithmetic —
+median-of-runs, thresholds, missing-column handling, exit codes — is
+pinned down without running any benchmark.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_GATE_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "benchmarks", "check_regression.py")
+_spec = importlib.util.spec_from_file_location("check_regression",
+                                               _GATE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression)
+_spec.loader.exec_module(check_regression)
+
+
+def _write(tmp_path, name, models):
+    path = tmp_path / name
+    path.write_text(json.dumps(models))
+    return str(path)
+
+
+def _row(janus, imperative=None):
+    row = {"janus": janus, "symbolic": janus * 1.1, "unit": "samples/s"}
+    if imperative is not None:
+        row["imperative"] = imperative
+    return row
+
+
+def _run(tmp_path, baseline, currents, extra=()):
+    argv = ["--baseline", _write(tmp_path, "baseline.json", baseline)]
+    argv += ["--current"] + [
+        _write(tmp_path, "current-%d.json" % i, models)
+        for i, models in enumerate(currents)]
+    return check_regression.main(argv + list(extra))
+
+
+class TestRelativeRatioMath:
+    def test_ratio_helper(self):
+        assert check_regression.relative_ratio(_row(80.0, 40.0)) == 2.0
+        assert check_regression.relative_ratio(_row(80.0)) is None
+        assert check_regression.relative_ratio(_row(80.0, 0.0)) is None
+
+    def test_host_drift_passes_relative_but_fails_absolute(self, tmp_path):
+        """A uniformly 2x slower host halves absolute throughput but
+        leaves the JANUS/imperative ratio untouched."""
+        baseline = {"LeNet": _row(100.0, 50.0), "LSTM": _row(60.0, 20.0)}
+        drifted = {"LeNet": _row(50.0, 25.0), "LSTM": _row(30.0, 10.0)}
+        assert _run(tmp_path, baseline, [drifted]) == 1
+        assert _run(tmp_path, baseline, [drifted], ["--relative"]) == 0
+
+    def test_runtime_overhead_regression_fails_relative(self, tmp_path):
+        """Same host (imperative unchanged), JANUS column 20% down:
+        the ratio drops 2.0 -> 1.6 and trips the 10% gate."""
+        baseline = {"LeNet": _row(100.0, 50.0)}
+        slower = {"LeNet": _row(80.0, 50.0)}
+        assert _run(tmp_path, baseline, [slower], ["--relative"]) == 1
+        # A custom threshold wider than the drop passes.
+        assert _run(tmp_path, baseline, [slower],
+                    ["--relative", "--threshold", "0.25"]) == 0
+
+    def test_median_of_runs_absorbs_one_noisy_ratio(self, tmp_path):
+        baseline = {"LeNet": _row(100.0, 50.0)}          # ratio 2.0
+        runs = [
+            {"LeNet": _row(98.0, 49.0)},                 # ratio 2.0
+            {"LeNet": _row(40.0, 50.0)},                 # ratio 0.8 (noise)
+            {"LeNet": _row(102.0, 50.0)},                # ratio 2.04
+        ]
+        assert _run(tmp_path, baseline, runs, ["--relative"]) == 0
+        # Two bad runs move the median itself: gate fails.
+        runs[2] = {"LeNet": _row(40.0, 50.0)}
+        assert _run(tmp_path, baseline, runs, ["--relative"]) == 1
+
+    def test_rows_without_imperative_are_skipped_not_fatal(self, tmp_path):
+        baseline = {"LeNet": _row(100.0, 50.0), "PPO": _row(70.0)}
+        current = {"LeNet": _row(99.0, 50.0), "PPO": _row(10.0)}
+        # PPO has no imperative column: it cannot be ratio-gated, and
+        # its (huge) absolute drop must not fail the relative gate.
+        assert _run(tmp_path, baseline, [current], ["--relative"]) == 0
+        assert _run(tmp_path, baseline, [current]) == 1
+
+    def test_no_shared_ratio_models_is_usage_error(self, tmp_path):
+        baseline = {"LeNet": _row(100.0)}
+        current = {"LeNet": _row(100.0)}
+        assert _run(tmp_path, baseline, [current], ["--relative"]) == 2
+
+
+class TestAbsoluteGateStillWorks:
+    def test_pass_and_fail(self, tmp_path):
+        baseline = {"LeNet": _row(100.0, 50.0)}
+        assert _run(tmp_path, baseline, [{"LeNet": _row(95.0, 50.0)}]) == 0
+        assert _run(tmp_path, baseline, [{"LeNet": _row(85.0, 50.0)}]) == 1
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        baseline = {"LeNet": _row(100.0)}
+        argv = ["--baseline", _write(tmp_path, "baseline.json", baseline),
+                "--current", str(tmp_path / "nope.json")]
+        assert check_regression.main(argv) == 2
+
+    def test_median_of_runs(self, tmp_path):
+        baseline = {"LeNet": _row(100.0)}
+        runs = [{"LeNet": _row(95.0)}, {"LeNet": _row(50.0)},
+                {"LeNet": _row(97.0)}]
+        assert _run(tmp_path, baseline, runs) == 0

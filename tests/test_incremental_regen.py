@@ -15,6 +15,7 @@ import pytest
 
 import repro as R
 from repro import janus
+from repro.janus.fragments import Fragment, FragmentCache, FragmentRecorder
 from repro.observability import COUNTERS
 
 
@@ -219,3 +220,95 @@ class TestFragmentReuse:
             f(x, gate)
             outs[incremental] = f(x, gate).numpy()
         assert np.array_equal(outs[True], outs[False])
+
+
+class TestFragmentCacheMechanics:
+    def _frag(self, key="site"):
+        return Fragment("cond", key, FragmentRecorder(), {}, [])
+
+    def test_variant_list_is_mru_bounded(self):
+        cache = FragmentCache()
+        frags = [self._frag() for _ in range(FragmentCache.MAX_VARIANTS + 3)]
+        for frag in frags:
+            cache.store("site", frag)
+        # Newest first, oldest evicted, bound respected.
+        assert len(cache) == FragmentCache.MAX_VARIANTS
+        expect = list(reversed(frags))[:FragmentCache.MAX_VARIANTS]
+        assert list(cache.lookup("site")) == expect
+        assert cache.stats["stores"] == len(frags)
+
+    def test_touch_moves_variant_to_front(self):
+        cache = FragmentCache()
+        a, b, c = self._frag(), self._frag(), self._frag()
+        for frag in (a, b, c):
+            cache.store("site", frag)
+        assert list(cache.lookup("site")) == [c, b, a]
+        cache.touch("site", a)                 # hit on the oldest variant
+        assert list(cache.lookup("site")) == [a, c, b]
+        assert cache.stats["hits"] == 1
+        # A touch for a fragment that was already evicted is a no-op.
+        ghost = self._frag()
+        cache.touch("site", ghost)
+        assert list(cache.lookup("site")) == [a, c, b]
+
+    def test_keys_are_independent(self):
+        cache = FragmentCache()
+        one, two = self._frag("one"), self._frag("two")
+        cache.store("one", one)
+        cache.store("two", two)
+        assert list(cache.lookup("one")) == [one]
+        assert list(cache.lookup("two")) == [two]
+        assert cache.lookup("absent") == ()
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_build_time_container_mutation_poisons_fragment(self):
+        """A region whose conversion mutated a symbolic container must
+        never be cached: splicing it back would skip the mutation replay.
+
+        The appends here are arm-local (the list is created inside the
+        dynamic branch arm and consumed there, via an unrolled loop), so
+        the program is convertible and bit-exact — but the build-time
+        ``SymSeq.append`` still poisons the active cond recorder.
+        """
+        cfg = strict(incremental_regeneration=True)
+        knob = type("K", (), {})()
+        knob.gain = 1.0
+
+        @janus.function(config=cfg)
+        def f(x, gate):
+            h = R.tanh(x * knob.gain)
+            if R.reduce_sum(gate) > 0.0:
+                acc = [h * 2.0]
+                for _k in range(2):
+                    acc.append(acc[-1] * 2.0)
+                y = acc[0] + acc[-1]
+            else:
+                y = h * 0.5
+            return y
+
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        # Alternating gate signs: the branch converts as a dynamic cond,
+        # which would normally record a reusable fragment — but the true
+        # arm's appends poison the recorder.
+        for k in range(5):
+            sign = 1.0 if k % 2 == 0 else -1.0
+            gate_k = R.constant(np.full(1, sign * (1.0 + k), np.float32))
+            out = f(x, gate_k)
+            assert np.array_equal(out.numpy(), f.func(x, gate_k).numpy())
+        assert f.stats["graphs_generated"] == 1
+        assert len(f._fragment_cache) == 0     # poisoned, not stored
+
+        knob.gain = 2.0                        # dirty only the prologue
+        gate = R.constant(np.ones(1, np.float32))
+        f(x, gate)                             # fallback + relax
+        assert f.stats["fallbacks"] == 1
+
+        before = counters()
+        out = f(x, gate)                       # regeneration: no splice
+        assert delta(before, "graphgen.fragments_reused") == 0
+        assert delta(before, "graphgen.fragments_reconverted") >= 1
+        assert np.array_equal(out.numpy(), f.func(x, gate).numpy())
+        neg = R.constant(-np.ones(1, np.float32))
+        assert np.array_equal(f(x, neg).numpy(), f.func(x, neg).numpy())

@@ -176,6 +176,32 @@ class TestChromeTraceExport:
         assert "fallback" in summary
         assert "pass" in summary
 
+    def test_text_summary_always_reports_write_barrier_block(self):
+        """The memo/write-barrier counters print even at zero: a zero
+        memo_hit row on a tensor-attr workload is itself the signal."""
+        summary = obs.text_summary(tracer=Tracer(level=1),
+                                   counters=CounterRegistry())
+        assert "-- heap-read memo / write barrier --" in summary
+        for name in ("executor.memo_hit", "executor.memo_stale",
+                     "tensor.cow_copies"):
+            assert name in summary
+
+    def test_write_barrier_counters_not_duplicated_in_generic_block(self):
+        counters = CounterRegistry()
+        counters.inc("executor.memo_hit", 7)
+        counters.inc("executor.memo_stale", 2)
+        counters.inc("tensor.cow_copies", 1)
+        counters.inc("eager.dispatches", 3)
+        summary = obs.text_summary(tracer=Tracer(level=1),
+                                   counters=counters)
+        assert summary.count("executor.memo_hit") == 1
+        assert summary.count("tensor.cow_copies") == 1
+        barrier_block = summary.split(
+            "-- heap-read memo / write barrier --")[1]
+        generic_block = barrier_block.split("-- counters --")[1]
+        assert "executor.memo_hit" not in generic_block
+        assert "eager.dispatches" in generic_block
+
 
 class Holder:
     def __init__(self):
@@ -199,6 +225,25 @@ class TestJanusLifecycleEvents:
         assert counts.get("cache_store", 0) == 1
         assert counts.get("cache_hit", 0) >= 2
         assert counts.get("op", 0) >= 1          # per-run spans at level 1
+
+    def test_memo_hit_counter_flows_from_traced_runs_to_summary(self):
+        obs.clear()
+        obs.set_trace_level(1)
+        holder = Holder()
+        holder.weights = R.constant(np.arange(4, dtype=np.float32))
+
+        @janus.function(config=strict(parallel_execution=False))
+        def f(x):
+            return R.reduce_sum(x * holder.weights)
+
+        before = obs.COUNTERS.get("executor.memo_hit")
+        for _ in range(8):
+            f(R.constant(np.ones(4, np.float32)))
+        assert f.stats["graph_runs"] > 1
+        hits = obs.COUNTERS.get("executor.memo_hit") - before
+        assert hits > 0                          # steady-state heap reads
+        summary = obs.text_summary()
+        assert "executor.memo_hit" in summary
 
     def test_forced_fallback_names_failing_guard(self):
         obs.clear()

@@ -1,0 +1,358 @@
+"""Differential mutation-guard suite for the tensor write barrier.
+
+The write barrier lets the executor's identity memo cover heap Tensor
+reads: a sealed ``TensorValue`` cannot change content without bumping
+its ``version``, so a guarded ``py_get_attr`` read that sees the same
+``(identity, version)`` pair skips re-internalization entirely.  That
+optimization is only sound if *every* way a program can change the
+value a graph speculated on is either caught by a guard or flows
+through legitimately (live-buffer aliasing for unsealed arrays,
+``var_read`` for Variables).
+
+This suite checks exactly that, differentially: a seeded generator
+builds small programs over a heap model object — mixing Tensor
+attributes, raw ndarray attributes, aliased attributes, burned scalar
+attributes, Variables, and input-dependent branches — runs them under
+``janus.function``, then interleaves randomized mutations (in-place
+ndarray writes, sanctioned ``Tensor.add_``, same-shape and
+shape-changing attribute rebinding, scalar rebinding, Variable
+assignment, branch-direction flips) between calls.  After every call
+the JANUS result must match the pure imperative oracle (``f.func``)
+bit-for-bit, and every mutation of guarded state must trip a guard
+(``fallbacks``) or stale the memo (``executor.memo_stale``).
+
+The full matrix runs barrier on/off x ``incremental_regeneration``
+on/off: ``SEEDS`` programs per arm, 4 arms, >= 200 programs total.
+With the barrier off, tensor-content mutations legitimately produce no
+guard signal (nothing was memoized or sealed), so only the
+spec/constant guards are asserted there — equality is asserted
+everywhere, always.
+"""
+
+import linecache
+import random
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from repro.observability import COUNTERS, clear, set_trace_level, trace_level
+from repro.tensor import TensorValue, set_write_barrier
+
+#: Generated programs per matrix arm; 4 arms -> >= 200 programs total.
+SEEDS = 52
+
+MATRIX = pytest.mark.parametrize(
+    "barrier,incremental",
+    [(True, True), (True, False), (False, True), (False, False)],
+    ids=["barrier-incr", "barrier-full", "nobarrier-incr", "nobarrier-full"])
+
+
+def counters():
+    return dict(COUNTERS.snapshot()["counters"])
+
+
+def delta(before, key):
+    return counters().get(key, 0) - before.get(key, 0)
+
+
+@pytest.fixture(autouse=True)
+def _traced():
+    # The executor flushes its memo tallies to COUNTERS only on traced
+    # runs; level 1 is the cheap lifecycle tier.
+    prev = trace_level()
+    set_trace_level(max(prev, 1))
+    try:
+        yield
+    finally:
+        set_trace_level(prev)
+        clear()
+
+
+@pytest.fixture
+def _barrier(request):
+    yield
+
+
+# -- program generator -------------------------------------------------------
+
+class _Model:
+    """Heap object whose attributes the generated programs read."""
+
+
+#: Statement pool, keyed by the attribute each statement exercises.
+_STMTS = {
+    "t":    "    y = y + m.t",
+    "t2":   "    y = y * m.t2",
+    "w":    "    y = y + m.w",
+    "gain": "    y = y * m.gain",
+    "var":  "    y = y + m.var.value()",
+}
+
+_BRANCH = [
+    "    if R.reduce_sum(x) > 0.0:",
+    "        y = y * 2.0",
+    "    else:",
+    "        y = y - 1.0",
+]
+
+
+def _vec(nprng, n=4):
+    return nprng.normal(size=(n,)).astype(np.float32)
+
+
+def _gen_program(seed, tag):
+    """One random program + its heap model, with retrievable source.
+
+    JANUS converts from the AST, so ``inspect.getsource`` must work on
+    the generated function: the source is registered in ``linecache``
+    under a ``<...>`` filename (the doctest trick) before ``exec``.
+    Returns ``(prog, model, used_kinds, has_branch, filename)``.
+    """
+    rng = random.Random(seed)
+    nprng = np.random.default_rng(10_000 + seed)
+
+    kinds = sorted(_STMTS)
+    rng.shuffle(kinds)
+    used = kinds[:rng.randint(2, 4)]
+    body = [_STMTS[k] for k in used]
+    rng.shuffle(body)
+    has_branch = rng.random() < 0.5
+    lines = ["def prog(x):", "    y = x * 1.0"] + body
+    if has_branch:
+        lines += _BRANCH
+    lines.append("    return R.reduce_sum(y * y)")
+    src = "\n".join(lines) + "\n"
+
+    m = _Model()
+    m.w = _vec(nprng)
+    m.t = R.constant(_vec(nprng))
+    # Aliasing: sometimes both Tensor attributes are the same object,
+    # so two read sites share one TensorValue.
+    if "t" in used and "t2" in used and rng.random() < 0.4:
+        m.t2 = m.t
+    else:
+        m.t2 = R.constant(_vec(nprng))
+    m.gain = float(round(rng.uniform(0.5, 2.0), 3))
+    m.var = R.Variable(_vec(nprng))
+
+    filename = "<wbdiff-%s-%d>" % (tag, seed)
+    linecache.cache[filename] = (len(src), None, src.splitlines(True),
+                                 filename)
+    ns = {"R": R, "m": m}
+    exec(compile(src, filename, "exec"), ns)
+    return ns["prog"], m, used, has_branch, filename
+
+
+# -- mutations ---------------------------------------------------------------
+
+#: Kinds whose mutation must produce a guard/stale signal when the
+#: barrier is ON (tensor reads memoized + sealed).
+_GUARDED_ON = {"t_inplace", "t_rebind_same", "t_rebind_shape", "t2_rebind",
+               "gain_change", "x_flip"}
+#: With the barrier OFF tensor reads are re-internalized every run, so
+#: only spec guards (shape change), burned constants, and branch
+#: assertions still fire.
+_GUARDED_OFF = {"t_rebind_shape", "gain_change", "x_flip"}
+
+
+def _mutation_pool(used, has_branch):
+    pool = []
+    if "w" in used:
+        pool.append("w_inplace")
+    if "t" in used:
+        pool += ["t_inplace", "t_rebind_same", "t_rebind_shape"]
+    if "t2" in used:
+        pool.append("t2_rebind")
+    if "gain" in used:
+        pool.append("gain_change")
+    if "var" in used:
+        pool.append("var_assign")
+    if has_branch:
+        pool.append("x_flip")
+    return pool
+
+
+def _apply_mutation(kind, m, nprng, state):
+    if kind == "w_inplace":
+        m.w[int(nprng.integers(0, m.w.shape[0]))] += 0.75
+    elif kind == "t_inplace":
+        m.t.add_(1.25)
+    elif kind == "t_rebind_same":
+        m.t = R.constant(_vec(nprng, m.t.value.array.shape[0]))
+    elif kind == "t_rebind_shape":
+        # (4,) -> (1,): still broadcastable, so the imperative oracle
+        # stays well-defined while the concrete shape guard breaks.
+        m.t = R.constant(_vec(nprng, 1))
+    elif kind == "t2_rebind":
+        m.t2 = R.constant(_vec(nprng))
+    elif kind == "gain_change":
+        m.gain = float(round(m.gain + 0.375, 3))
+    elif kind == "var_assign":
+        m.var.assign(R.constant(_vec(nprng)))
+    elif kind == "x_flip":
+        state["x"] = state["x_neg"]
+    else:  # pragma: no cover - generator bug
+        raise AssertionError(kind)
+
+
+# -- the differential run ----------------------------------------------------
+
+def _assert_matches_oracle(f, out, x, ctx):
+    expect = f.func(x)
+    assert np.array_equal(out.numpy(), expect.numpy()), ctx
+
+
+def _run_program(seed, tag, barrier, incremental):
+    prog, m, used, has_branch, filename = _gen_program(seed, tag)
+    rng = random.Random(7_000 + seed)
+    nprng = np.random.default_rng(20_000 + seed)
+    cfg = janus.JanusConfig(fail_on_not_convertible=True,
+                            parallel_execution=False,
+                            profile_runs=2,
+                            incremental_regeneration=incremental,
+                            tensor_write_barrier=barrier)
+    f = janus.function(config=cfg)(prog)
+
+    x_pos = R.constant(np.abs(_vec(nprng)) + 0.1)
+    state = {"x": x_pos, "x_neg": R.constant(-(x_pos.numpy()))}
+
+    try:
+        # Warm: profile, generate, and get at least one real graph run
+        # with a stable branch direction.
+        for k in range(4):
+            out = f(state["x"])
+            _assert_matches_oracle(f, out, state["x"],
+                                   (seed, "warm", k, barrier, incremental))
+        assert f.stats["graph_runs"] > 0, (seed, f.stats)
+
+        tracked_after_warm = m.t.value.tracked if "t" in used else None
+
+        pool = _mutation_pool(used, has_branch)
+        rng.shuffle(pool)
+        required = _GUARDED_ON if barrier else _GUARDED_OFF
+        for kind in pool[:rng.randint(1, min(3, len(pool)))]:
+            before_counters = counters()
+            before_fallbacks = f.stats["fallbacks"]
+            before_generated = f.stats["graphs_generated"]
+            _apply_mutation(kind, m, nprng, state)
+            # Two calls: the first absorbs any guard trip + fallback,
+            # the second runs (and flushes) the regenerated graph.
+            for k in range(2):
+                out = f(state["x"])
+                _assert_matches_oracle(
+                    f, out, state["x"],
+                    (seed, kind, k, barrier, incremental))
+            # A caught mutation shows up as a runtime fallback, a stale
+            # memo transition, or a re-specialization (bound-arg
+            # prechecks reroute to a fresh graph before any assert op
+            # can fire — still the guard machinery catching it).
+            signal = (f.stats["fallbacks"] - before_fallbacks
+                      + f.stats["graphs_generated"] - before_generated
+                      + delta(before_counters, "executor.memo_stale"))
+            if kind in required:
+                assert signal >= 1, (seed, kind, barrier, incremental,
+                                     f.stats)
+    finally:
+        linecache.cache.pop(filename, None)
+    return tracked_after_warm
+
+
+@MATRIX
+def test_generated_programs_match_imperative(barrier, incremental):
+    prev = set_write_barrier(barrier)
+    before = counters()
+    tracked_any = False
+    try:
+        for seed in range(SEEDS):
+            tracked = _run_program(
+                seed, "%s-%s" % (int(barrier), int(incremental)),
+                barrier, incremental)
+            tracked_any = tracked_any or bool(tracked)
+    finally:
+        set_write_barrier(prev)
+
+    if barrier:
+        # The memo must actually engage across the arm: hits on steady
+        # state, stale transitions on mutations, and at least one
+        # program whose Tensor attribute got sealed.
+        assert delta(before, "executor.memo_hit") > 0
+        assert delta(before, "executor.memo_stale") > 0
+        assert tracked_any
+    else:
+        # Nothing is sealed, so no copy-on-write can ever trigger and
+        # no Tensor attribute may end up tracked.
+        assert delta(before, "tensor.cow_copies") == 0
+        assert not tracked_any
+
+
+# -- targeted mechanics ------------------------------------------------------
+
+class TestWriteBarrierMechanics:
+    def test_track_seals_and_direct_write_raises(self):
+        tv = TensorValue.of(np.arange(4, dtype=np.float32))
+        assert tv.track()
+        assert tv.tracked
+        assert not tv.array.flags.writeable
+        with pytest.raises(ValueError):
+            tv.array[0] = 9.0
+
+    def test_track_refuses_views(self):
+        base = np.arange(8, dtype=np.float32)
+        tv = TensorValue(base[2:6])
+        assert not tv.track()
+        assert tv.array.flags.writeable
+
+    def test_inplace_write_on_sealed_copies_and_bumps_version(self):
+        tv = TensorValue.of(np.arange(4, dtype=np.float32))
+        tv.track()
+        sealed = tv.array
+        tv.inplace_write(lambda dst: np.add(dst, 1.0, out=dst))
+        assert tv.version == 1
+        assert tv.array is not sealed                  # copy-on-write
+        assert tv.array.flags.writeable
+        assert np.array_equal(sealed, np.arange(4, dtype=np.float32))
+        assert np.array_equal(tv.array, np.arange(4, dtype=np.float32) + 1)
+
+    def test_inplace_write_unsealed_mutates_in_place(self):
+        tv = TensorValue.of(np.arange(4, dtype=np.float32))
+        buf = tv.array
+        tv.inplace_write(lambda dst: np.add(dst, 1.0, out=dst))
+        assert tv.array is buf
+        assert tv.version == 1
+
+    def test_barrier_off_never_tracks(self):
+        prev = set_write_barrier(False)
+        try:
+            tv = TensorValue.of(np.arange(4, dtype=np.float32))
+            assert not tv.track()
+            assert tv.array.flags.writeable
+        finally:
+            set_write_barrier(prev)
+
+    def test_copy_is_private_and_writable(self):
+        tv = TensorValue.of(np.arange(4, dtype=np.float32))
+        tv.track()
+        dup = tv.copy()
+        assert not dup.tracked
+        assert dup.array.flags.writeable
+        dup.array[0] = 5.0                             # no ValueError
+
+    def test_eager_inplace_ops_bump_version_and_match_numpy(self):
+        t = R.constant(np.arange(4, dtype=np.float32))
+        t.add_(1.0).mul_(2.0).sub_(0.5)
+        assert t.value.version == 3
+        expect = (np.arange(4, dtype=np.float32) + 1.0) * 2.0 - 0.5
+        assert np.array_equal(t.numpy(), expect)
+        t.assign_(np.zeros(4, np.float32))
+        assert t.value.version == 4
+        assert np.array_equal(t.numpy(), np.zeros(4, np.float32))
+
+    def test_variable_assign_bumps_variable_version(self):
+        v = R.Variable(np.arange(4, dtype=np.float32))
+        assert v.version == 0
+        v.assign(R.constant(np.ones(4, np.float32)))
+        assert v.version == 1
+        v.assign_add(R.constant(np.ones(4, np.float32)))
+        assert v.version == 2
