@@ -3,11 +3,14 @@
 #   make test        - the tier-1 test suite
 #   make trace-demo  - run a traced training loop, write trace.json,
 #                      print the text summary (docs/observability.md)
+#   make stats-demo  - run the demo with metrics/health on, save a
+#                      janus-stats bundle, and smoke-check the report
 #   make bench       - regenerate the paper-evaluation tables/figures
 #   make bench-check - run Table 3 three times and fail on >10% median
 #                      regression vs benchmarks/results/baseline_table3.json
 #                      (absolute JANUS throughput, then the host-drift-
-#                      immune JANUS/imperative ratio)
+#                      immune JANUS/imperative ratio), then gate level-0
+#                      observability overhead (<2% of the quickstart step)
 #   make ci          - tier-1 tests + the gated benchmark (what CI runs)
 
 PYTHON ?= python
@@ -21,7 +24,11 @@ GATE_LABELS := $(shell seq 1 $(GATE_RUNS))
 GATE_FILES := $(foreach n,$(GATE_LABELS),\
 	benchmarks/results/table3_throughput-gate-run$(n).json)
 
-.PHONY: test test-differential trace-demo bench bench-check ci
+.PHONY: test test-differential trace-demo stats-demo bench bench-check ci
+
+#: Where the stats-demo smoke step writes its artifacts (kept out of the
+#: repo tree so gate runs never leave untracked files behind).
+STATS_DEMO_DIR ?= /tmp/janus-stats-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +43,21 @@ test-differential:
 trace-demo:
 	JANUS_TRACE=2 $(PYTHON) -m repro.observability.demo --out trace.json
 
+# Speculation-health smoke: the demo must produce a health table and
+# non-zero histogram counts in its summary, and the saved stats bundle
+# must satisfy `janus-stats --check` (wired into CI).
+stats-demo:
+	mkdir -p $(STATS_DEMO_DIR)
+	JANUS_TRACE=2 JANUS_METRICS=1 $(PYTHON) -m repro.observability.demo \
+		--out $(STATS_DEMO_DIR)/trace.json \
+		--stats-out $(STATS_DEMO_DIR)/stats.json \
+		> $(STATS_DEMO_DIR)/summary.txt
+	cat $(STATS_DEMO_DIR)/summary.txt
+	grep -q -- "-- speculation health --" $(STATS_DEMO_DIR)/summary.txt
+	grep -q -- "-- latency histograms --" $(STATS_DEMO_DIR)/summary.txt
+	$(PYTHON) -m repro.observability.stats \
+		--input $(STATS_DEMO_DIR)/stats.json --check > /dev/null
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -48,5 +70,6 @@ bench-check:
 	$(PYTHON) benchmarks/check_regression.py --current $(GATE_FILES)
 	$(PYTHON) benchmarks/check_regression.py --relative \
 		--current $(GATE_FILES)
+	$(PYTHON) benchmarks/bench_observability_overhead.py --check
 
 ci: test bench-check

@@ -129,6 +129,17 @@ def main(argv=None):
     if regressions:
         print("\nFAIL: %d model(s) regressed more than %.0f%% on %s"
               % (len(regressions), args.threshold * 100, metric_name))
+        with open(args.baseline) as fh:
+            meta = json.load(fh).get("meta", {})
+        print("compared against baseline %s (label: %s)"
+              % (args.baseline, meta.get("label", "unlabelled")))
+        if meta.get("note"):
+            print("baseline note: %s" % meta["note"])
+        if args.relative:
+            print("the ratio gate reuses this baseline's 'imperative' "
+                  "column: if this PR deliberately changed the eager "
+                  "path, re-measure the baseline in the same PR "
+                  "(see ROADMAP.md, relative-gate baseline)")
         return 1
     print("\nOK: no regression beyond %.0f%% on %s (%d models compared)"
           % (args.threshold * 100, metric_name, len(shared)))

@@ -25,7 +25,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 import numpy as np
 
 from ..errors import AssumptionFailed, ExecutionError, GraphError
-from ..observability import COUNTERS, TRACER
+from ..observability import COUNTERS, METRICS, TRACER
 from ..tensor import TensorValue, PyRef
 
 _POOL_LOCK = threading.Lock()
@@ -364,7 +364,8 @@ class GraphExecutor:
 
         def run_get(values, run_state, fetch=fetch, local_key=local_key,
                     check=check, memo=memo, counts=counts,
-                    out_slot=out_slot):
+                    out_slot=out_slot, metrics=METRICS,
+                    perf=time.perf_counter):
             raw = run_state.py_local.get(local_key)
             if raw is None:
                 raw = run_state.py_read_cache.get(local_key)
@@ -393,7 +394,15 @@ class GraphExecutor:
                     if raw is None:
                         raw = internalize(value)
                         if check is not None:
-                            check(raw)
+                            if metrics.enabled:
+                                guard_start = perf()
+                                try:
+                                    check(raw)
+                                finally:
+                                    metrics.observe("guard.check",
+                                                    perf() - guard_start)
+                            else:
+                                check(raw)
                         t = type(value)
                         if t in memo_safe:
                             memo[0] = value
@@ -492,8 +501,8 @@ class GraphExecutor:
         top_level = run_state is None
         if top_level:
             run_state = RunState()
-        run_start = time.perf_counter() if (top_level and TRACER.level) \
-            else 0.0
+        run_start = time.perf_counter() \
+            if (top_level and (TRACER.level or METRICS.enabled)) else 0.0
         values = [None] * self._slot_count
         ph_slots = self._ph_slot_order
         if len(feeds) != len(ph_slots):
@@ -533,6 +542,9 @@ class GraphExecutor:
                                 time.perf_counter() - run_start,
                                 instructions=len(self._instructions),
                                 parallel=self.parallel)
+            if METRICS.enabled and run_start:
+                METRICS.observe("graph.run",
+                                time.perf_counter() - run_start)
         return outputs
 
     def _run_traced(self, values, run_state):
@@ -668,7 +680,16 @@ class GraphExecutor:
                 raw = _internalize(getattr(obj, key) if kind == "attr"
                                    else obj[key])
                 if check is not None:
-                    check(raw)
+                    if METRICS.enabled:
+                        guard_start = time.perf_counter()
+                        try:
+                            check(raw)
+                        finally:
+                            METRICS.observe(
+                                "guard.check",
+                                time.perf_counter() - guard_start)
+                    else:
+                        check(raw)
                 run_state.py_read_cache[local_key] = raw
         values[out_slot] = raw
 

@@ -9,8 +9,10 @@ exactly the cost JANUS amortizes by converting programs to symbolic graphs.
 
 import numpy as np
 
+import time
+
 from ..errors import DTypeError
-from ..observability import COUNTERS, TRACER
+from ..observability import COUNTERS, METRICS, TRACER
 from ..tensor import TensorValue
 from ..ops.dispatch import ExecutionContext, set_default_context
 from . import tape as tape_module
@@ -223,11 +225,13 @@ class EagerContext(ExecutionContext):
         return variable.value()
 
     def execute(self, op_def, inputs, attrs):
-        # One attribute load + integer compare when tracing is off: the
-        # eager dispatch path stays as hot as before.
+        # One attribute load + truth test per gate when tracing and
+        # metrics are off: the eager dispatch path stays as hot as
+        # before.
         if TRACER.level:
             COUNTERS.inc("eager.dispatch")
             COUNTERS.inc("eager.dispatch." + op_def.name)
+        dispatch_start = time.perf_counter() if METRICS.enabled else 0.0
         arrays = [t.value.array for t in inputs]
         result = op_def.kernel(attrs, *arrays)
         if isinstance(result, tuple):
@@ -239,6 +243,9 @@ class EagerContext(ExecutionContext):
             out_list = [outputs]
         if op_def.differentiable:
             tape_module.record_operation(op_def, attrs, inputs, out_list)
+        if dispatch_start:
+            METRICS.observe("eager.dispatch",
+                            time.perf_counter() - dispatch_start)
         return outputs
 
 

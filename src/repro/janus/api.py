@@ -21,10 +21,11 @@ automatic differentiation (section 3).
 """
 
 import functools
+import time
 
 from ..errors import AssumptionFailed, NotConvertible
 from ..imperative.tape import GradientTape
-from ..observability import TRACER, override_level
+from ..observability import HEALTH, METRICS, TRACER, override_level
 from .cache import CacheEntry, GraphCache
 from .compiled import RegenerationSeed, compile_generated
 from .config import get_config
@@ -58,6 +59,11 @@ class JanusFunction:
             "fallbacks": 0, "graphs_generated": 0,
         }
         functools.update_wrapper(self, func)
+        # Speculation-health attribution (populated only while METRICS
+        # is enabled): the profiler and cache report relaxations and
+        # churn under this function's name.
+        self.profiler.owner = self.__name__
+        self.cache.owner = self.__name__
 
     # -- configuration -----------------------------------------------------
 
@@ -83,20 +89,28 @@ class JanusFunction:
     def _call(self, args):
         args = tuple(_ensure_tensor(a) for a in args)
         self.stats["calls"] += 1
+        health = HEALTH.function(self.__name__) if METRICS.enabled \
+            else None
+        if health is not None:
+            health.record_call()
         if self.imperative_only:
+            if health is not None:
+                health.record_imperative_run()
             return self._run_imperative(args, profile=False)
         if self.profiler.runs < self.config.profile_runs:
+            if health is not None:
+                health.record_profile_run()
             return self._run_imperative(args, profile=True)
 
         signature = self.cache.signature_of(args)
         entry = self.cache.lookup(signature)
         if entry is not None and not entry.dirty:
-            if entry.compiled.check_preconditions(args):
+            if self._checked_preconditions(entry.compiled, args):
                 self.cache.record_hit(entry)
                 if TRACER.level:
                     TRACER.instant("cache_hit", self.__name__,
                                    hits=entry.hits)
-                return self._run_graph(entry, args, signature)
+                return self._run_graph(entry, args, signature, health)
             # Cache miss on precheck: relax + regenerate on the next call.
             self.cache.record_miss(entry)
             if TRACER.level:
@@ -104,6 +118,8 @@ class JanusFunction:
                                reason="precheck_failed")
             self._retire_entry(signature)
             self.profiler.record_args(list(args))
+            if health is not None:
+                health.record_profile_run()
             return self._run_imperative(args, profile=True)
 
         if TRACER.level:
@@ -111,17 +127,34 @@ class JanusFunction:
                            reason="no_entry", signature=repr(signature))
         compiled = self._generate(signature)
         if compiled is None:
+            if health is not None:
+                health.record_imperative_only()
+                health.record_imperative_run()
             return self._run_imperative(args, profile=False)
         entry = CacheEntry(compiled)
         self.cache.max_entries = self.config.graph_cache_entries
         self.cache.store(signature, entry)
         self.stats["graphs_generated"] += 1
-        if not compiled.check_preconditions(args):
+        if not self._checked_preconditions(compiled, args):
             self.cache.record_miss(entry)
             self.profiler.record_args(list(args))
+            if health is not None:
+                health.record_profile_run()
             return self._run_imperative(args, profile=True)
         self.cache.record_hit(entry)
-        return self._run_graph(entry, args, signature)
+        return self._run_graph(entry, args, signature, health)
+
+    @staticmethod
+    def _checked_preconditions(compiled, args):
+        """Run the entry's precheck, timing it when metrics are on."""
+        if not METRICS.enabled:
+            return compiled.check_preconditions(args)
+        start = time.perf_counter()
+        try:
+            return compiled.check_preconditions(args)
+        finally:
+            METRICS.observe("guard.precheck",
+                            time.perf_counter() - start)
 
     def _retire_entry(self, signature):
         """Invalidate a cache entry, keeping its artifact as a seed.
@@ -142,8 +175,10 @@ class JanusFunction:
         None when the function is imperative-only).  Conversion and
         executor compilation happen together, inside one ``graphgen``
         span — the compile-once point of the pipeline."""
+        regeneration = self.stats["graphs_generated"] > 0
+        gen_start = time.perf_counter() if METRICS.enabled else 0.0
         with TRACER.span("graphgen", self.__name__,
-                         regeneration=self.stats["graphs_generated"] > 0):
+                         regeneration=regeneration):
             try:
                 incremental = self.config.incremental_regeneration
                 seed = self.cache.take_seed(signature) \
@@ -162,8 +197,15 @@ class JanusFunction:
                 # recorded during THIS conversion (which legitimately
                 # depend on the now-relaxed sites) be reused next time.
                 self._dirty_sites.clear()
-                return compile_generated(generated, self.config,
-                                         signature=signature)
+                compiled = compile_generated(generated, self.config,
+                                             signature=signature)
+                if gen_start:
+                    elapsed = time.perf_counter() - gen_start
+                    METRICS.observe("graphgen.recompile" if regeneration
+                                    else "graphgen.initial", elapsed)
+                    HEALTH.function(self.__name__).record_generation(
+                        elapsed, regeneration)
+                return compiled
             except NotConvertible as exc:
                 # Figure 2 (C): permanently imperative-only.
                 self.imperative_only = True
@@ -176,7 +218,7 @@ class JanusFunction:
                     raise
                 return None
 
-    def _run_graph(self, entry, args, signature):
+    def _run_graph(self, entry, args, signature, health=None):
         compiled = entry.compiled
         feeds = compiled.bind_feeds(args)
         try:
@@ -192,10 +234,24 @@ class JanusFunction:
                                guard=str(exc), site=repr(exc.site))
                 TRACER.instant("fallback", self.__name__,
                                reason="assumption_failed", guard=str(exc))
+            site, kind = _failure_site(exc)
+            if health is not None:
+                health.record_failure(site, kind=kind, guard=str(exc))
             self._relax(exc)
             self._retire_entry(signature)
-            return self._run_imperative(args, profile=True)
+            # The measured fallback cost: the imperative re-run this
+            # guard failure forced (attributed to the failing site).
+            fallback_start = time.perf_counter() if health is not None \
+                else 0.0
+            result = self._run_imperative(args, profile=True)
+            if health is not None:
+                elapsed = time.perf_counter() - fallback_start
+                METRICS.observe("fallback.imperative", elapsed)
+                health.record_fallback(site, elapsed, kind=kind)
+            return result
         self.stats["graph_runs"] += 1
+        if health is not None:
+            health.record_graph_run()
         return compiled.repack_outputs(flat)
 
     def _relax(self, failure):
@@ -258,6 +314,21 @@ class _BoundJanusFunction:
 
     def __getattr__(self, name):
         return getattr(self._jf, name)
+
+
+def _failure_site(failure):
+    """``(site, assumption kind)`` behind an AssumptionFailed payload.
+
+    Guard closures raise with ``site=(kind, profiler_site)`` when the
+    node carries a profiler site, else with the debug-name string; the
+    health model keys on the profiler site so failures, relaxations,
+    and fragment reuse all land on the same row.
+    """
+    site = failure.site
+    if isinstance(site, tuple) and len(site) == 2:
+        kind, prof_site = site
+        return prof_site, kind
+    return site, None
 
 
 def _ensure_tensor(value):

@@ -26,7 +26,7 @@ precheck result); see :mod:`repro.observability`.
 
 from collections import OrderedDict
 
-from ..observability import COUNTERS, TRACER
+from ..observability import COUNTERS, HEALTH, METRICS, TRACER
 
 
 class CacheEntry:
@@ -58,6 +58,9 @@ class GraphCache:
     MAX_SEEDS = 8
 
     def __init__(self, max_entries=None):
+        #: Owning janus.function name for health attribution (set by
+        #: the JanusFunction constructor; None for standalone use).
+        self.owner = None
         self._entries = OrderedDict()
         #: signature -> RegenerationSeed left behind by the invalidated
         #: entry for that signature; consumed by the next regeneration.
@@ -118,6 +121,8 @@ class GraphCache:
                 evicted_sig, evicted = self._entries.popitem(last=False)
                 self.evictions += 1
                 COUNTERS.inc("cache.evictions")
+                if METRICS.enabled and self.owner is not None:
+                    HEALTH.function(self.owner).record_cache_eviction()
                 if TRACER.level:
                     TRACER.instant("cache_evict",
                                    evicted.generated.graph.name,
@@ -133,6 +138,8 @@ class GraphCache:
         if entry is not None:
             self.invalidations += 1
             COUNTERS.inc("cache.invalidations")
+            if METRICS.enabled and self.owner is not None:
+                HEALTH.function(self.owner).record_cache_invalidation()
             if TRACER.level:
                 TRACER.instant("cache_invalidate",
                                entry.generated.graph.name,

@@ -74,11 +74,18 @@ def value_digest(value, keep=None, depth=0):
     if isinstance(value, (Tensor, TensorValue, np.ndarray)):
         tv = value.value if isinstance(value, Tensor) \
             else value if isinstance(value, TensorValue) else None
-        if tv is not None and tv.tracked:
+        if tv is not None and (tv.tracked or tv.track()):
             # Write-barrier fast path: a sealed TensorValue cannot
             # change content under an unchanged (identity, version)
             # pair, so the version stamp replaces content hashing.
-            # Pinned for the same id-reuse reason as the slow path.
+            # Untracked but trackable values are sealed *here* so the
+            # digest kind never flips untracked→tracked between
+            # generations (a flip would reject every fragment depending
+            # on the value once on the first regeneration after
+            # sealing, despite identical content).  ``track()`` refuses
+            # views/borrowed buffers/barrier-off, which keep content
+            # digests consistently.  Pinned for the same id-reuse
+            # reason as the slow path.
             if keep is not None:
                 keep.append(tv)
             return ("tvv", id(tv), tv.version)

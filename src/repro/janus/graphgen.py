@@ -36,6 +36,7 @@ import types
 import numpy as np
 
 from ..errors import NotConvertible
+from ..observability import HEALTH, METRICS
 from ..graph.builder import GraphBuilder
 from ..graph.core import GraphFunction, NodeOutput
 from ..graph import autodiff
@@ -709,12 +710,21 @@ class GraphGenerator:
         prechecks re-enter the new graph's list, and its deps flow into
         any outer recorders still being built."""
         self.fragments_reused += 1
+        self._record_fragment_health(key, reused=True)
         self.fragments.touch(key, frag)
         self.prechecks.extend(frag.precheck_entries)
         for rec in self._frag_stack:
             rec.deps.extend(frag.deps)
             rec.dep_sites.update(frag.dep_sites)
             rec.keepalive.extend(frag.keepalive)
+
+    def _record_fragment_health(self, key, reused):
+        """Attribute a splice accept/reject to its profiler site so the
+        per-site fragment-reuse ratio shows up in janus-stats."""
+        if METRICS.enabled:
+            owner = getattr(self.profiler, "owner", None)
+            if owner is not None and key[1] is not None:
+                HEALTH.function(owner).record_fragment(key[1], reused)
 
     # Profiler queries route through these wrappers so active fragment
     # recorders capture exactly which profiled facts a region's
@@ -2302,6 +2312,7 @@ class _FunctionConverter:
         if rec is None:
             return
         gen.fragments_reconverted += 1
+        gen._record_fragment_health(key, reused=False)
         if rec.poisoned or key[1] is None:
             return
         env_summary = self._env_summary_for(
@@ -2753,6 +2764,7 @@ class _FunctionConverter:
         if rec is None:
             return
         gen.fragments_reconverted += 1
+        gen._record_fragment_health(key, reused=False)
         if rec.poisoned:
             return
         env_summary = self._env_summary_for(

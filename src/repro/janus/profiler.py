@@ -20,8 +20,10 @@ each of which answers ``None`` for "no stable assumption available".
 import builtins
 import types
 
+import time
+
 from ..errors import NotConvertible
-from ..observability import TRACER
+from ..observability import HEALTH, METRICS, TRACER
 from . import specialization as spec
 from .instrument import instrument_function, function_key
 from .whitelist import is_whitelisted
@@ -65,6 +67,9 @@ class Profiler:
         self._instrumented = {}     # underlying function -> clone
         self._while_counts = {}     # live trip counters for while sites
         self.enabled = False
+        #: Owning janus.function name for health attribution (set by
+        #: the JanusFunction constructor; None for standalone use).
+        self.owner = None
 
     # -- site bookkeeping ---------------------------------------------------
 
@@ -274,6 +279,9 @@ class Profiler:
             if TRACER.level:
                 TRACER.instant("relax", "force_dynamic", site=repr(site),
                                kind=entry.kind)
+            if METRICS.enabled and self.owner is not None:
+                HEALTH.function(self.owner).record_relax(
+                    site, "force_dynamic", kind=entry.kind)
 
     def relax_attr_spec(self, site, observed_value):
         entry = self.sites.get(site)
@@ -285,6 +293,11 @@ class Profiler:
                 TRACER.instant("relax", "attr_spec", site=repr(site),
                                before=spec.describe(before),
                                after=spec.describe(entry.value_spec))
+            if METRICS.enabled and self.owner is not None:
+                HEALTH.function(self.owner).record_relax(
+                    site, "attr_spec", kind=entry.kind,
+                    detail="%s -> %s" % (spec.describe(before),
+                                         spec.describe(entry.value_spec)))
             for owner_id, (owner, prior) in list(entry.per_owner.items()):
                 entry.per_owner[owner_id] = (owner,
                                              spec.merge(prior, observed))
@@ -297,7 +310,11 @@ class Profiler:
         clone = self._instrument(func)
         self.record_args(args)
         self.runs += 1
+        profile_start = time.perf_counter() if METRICS.enabled else 0.0
         result = clone(*args)
+        if profile_start:
+            METRICS.observe("profile.run",
+                            time.perf_counter() - profile_start)
         self.return_specs[function_key(func)] = spec.merge(
             self.return_specs.get(function_key(func)), spec.observe(result))
         return result

@@ -388,13 +388,17 @@ def spec_digest(spec):
     if spec.kind == CONST_TENSOR:
         dims = None if spec.shape is None else spec.shape.dims
         src = spec.source
-        if src is not None and src.tracked and src.array is spec.value:
+        if src is not None and src.array is spec.value \
+                and (src.tracked or src.track()):
             # Write-barrier fast path: a sealed buffer cannot change
             # content without a COW rebind (which breaks the ``is``
             # check) or a version bump, so (identity, version) is an
-            # exact stand-in for the content hash.  The spec pins
-            # ``src`` alive through its slot, so the id cannot be
-            # reused while this digest is comparable.
+            # exact stand-in for the content hash.  An untracked but
+            # trackable source is sealed here so the digest shape never
+            # flips untracked→tracked across regenerations (the flip
+            # would spuriously invalidate matching specs once).  The
+            # spec pins ``src`` alive through its slot, so the id
+            # cannot be reused while this digest is comparable.
             return (spec.kind, spec.dtype.name, dims, spec.value.shape,
                     "wbv", id(src), src.version)
         arr = np.asarray(spec.value)

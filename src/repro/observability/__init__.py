@@ -6,8 +6,15 @@ speculate → guard → fallback → relax lifecycle visible:
 * :mod:`repro.observability.tracer` — ring-buffered :class:`TraceEvent`
   recorder with level gating (``JANUS_TRACE`` / ``set_trace_level``),
 * :mod:`repro.observability.counters` — counters + scoped timers,
+* :mod:`repro.observability.metrics` — log-bucket latency histograms
+  with p50/p95/p99 (``JANUS_METRICS`` / ``set_metrics_enabled``),
+* :mod:`repro.observability.health` — per-``janus.function``,
+  per-assumption-site speculation health (state, hit ratio, failure and
+  relax chains, measured fallback/recompile cost),
 * :mod:`repro.observability.export` — ``chrome://tracing`` JSON and a
   plain-text summary,
+* :mod:`repro.observability.cli` / ``python -m repro.observability.stats``
+  — the ``janus-stats`` diagnostics report + Prometheus text exporter,
 * :mod:`repro.observability.demo` — ``python -m repro.observability.demo``
   runs a small training loop with tracing on and writes ``trace.json``.
 
@@ -30,22 +37,36 @@ See ``docs/observability.md`` for the full guide and
 from .tracer import (TRACER, CATEGORIES, TraceEvent, Tracer, get_tracer,
                      override_level, set_trace_level, trace_level)
 from .counters import COUNTERS, CounterRegistry, get_counters
+from .metrics import (METRICS, Histogram, MetricsRegistry, get_metrics,
+                      metrics_enabled, set_metrics_enabled)
+from .health import (HEALTH, HealthRegistry, SiteHealth, SpeculationHealth,
+                     get_health)
 from .export import (chrome_trace_events, install_atexit_dump, text_summary,
                      write_chrome_trace)
+from .cli import (load_stats, prometheus_text, render_report,
+                  write_stats_json)
 
 __all__ = [
     "TRACER", "CATEGORIES", "TraceEvent", "Tracer", "get_tracer",
     "override_level", "set_trace_level", "trace_level",
     "COUNTERS", "CounterRegistry", "get_counters",
+    "METRICS", "Histogram", "MetricsRegistry", "get_metrics",
+    "metrics_enabled", "set_metrics_enabled",
+    "HEALTH", "HealthRegistry", "SiteHealth", "SpeculationHealth",
+    "get_health",
     "chrome_trace_events", "install_atexit_dump", "text_summary",
-    "write_chrome_trace", "clear",
+    "write_chrome_trace",
+    "load_stats", "prometheus_text", "render_report", "write_stats_json",
+    "clear",
 ]
 
 
 def clear():
-    """Reset the global tracer buffer and counter registry."""
+    """Reset the tracer buffer, counters, histograms, and health models."""
     TRACER.clear()
     COUNTERS.clear()
+    METRICS.clear()
+    HEALTH.clear()
 
 
 # Env-var-enabled tracing dumps the trace at interpreter exit.

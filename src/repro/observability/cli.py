@@ -1,0 +1,333 @@
+"""``janus-stats`` — the speculation-health diagnostics report.
+
+Run as ``python -m repro.observability.stats``.  The report answers the
+questions flat counters cannot: per-function graph-hit ratio and
+convergence state, per-site assumption-failure counts with their relax
+chains, measured fallback/recompile cost, and p50/p95/p99 latency for
+graph runs, fallbacks, and recompiles.
+
+Input is either the **live registries** (imported and rendered in-process
+— useful from a REPL or when a training script calls
+:func:`render_report` directly) or a **saved stats JSON** produced by
+:func:`write_stats_json` (the demo writes one; any program can).  The
+``--prometheus`` flag instead emits the scrape-friendly subset in the
+Prometheus text exposition format.
+
+Typical uses::
+
+    # post-mortem on a saved run
+    python -m repro.observability.stats --input stats.json
+
+    # one function's "why is this not converged" detail
+    python -m repro.observability.stats --input stats.json --function step
+
+    # scrape-format metrics
+    python -m repro.observability.stats --input stats.json --prometheus
+
+    # CI smoke: exit non-zero unless health + histograms are populated
+    python -m repro.observability.stats --input stats.json --check
+"""
+
+import argparse
+import json
+import sys
+
+from .counters import COUNTERS, CounterRegistry
+from .health import HEALTH, HealthRegistry, format_health_table
+from .metrics import METRICS, MetricsRegistry, format_histograms
+
+#: Saved-stats file format tag (bump on incompatible change).
+STATS_FORMAT = "janus-stats/1"
+
+
+# -- persistence -------------------------------------------------------------
+
+def stats_payload(metrics=None, health=None, counters=None):
+    """The JSON-serializable stats bundle for the given registries."""
+    return {
+        "format": STATS_FORMAT,
+        "metrics": (metrics or METRICS).snapshot(),
+        "health": (health or HEALTH).snapshot(),
+        "counters": (counters or COUNTERS).snapshot(),
+    }
+
+
+def write_stats_json(path, metrics=None, health=None, counters=None):
+    """Save the registries for later ``janus-stats`` analysis."""
+    with open(path, "w") as fh:
+        json.dump(stats_payload(metrics, health, counters), fh, indent=1)
+    return path
+
+
+def load_stats(path):
+    """Load a saved stats JSON into fresh registries.
+
+    Returns ``(metrics, health, counters)``.  Raises ``ValueError`` on a
+    file that is not a janus-stats bundle (e.g. a raw chrome trace).
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise ValueError(
+            "%s is not a janus-stats file (expected a %r bundle; chrome "
+            "traces are not convertible — save stats with "
+            "observability.cli.write_stats_json)" % (path, STATS_FORMAT))
+    metrics = MetricsRegistry.from_snapshot(payload.get("metrics"))
+    health = HealthRegistry.from_snapshot(payload.get("health"))
+    counters = CounterRegistry()
+    counter_snap = payload.get("counters") or {}
+    for name, value in (counter_snap.get("counters") or {}).items():
+        counters.inc(name, value)
+    for name, (count, total) in (counter_snap.get("timers") or {}).items():
+        counters._timers[name] = [int(count), float(total)]
+    return metrics, health, counters
+
+
+# -- report rendering --------------------------------------------------------
+
+def post_mortem(health, name=None):
+    """Per-function "why did this fall back / why not converged" detail.
+
+    Returns report lines for every function (or just *name*): the state
+    diagnosis, each assumption site's failures with its relax chain, and
+    the measured fallback + recompile cost per failure.
+    """
+    lines = []
+    functions = health.functions()
+    if name is not None:
+        functions = [f for f in functions if f.name == name]
+        if not functions:
+            return ["  (no health recorded for function %r)" % name]
+    for fn in functions:
+        lines.append("%s [%s]" % (fn.name, fn.state))
+        lines.append("  %s" % fn.diagnosis())
+        lines.append(
+            "  calls %d | graph runs %d (%.1f%% hit) | profile runs %d | "
+            "fallbacks %d | graphs built %d (%d recompiles)"
+            % (fn.calls, fn.graph_runs, fn.graph_hit_ratio * 100.0,
+               fn.profile_runs, fn.fallbacks, fn.graphs_generated,
+               fn.recompiles))
+        if fn.cache_evictions or fn.cache_invalidations:
+            lines.append("  cache churn: %d evictions, %d invalidations"
+                         % (fn.cache_evictions, fn.cache_invalidations))
+        for key in sorted(fn.sites):
+            sh = fn.sites[key]
+            if not (sh.failures or sh.relaxations or sh.fragments_reused
+                    or sh.fragments_reconverted):
+                continue
+            lines.append("  site %s (%s):" % (key, sh.kind or "fragment"))
+            if sh.failures:
+                lines.append(
+                    "    %d assumption failure%s%s" % (
+                        sh.failures, "s" if sh.failures != 1 else "",
+                        " — guard: %s" % sh.last_guard
+                        if sh.last_guard else ""))
+            if sh.fallback_count:
+                lines.append(
+                    "    fallback cost: %d run%s, %.3f ms total "
+                    "(%.3f ms avg)" % (
+                        sh.fallback_count,
+                        "s" if sh.fallback_count != 1 else "",
+                        sh.fallback_total * 1e3,
+                        sh.fallback_total / sh.fallback_count * 1e3))
+            if sh.recompile_count:
+                lines.append(
+                    "    recompile cost: %d build%s, %.3f ms total "
+                    "(%.3f ms avg)" % (
+                        sh.recompile_count,
+                        "s" if sh.recompile_count != 1 else "",
+                        sh.recompile_total * 1e3,
+                        sh.recompile_total / sh.recompile_count * 1e3))
+            for step in sh.relax_chain:
+                detail = step.get("detail")
+                lines.append("    relax: %s%s" % (
+                    step.get("action"),
+                    " (%s)" % detail if detail else ""))
+            ratio = sh.fragment_reuse_ratio
+            if ratio is not None:
+                lines.append(
+                    "    fragment reuse: %d/%d splices accepted (%.0f%%)"
+                    % (sh.fragments_reused,
+                       sh.fragments_reused + sh.fragments_reconverted,
+                       ratio * 100.0))
+    return lines
+
+
+def render_report(metrics=None, health=None, counters=None, function=None):
+    """The full ``janus-stats`` text report."""
+    metrics = metrics if metrics is not None else METRICS
+    health = health if health is not None else HEALTH
+    counters = counters if counters is not None else COUNTERS
+    lines = ["== janus-stats =="]
+
+    health_lines = format_health_table(health)
+    lines.append("-- speculation health --")
+    if health_lines:
+        lines.extend(health_lines)
+    else:
+        lines.append("  (no functions recorded — enable metrics with "
+                     "JANUS_METRICS=1 or set_metrics_enabled(True))")
+
+    lines.append("-- latency histograms --")
+    hist_lines = format_histograms(metrics)
+    if hist_lines:
+        lines.extend(hist_lines)
+    else:
+        lines.append("  (no observations recorded)")
+
+    mortem = post_mortem(health, function)
+    if mortem:
+        lines.append("-- post-mortem --")
+        lines.extend("  " + line if line and not line.startswith(" ")
+                     else line for line in mortem)
+
+    snap = counters.snapshot()
+    interesting = {name: value for name, value
+                   in snap.get("counters", {}).items() if value}
+    if interesting:
+        lines.append("-- counters --")
+        for name in sorted(interesting):
+            lines.append("  %-40s %d" % (name, interesting[name]))
+    return "\n".join(lines)
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+def _prom_escape(value):
+    return str(value).replace("\\", "\\\\").replace('"', '\\"') \
+                     .replace("\n", "\\n")
+
+
+def _prom_name(name):
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    return "".join(out)
+
+
+def prometheus_text(metrics=None, health=None, counters=None):
+    """The scrape-friendly subset in Prometheus text exposition format.
+
+    Histograms map to the standard ``_bucket``/``_sum``/``_count``
+    triple with cumulative ``le`` labels; per-function health maps to
+    gauges labelled by function (plus a one-hot ``state`` gauge);
+    counters map to ``janus_counter_total``.
+    """
+    metrics = metrics if metrics is not None else METRICS
+    health = health if health is not None else HEALTH
+    counters = counters if counters is not None else COUNTERS
+    lines = []
+
+    for name in metrics.names():
+        hist = metrics.get(name)
+        if hist is None:
+            continue
+        base = "janus_%s_seconds" % _prom_name(name)
+        lines.append("# TYPE %s histogram" % base)
+        cumulative = 0
+        for bound, count in zip(hist.BOUNDS, hist.counts):
+            cumulative += count
+            lines.append('%s_bucket{le="%g"} %d'
+                         % (base, bound, cumulative))
+        cumulative += hist.counts[-1]
+        lines.append('%s_bucket{le="+Inf"} %d' % (base, cumulative))
+        lines.append("%s_sum %g" % (base, hist.total))
+        lines.append("%s_count %d" % (base, hist.count))
+
+    functions = health.functions()
+    if functions:
+        gauges = (
+            ("janus_function_calls_total", "calls"),
+            ("janus_function_graph_runs_total", "graph_runs"),
+            ("janus_function_fallbacks_total", "fallbacks"),
+            ("janus_function_recompiles_total", "recompiles"),
+            ("janus_function_graph_hit_ratio", "graph_hit_ratio"),
+        )
+        for metric, attr in gauges:
+            lines.append("# TYPE %s gauge" % metric)
+            for fn in functions:
+                lines.append('%s{function="%s"} %g'
+                             % (metric, _prom_escape(fn.name),
+                                getattr(fn, attr)))
+        lines.append("# TYPE janus_function_state gauge")
+        for fn in functions:
+            lines.append('janus_function_state{function="%s",state="%s"} 1'
+                         % (_prom_escape(fn.name), fn.state))
+        lines.append("# TYPE janus_site_failures_total gauge")
+        for fn in functions:
+            for key in sorted(fn.sites):
+                sh = fn.sites[key]
+                if not sh.failures:
+                    continue
+                lines.append(
+                    'janus_site_failures_total{function="%s",site="%s",'
+                    'kind="%s"} %d'
+                    % (_prom_escape(fn.name), _prom_escape(key),
+                       _prom_escape(sh.kind or "unknown"), sh.failures))
+
+    counter_snap = counters.snapshot().get("counters", {})
+    if counter_snap:
+        lines.append("# TYPE janus_counter_total counter")
+        for name in sorted(counter_snap):
+            lines.append('janus_counter_total{name="%s"} %d'
+                         % (_prom_escape(name), counter_snap[name]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- CLI entry point ---------------------------------------------------------
+
+def _selfcheck(metrics, health):
+    """CI smoke gate: both the health table and histograms must be live."""
+    problems = []
+    if not len(health):
+        problems.append("health table is empty (no functions recorded)")
+    if not any((metrics.get(n) or None) and metrics.get(n).count
+               for n in metrics.names()):
+        problems.append("no histogram has a non-zero observation count")
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="janus-stats",
+        description="Speculation-health report for JANUS runs.")
+    parser.add_argument(
+        "--input", "-i", metavar="STATS_JSON", default=None,
+        help="saved stats bundle (from write_stats_json / the demo); "
+             "defaults to the live in-process registries")
+    parser.add_argument(
+        "--function", "-f", default=None,
+        help="restrict the post-mortem to one janus.function name")
+    parser.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the Prometheus text exposition format instead of the "
+             "report")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the health table and histogram counts "
+             "are populated (CI smoke gate)")
+    args = parser.parse_args(argv)
+
+    if args.input:
+        try:
+            metrics, health, counters = load_stats(args.input)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("janus-stats: %s" % exc, file=sys.stderr)
+            return 2
+    else:
+        metrics, health, counters = METRICS, HEALTH, COUNTERS
+
+    if args.prometheus:
+        sys.stdout.write(prometheus_text(metrics, health, counters))
+    else:
+        print(render_report(metrics, health, counters, args.function))
+
+    if args.check:
+        problems = _selfcheck(metrics, health)
+        if problems:
+            for problem in problems:
+                print("janus-stats --check FAILED: %s" % problem,
+                      file=sys.stderr)
+            return 1
+        print("janus-stats --check ok", file=sys.stderr)
+    return 0

@@ -1,10 +1,11 @@
 """Trace demo: run a small JANUS training loop with tracing on.
 
-Usage (also wired as ``make trace-demo``)::
+Usage (also wired as ``make trace-demo`` / ``make stats-demo``)::
 
     PYTHONPATH=src python -m repro.observability.demo [--out trace.json]
                                                       [--steps 12]
                                                       [--level 2]
+                                                      [--stats-out stats.json]
 
 The demo trains the quickstart MLP for a few steps — enough for the
 full lifecycle to appear in the trace: imperative profiling runs, one
@@ -60,12 +61,15 @@ def build_step():
     return train_step, scale
 
 
-def run(steps=12, out="trace.json", level=2):
-    from . import (clear, set_trace_level, text_summary, trace_level,
-                   write_chrome_trace)
+def run(steps=12, out="trace.json", level=2, metrics=True, stats_out=None):
+    from . import (clear, set_metrics_enabled, set_trace_level,
+                   text_summary, trace_level, write_chrome_trace)
+    from .cli import write_stats_json
 
     if trace_level() < level:
         set_trace_level(level)
+    if metrics:
+        set_metrics_enabled(True)
     clear()
 
     train_step, scale = build_step()
@@ -86,6 +90,11 @@ def run(steps=12, out="trace.json", level=2):
     path = write_chrome_trace(out)
     print("\nwrote %s — open chrome://tracing (or https://ui.perfetto.dev) "
           "and load it" % path)
+    if stats_out:
+        write_stats_json(stats_out)
+        print("wrote %s — inspect with `python -m "
+              "repro.observability.stats --input %s`"
+              % (stats_out, stats_out))
     print("final loss %.4f, stats %r" % (float(loss.numpy()),
                                          train_step.cache_stats()))
     return path
@@ -98,8 +107,13 @@ def main(argv=None):
     parser.add_argument("--steps", type=int, default=12)
     parser.add_argument("--level", type=int, default=2,
                         help="trace level: 1 lifecycle, 2 per-op")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="leave histogram/health collection off")
+    parser.add_argument("--stats-out", default=None,
+                        help="also save a janus-stats JSON bundle here")
     args = parser.parse_args(argv)
-    run(steps=args.steps, out=args.out, level=args.level)
+    run(steps=args.steps, out=args.out, level=args.level,
+        metrics=not args.no_metrics, stats_out=args.stats_out)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,8 @@ import os
 import threading
 
 from .counters import COUNTERS
+from .health import HEALTH, format_health_table
+from .metrics import METRICS, format_histograms
 from .tracer import TRACER
 
 _PID = os.getpid()
@@ -55,16 +57,40 @@ def _jsonable(value):
     return repr(value)
 
 
-def write_chrome_trace(path, tracer=None, counters=None):
-    """Write a ``chrome://tracing``-loadable JSON file; returns ``path``."""
+def write_chrome_trace(path, tracer=None, counters=None, metrics=None,
+                       health=None):
+    """Write a ``chrome://tracing``-loadable JSON file; returns ``path``.
+
+    Besides the counters, ``otherData`` carries the latency-histogram
+    snapshots and per-function health summaries when any were recorded,
+    so a single trace file preserves the percentile data alongside the
+    events.
+    """
     counters = counters or COUNTERS
+    metrics = metrics if metrics is not None else METRICS
+    health = health if health is not None else HEALTH
+    other = {
+        "tool": "repro.observability",
+        "counters": counters.snapshot()["counters"],
+    }
+    metric_snaps = metrics.snapshot()
+    if metric_snaps:
+        other["metrics"] = {
+            name: {"count": snap["count"], "sum": snap["sum"],
+                   "min": snap["min"], "max": snap["max"],
+                   "percentiles": metrics.percentiles(name)}
+            for name, snap in metric_snaps.items()}
+    if len(health):
+        other["health"] = {
+            fn.name: {"state": fn.state,
+                      "graph_hit_ratio": fn.graph_hit_ratio,
+                      "calls": fn.calls, "fallbacks": fn.fallbacks,
+                      "recompiles": fn.recompiles}
+            for fn in health.functions()}
     payload = {
         "traceEvents": chrome_trace_events(tracer),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "tool": "repro.observability",
-            "counters": counters.snapshot()["counters"],
-        },
+        "otherData": other,
     }
     with open(path, "w") as fh:
         json.dump(payload, fh)
@@ -72,10 +98,18 @@ def write_chrome_trace(path, tracer=None, counters=None):
     return path
 
 
-def text_summary(tracer=None, counters=None, top=12):
-    """A human-readable digest of the buffered trace + counters."""
+def text_summary(tracer=None, counters=None, top=12, metrics=None,
+                 health=None):
+    """A human-readable digest of the buffered trace + counters.
+
+    When latency histograms or speculation-health models were recorded
+    (``JANUS_METRICS=1`` / ``set_metrics_enabled``), the summary also
+    renders their tables; ``janus-stats`` renders the full post-mortem.
+    """
     tracer = tracer or TRACER
     counters = counters or COUNTERS
+    metrics = metrics if metrics is not None else METRICS
+    health = health if health is not None else HEALTH
     events = tracer.events
     lines = ["== janus trace summary (level %d, %d buffered events) =="
              % (tracer.level, len(events))]
@@ -104,6 +138,15 @@ def text_summary(tracer=None, counters=None, top=12):
             lines.append("  %-28s %6d calls  %9.3f ms  (%8.2f us/call)"
                          % ("%s:%s" % (category, name), count, total * 1e3,
                             total / count * 1e6))
+
+    health_lines = format_health_table(health)
+    if health_lines:
+        lines.append("-- speculation health --")
+        lines.extend(health_lines)
+    hist_lines = format_histograms(metrics)
+    if hist_lines:
+        lines.append("-- latency histograms --")
+        lines.extend(hist_lines)
 
     snap = counters.snapshot()
     # Heap-read memo / write-barrier health is always reported (zeros

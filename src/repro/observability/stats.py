@@ -1,0 +1,13 @@
+"""``python -m repro.observability.stats`` — the janus-stats CLI.
+
+Thin module wrapper so the diagnostics report is runnable without
+installing an entry point; all logic lives in
+:mod:`repro.observability.cli`.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

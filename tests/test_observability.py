@@ -69,6 +69,53 @@ class TestTracer:
         # The most recent window survives.
         assert [e.args["index"] for e in events] == list(range(84, 100))
 
+    def test_ring_buffer_exact_capacity_boundary(self):
+        """Exactly ``capacity`` events all survive; one more drops only
+        the oldest."""
+        tracer = Tracer(level=1, capacity=8)
+        for i in range(8):
+            tracer.instant("op", "e", index=i)
+        assert [e.args["index"] for e in tracer.events] == list(range(8))
+        tracer.instant("op", "e", index=8)
+        assert [e.args["index"] for e in tracer.events] == list(range(1, 9))
+        assert len(tracer) == 8
+
+    def test_drain_empties_but_events_snapshot_does_not(self):
+        tracer = Tracer(level=1)
+        for i in range(3):
+            tracer.instant("op", "e", index=i)
+        # `events` is a non-destructive snapshot: repeated reads agree.
+        first = [e.args["index"] for e in tracer.events]
+        assert first == [e.args["index"] for e in tracer.events] == [0, 1, 2]
+        # `drain` returns the same events, oldest first, and clears.
+        drained = tracer.drain()
+        assert [e.args["index"] for e in drained] == [0, 1, 2]
+        assert tracer.events == [] and len(tracer) == 0
+        assert tracer.drain() == []
+        # New events start a fresh buffer, not a continuation.
+        tracer.instant("op", "e", index=99)
+        assert [e.args["index"] for e in tracer.events] == [99]
+
+    def test_set_level_zero_during_open_span_still_records(self):
+        """Spans gate at *entry*: one opened while tracing was on must
+        record its complete event even if tracing is disabled before it
+        exits (otherwise a run's final graphgen span would vanish)."""
+        tracer = Tracer(level=1)
+        with tracer.span("graphgen", "f"):
+            tracer.set_level(0)
+        (event,) = tracer.events
+        assert (event.category, event.name, event.ph) == \
+            ("graphgen", "f", "X")
+
+    def test_raising_level_during_null_span_records_nothing(self):
+        """The converse race: a span opened while disabled is the shared
+        null span, so enabling tracing mid-span records nothing."""
+        tracer = Tracer(level=0)
+        with tracer.span("graphgen", "f"):
+            tracer.set_level(2)
+            tracer.instant("op", "inside")
+        assert [e.name for e in tracer.events] == ["inside"]
+
     def test_span_times_block(self):
         tracer = Tracer(level=1)
         with tracer.span("pass", "timed"):

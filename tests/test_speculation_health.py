@@ -1,0 +1,448 @@
+"""Speculation-health analytics: metrics, per-site attribution, CLI.
+
+Forced assumption failures drive a ``janus.function`` through the state
+model of :mod:`repro.observability.health` — profiling → specialized →
+converged, and a cache-thrashing scenario — and the tests assert the
+reported state, graph-hit ratios, per-site failure counts with their
+relax chains, and percentile sanity of the latency histograms.  The
+``janus-stats`` CLI is exercised on both the live registries and a
+saved stats bundle, and the untracked→tracked digest-flip regression
+(spurious fragment reconversion on the first regeneration after
+write-barrier sealing) is pinned down at both the digest and the
+fragment-reuse-metric level.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus, observability as obs
+from repro.janus import fragments
+from repro.observability import COUNTERS
+from repro.observability.cli import (load_stats, main as stats_main,
+                                     prometheus_text, render_report,
+                                     write_stats_json)
+from repro.observability.counters import CounterRegistry
+from repro.observability.health import (CONVERGED_RUNS, HEALTH,
+                                        HealthRegistry, SpeculationHealth,
+                                        site_key)
+from repro.observability.metrics import (METRICS, Histogram,
+                                         MetricsRegistry)
+from repro.tensor import TensorValue
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on():
+    """Each test runs with metrics enabled and leaves registries clean."""
+    previous = obs.set_metrics_enabled(True)
+    obs.clear()
+    yield
+    obs.set_metrics_enabled(previous)
+    obs.clear()
+
+
+def strict(**kw):
+    return janus.JanusConfig(fail_on_not_convertible=True,
+                             parallel_execution=False, **kw)
+
+
+def counters():
+    return dict(COUNTERS.snapshot()["counters"])
+
+
+# -- histogram unit behaviour -------------------------------------------------
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        hist = Histogram()
+        for v in (0.001, 0.004, 0.002):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(0.007)
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.004)
+        assert hist.mean == pytest.approx(0.007 / 3)
+
+    def test_percentiles_monotonic_and_clamped(self):
+        hist = Histogram()
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(1e-5, 1e-2, size=500):
+            hist.observe(float(v))
+        pct = hist.percentiles()
+        assert 0.0 < pct["p50"] <= pct["p95"] <= pct["p99"] <= hist.max
+        assert hist.percentile(0) >= hist.min
+        assert hist.percentile(100) <= hist.max
+
+    def test_nonpositive_values_land_in_first_bucket(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(-1.0)
+        assert hist.counts[0] == 2
+        assert hist.percentile(50) <= 0.0
+
+    def test_merge_matches_combined_stream(self):
+        values_a = [1e-5, 3e-4, 2e-3]
+        values_b = [7e-6, 5e-2]
+        a, b, combined = Histogram(), Histogram(), Histogram()
+        for v in values_a:
+            a.observe(v)
+            combined.observe(v)
+        for v in values_b:
+            b.observe(v)
+            combined.observe(v)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.count == combined.count
+        assert a.total == pytest.approx(combined.total)
+        assert a.min == combined.min and a.max == combined.max
+
+    def test_snapshot_roundtrip_via_json(self):
+        hist = Histogram()
+        for v in (1e-4, 2e-4, 9e-1):
+            hist.observe(v)
+        snap = json.loads(json.dumps(hist.snapshot()))
+        restored = Histogram.from_snapshot(snap)
+        assert restored.counts == hist.counts
+        assert restored.percentiles() == hist.percentiles()
+
+    def test_registry_disabled_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.observe("x", 1.0)
+        with registry.timer("x"):
+            pass
+        assert len(registry) == 0
+        registry.set_enabled(True)
+        with registry.timer("x"):
+            pass
+        assert registry.get("x").count == 1
+
+
+# -- the state model, driven by real forced failures --------------------------
+
+class TestLifecycleStates:
+    def test_profiling_to_specialized_to_converged(self):
+        knob = type("K", (), {})()
+        knob.scale = 3.0
+
+        @janus.function(config=strict())
+        def f(x):
+            return x * knob.scale
+
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        f(x)
+        f(x)
+        health = HEALTH.get("f")
+        assert health.state == "profiling"
+        assert "profiling" in health.diagnosis()
+
+        f(x)                                   # last profile run
+        f(x)                                   # generate + first graph run
+        assert f.stats["graph_runs"] == 1
+        assert health.state == "specialized"
+        assert "not yet converged" in health.diagnosis()
+
+        for _ in range(CONVERGED_RUNS):
+            f(x)
+        assert health.state == "converged"
+        assert health.consecutive_graph_runs >= CONVERGED_RUNS
+        assert health.graph_hit_ratio == pytest.approx(
+            health.graph_runs / health.calls)
+        assert health.fallbacks == 0 and health.recompiles == 0
+
+    def test_failure_attributes_site_relax_and_costs(self):
+        knob = type("K", (), {})()
+        knob.scale = 3.0
+
+        @janus.function(config=strict())
+        def g(x):
+            return x * knob.scale
+
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        for _ in range(4 + CONVERGED_RUNS):
+            g(x)
+        health = HEALTH.get("g")
+        assert health.state == "converged"
+
+        knob.scale = 5.0                       # breaks the const-attr guard
+        out = g(x)                             # guard fails -> fallback
+        assert g.stats["fallbacks"] == 1
+        assert np.allclose(out.numpy(), x.numpy() * 5.0)
+        assert health.fallbacks == 1
+
+        worst = health.worst_site()
+        assert worst is not None
+        assert worst.kind == "attr"
+        assert worst.failures == 1
+        assert worst.last_guard and "scale" in worst.last_guard
+        assert worst.relaxations >= 1
+        assert worst.relax_chain and worst.relax_chain[0]["action"]
+        assert worst.fallback_count == 1 and worst.fallback_total > 0.0
+
+        g(x)                                   # regenerate + graph run
+        assert health.recompiles == 1
+        assert worst.recompile_count == 1 and worst.recompile_total > 0.0
+        entry = health.failure_chain[0]
+        assert entry["site"] == site_key(worst.site)
+        assert entry["kind"] == "attr"
+        assert entry["fallback_s"] > 0.0 and entry["recompile_s"] > 0.0
+        assert np.allclose(g(x).numpy(), x.numpy() * 5.0)
+
+        for _ in range(CONVERGED_RUNS):
+            g(x)
+        assert health.state == "converged"     # recovered after relaxing
+
+    def test_lifecycle_histograms_and_percentile_sanity(self):
+        knob = type("K", (), {})()
+        knob.scale = 2.0
+
+        @janus.function(config=strict())
+        def h(x):
+            return x * knob.scale
+
+        x = R.constant(np.linspace(0, 1, 8).astype(np.float32))
+        for _ in range(8):
+            h(x)
+        knob.scale = 4.0
+        for _ in range(4):
+            h(x)
+
+        for name in ("graph.run", "graphgen.initial",
+                     "graphgen.recompile", "fallback.imperative",
+                     "profile.run", "guard.precheck"):
+            hist = METRICS.get(name)
+            assert hist is not None and hist.count > 0, name
+            pct = hist.percentiles()
+            assert 0.0 <= pct["p50"] <= pct["p95"] <= pct["p99"], name
+            assert pct["p99"] <= hist.max, name
+        assert METRICS.get("fallback.imperative").count == 1
+        assert METRICS.get("graphgen.recompile").count == 1
+
+    def test_thrashing_under_cache_churn(self):
+        """Two alternating signatures with a one-entry cache: every call
+        evicts and regenerates, so the function never converges and the
+        recent-window disruption count flips the state to thrashing."""
+
+        @janus.function(config=strict(graph_cache_entries=1))
+        def t(x):
+            return x * 2.0
+
+        flat = R.constant(np.linspace(0, 1, 4).astype(np.float32))
+        square = R.constant(np.ones((2, 2), np.float32))
+        args = [flat, square]
+        for i in range(16):
+            t(args[i % 2])
+
+        health = HEALTH.get("t")
+        assert health.state == "thrashing"
+        assert "disrupted" in health.diagnosis()
+        assert health.recompiles >= 4
+        assert health.cache_evictions >= 4
+        assert health.consecutive_graph_runs < CONVERGED_RUNS
+        # Graph runs still happen each call; the ratio reflects that the
+        # cache never serves them for free.
+        assert 0.0 < health.graph_hit_ratio < 1.0
+        assert METRICS.get("graphgen.recompile").count >= 4
+
+    def test_imperative_only_state(self):
+        @janus.function                        # default: no fail_on_...
+        def u(x):
+            import os  # noqa: F401 — inline import: imperative-only
+            return x
+
+        x = R.constant(np.ones(3, np.float32))
+        for _ in range(5):
+            u(x)
+        health = HEALTH.get("u")
+        assert u.imperative_only
+        assert health.state == "imperative-only"
+        assert "imperative" in health.diagnosis()
+        assert health.graph_hit_ratio == 0.0
+
+
+# -- snapshot / restore -------------------------------------------------------
+
+class TestSnapshots:
+    def test_health_snapshot_roundtrip(self):
+        health = SpeculationHealth("f")
+        health.record_call()
+        health.record_profile_run()
+        health.record_failure(("fk", "attr", "h.scale"), kind="attr",
+                              guard="const changed")
+        health.record_fallback(("fk", "attr", "h.scale"), 0.002,
+                               kind="attr")
+        health.record_relax(("fk", "attr", "h.scale"), "relax_attr_spec",
+                            detail="const -> tensor", kind="attr")
+        health.record_generation(0.01, regeneration=True)
+        snap = json.loads(json.dumps(health.snapshot()))
+        restored = SpeculationHealth.from_snapshot(snap)
+        assert restored.state == health.state
+        assert restored.fallbacks == 1 and restored.recompiles == 1
+        key = site_key(("fk", "attr", "h.scale"))
+        site = restored.sites[key]
+        assert site.failures == 1 and site.kind == "attr"
+        assert site.relax_chain[0]["detail"] == "const -> tensor"
+        assert site.recompile_total == pytest.approx(0.01)
+        assert restored.failure_chain[0]["fallback_s"] == \
+            pytest.approx(0.002)
+
+    def test_recompile_resets_convergence_streak(self):
+        health = SpeculationHealth("f")
+        health.record_generation(0.01, regeneration=False)
+        for _ in range(CONVERGED_RUNS):
+            health.record_graph_run()
+        assert health.state == "converged"
+        health.record_generation(0.01, regeneration=True)
+        assert health.consecutive_graph_runs == 0
+        assert health.state != "converged"
+
+
+# -- the janus-stats CLI ------------------------------------------------------
+
+def _drive_failing_function():
+    knob = type("K", (), {})()
+    knob.scale = 2.0
+
+    @janus.function(config=strict())
+    def step(x):
+        return x * knob.scale
+
+    x = R.constant(np.linspace(-1, 1, 6).astype(np.float32))
+    for _ in range(8):
+        step(x)
+    knob.scale = 7.0
+    for _ in range(1 + CONVERGED_RUNS):
+        step(x)
+    return step
+
+
+class TestStatsCli:
+    def test_render_report_on_live_registries(self):
+        _drive_failing_function()
+        report = render_report()
+        assert "== janus-stats ==" in report
+        assert "-- speculation health --" in report
+        assert "-- latency histograms --" in report
+        assert "-- post-mortem --" in report
+        assert "step" in report and "converged" in report
+        assert "graph.run" in report
+        assert "relax:" in report
+        assert "fallback cost:" in report
+
+    def test_saved_bundle_roundtrip_and_check(self, tmp_path, capsys):
+        _drive_failing_function()
+        live_state = HEALTH.get("step").state
+        live_count = METRICS.get("graph.run").count
+        path = str(tmp_path / "stats.json")
+        write_stats_json(path)
+        obs.clear()                            # post-mortem: live data gone
+
+        metrics, health, _counters = load_stats(path)
+        assert health.get("step").state == live_state
+        assert metrics.get("graph.run").count == live_count
+        assert health.get("step").worst_site().failures == 1
+
+        assert stats_main(["--input", path, "--check"]) == 0
+        out = capsys.readouterr()
+        assert "step" in out.out and "assumption failure" in out.out
+        assert "check ok" in out.err
+
+    def test_function_filter_limits_post_mortem(self, tmp_path, capsys):
+        _drive_failing_function()
+        path = str(tmp_path / "stats.json")
+        write_stats_json(path)
+        assert stats_main(["--input", path, "--function", "nope"]) == 0
+        out = capsys.readouterr().out
+        assert "no health recorded for function 'nope'" in out
+
+    def test_prometheus_exposition(self, capsys):
+        _drive_failing_function()
+        text = prometheus_text()
+        assert "# TYPE janus_graph_run_seconds histogram" in text
+        assert 'janus_graph_run_seconds_bucket{le="+Inf"}' in text
+        assert 'janus_function_graph_hit_ratio{function="step"}' in text
+        assert 'janus_function_state{function="step",state="converged"} 1' \
+            in text
+        assert 'kind="attr"' in text
+        # Bucket counts are cumulative: the +Inf bucket equals _count.
+        hist = METRICS.get("graph.run")
+        assert ('janus_graph_run_seconds_bucket{le="+Inf"} %d'
+                % hist.count) in text
+        assert stats_main(["--prometheus"]) == 0
+        assert "janus_counter_total" in capsys.readouterr().out
+
+    def test_non_bundle_input_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert stats_main(["--input", str(path)]) == 2
+        assert "not a janus-stats file" in capsys.readouterr().err
+
+    def test_check_fails_on_empty_registries(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.json")
+        write_stats_json(path, metrics=MetricsRegistry(),
+                         health=HealthRegistry(),
+                         counters=CounterRegistry())
+        assert stats_main(["--input", path, "--check"]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+
+# -- digest-flip regression: fragment reuse across sealing --------------------
+
+class TestDigestStableAcrossSealing:
+    def test_value_digest_seals_and_never_flips(self):
+        """Digesting an untracked-but-trackable TensorValue seals it, so
+        the digest kind cannot flip untracked→tracked between a fragment
+        store and the splice attempt on the next regeneration."""
+        tv = TensorValue.of(np.arange(6, dtype=np.float32))
+        assert not tv.tracked
+        keep = []
+        first = fragments.value_digest(tv, keep)
+        assert tv.tracked                      # sealed at digest time
+        assert first[0] == "tvv"
+        assert fragments.value_digest(tv, keep) == first
+
+    def test_fragment_reuse_survives_sealing_between_generations(self):
+        """A dynamic cond fragment that closes over a tensor must splice
+        on a regeneration forced by an *unrelated* attr failure, even
+        though executing the first graph sealed the tensor behind the
+        write barrier in between (the ROADMAP digest-flip bug)."""
+        weights = R.constant(np.linspace(0.5, 1.5, 8).astype(np.float32))
+        knob = type("K", (), {})()
+        knob.gain = 2.0
+
+        @janus.function(config=strict(incremental_regeneration=True))
+        def f(x, gate):
+            if R.reduce_sum(gate) > 0.0:
+                y = x * weights
+            else:
+                y = x - weights
+            return y * knob.gain
+
+        x = R.constant(np.linspace(-1, 1, 8).astype(np.float32))
+        pos = R.constant(np.ones(1, np.float32))
+        neg = R.constant(-np.ones(1, np.float32))
+
+        for k in range(5):                     # stable direction: unrolled
+            f(x, R.constant(np.full(1, 1.0 + k, np.float32)))
+        assert f.stats["graph_runs"] > 0
+        f(x, neg)                              # branch fails -> dynamic cond
+        f(x, neg)                              # regeneration stores fragment
+        f(x, pos)
+
+        before = counters()
+        knob.gain = 9.0                        # unrelated attr assumption
+        out = f(x, pos)                        # guard fails -> fallback
+        final = f(x, pos)                      # regenerate: splice the cond
+        assert np.allclose(out.numpy(), f.func(x, pos).numpy())
+        assert np.allclose(final.numpy(), f.func(x, pos).numpy())
+        reused = counters().get("graphgen.fragments_reused", 0) \
+            - before.get("graphgen.fragments_reused", 0)
+        assert reused >= 1, "cond fragment reconverted instead of splicing"
+
+        health = HEALTH.get("f")
+        frag_sites = [s for s in health.sites.values()
+                      if s.fragments_reused or s.fragments_reconverted]
+        assert frag_sites, "no per-site fragment attribution recorded"
+        assert any(s.fragments_reused >= 1 for s in frag_sites)
+        assert health.fragment_reuse_ratio > 0.0
