@@ -9,9 +9,13 @@
 #   make bench-check - run Table 3 three times and fail on >10% median
 #                      regression vs benchmarks/results/baseline_table3.json
 #                      (absolute JANUS throughput, then the host-drift-
-#                      immune JANUS/imperative ratio), then gate level-0
-#                      observability overhead (<2% of the quickstart step)
-#   make ci          - tier-1 tests + the gated benchmark (what CI runs)
+#                      immune JANUS/imperative ratio, then the
+#                      JANUS-vs-symbolic parity gate on the lagging
+#                      models), then gate level-0 observability overhead
+#                      (<2% of the quickstart step) and the lowering
+#                      dispatch micro-benchmark (flat+fused >= node-walk)
+#   make ci          - tier-1 tests (lowering on, then JANUS_LOWERING=0)
+#                      + the gated benchmark (what CI runs)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -24,7 +28,8 @@ GATE_LABELS := $(shell seq 1 $(GATE_RUNS))
 GATE_FILES := $(foreach n,$(GATE_LABELS),\
 	benchmarks/results/table3_throughput-gate-run$(n).json)
 
-.PHONY: test test-differential trace-demo stats-demo bench bench-check ci
+.PHONY: test test-nolowering test-differential trace-demo stats-demo \
+	bench bench-check ci
 
 #: Where the stats-demo smoke step writes its artifacts (kept out of the
 #: repo tree so gate runs never leave untracked files behind).
@@ -32,6 +37,12 @@ STATS_DEMO_DIR ?= /tmp/janus-stats-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The same tier-1 suite with graph lowering disabled: the node-walking
+# executor is the always-correct fallback for every lowering bailout, so
+# it must stay green on its own (docs/lowering.md).
+test-nolowering:
+	JANUS_LOWERING=0 $(PYTHON) -m pytest -x -q
 
 # The randomized write-barrier differential suite (>= 200 generated
 # programs across the barrier x regeneration matrix).  Part of the
@@ -70,6 +81,9 @@ bench-check:
 	$(PYTHON) benchmarks/check_regression.py --current $(GATE_FILES)
 	$(PYTHON) benchmarks/check_regression.py --relative \
 		--current $(GATE_FILES)
+	$(PYTHON) benchmarks/check_regression.py --symbolic-parity \
+		--current $(GATE_FILES)
 	$(PYTHON) benchmarks/bench_observability_overhead.py --check
+	$(PYTHON) benchmarks/bench_lowering.py --check
 
-ci: test bench-check
+ci: test test-nolowering bench-check

@@ -1,0 +1,227 @@
+"""Executor-dispatch cost across the lowering ladder.
+
+The lowering pipeline (docs/lowering.md) claims two separable wins on
+dispatch-bound graphs: elementwise **fusion** shrinks the instruction
+count, and **linearization** replaces the node-walking executor's
+per-instruction kind dispatch with a flat closure loop.  This bench
+isolates both on a deliberately dispatch-heavy workload — ``LAYERS``
+rounds of ``tanh(x * a + b)`` over small vectors, where kernel time is
+negligible and scheduling overhead dominates — by timing the same graph
+through four executors:
+
+* ``dict-env``   — a reference interpreter keeping results in a dict
+  keyed by node output (the executor design lowering left behind twice
+  over: no register slots, no precompiled schedule);
+* ``node-walk``  — the sequential :class:`GraphExecutor` (tagged-tuple
+  schedule over a flat slot list);
+* ``flat``       — :class:`LoweredExecutor` over the *unfused* graph
+  (isolates linearization);
+* ``flat+fused`` — :class:`LoweredExecutor` after
+  :func:`fuse_graph` (the production configuration).
+
+All four must agree bit-for-bit before anything is timed.  Timing is
+interleaved round-robin with the GC paused, and each variant reports
+the median of ``REPEATS`` rounds — the same noise discipline as the
+Table-3 gate.
+
+``--check`` gates ``flat+fused`` against ``node-walk``: the production
+lowering configuration must not be slower than the executor it replaces
+(``--threshold``, default 1.0 after a 2% noise allowance).  Run
+standalone or via ``make bench-check``::
+
+    PYTHONPATH=src python benchmarks/bench_lowering.py --check
+
+``BENCH_LABEL=foo`` writes ``results/lowering-foo.json``.
+"""
+
+import argparse
+import gc
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import format_table, save_results  # noqa: E402
+
+#: Rounds of tanh(x * a + b); each round is 3 elementwise instructions
+#: before fusion and 1 fused instruction after.
+LAYERS = 24
+#: Vector width — small on purpose so dispatch, not kernels, dominates.
+ELEMS = 32
+#: Timed rounds per variant (median gates).
+REPEATS = 7
+#: Graph executions per timed round.
+INNER = 400
+
+
+def build_graph():
+    import repro as R
+    from repro.graph.builder import GraphBuilder
+    from repro.ops import api
+
+    rng = np.random.default_rng(7)
+    b = GraphBuilder(name="lowering_bench")
+    with b:
+        x = b.placeholder("x", shape=(ELEMS,), dtype=R.float32)
+        h = x
+        for _ in range(LAYERS):
+            a = b.convert(rng.normal(size=(ELEMS,)).astype(np.float32))
+            c = b.convert(rng.normal(size=(ELEMS,)).astype(np.float32))
+            h = api.tanh(api.add(api.mul(h, a), c))
+        b.mark_outputs([api.reduce_sum(h)])
+    return b.graph
+
+
+def dict_env_run(graph, feeds):
+    """Reference interpreter: topological walk, dict-of-results env.
+
+    What graph execution looked like before register slots: every value
+    lookup is a dict hash on ``(id(node), index)`` and every node pays
+    an op-kind branch at run time.  Supports exactly the ops this
+    bench's graph uses.
+    """
+    from repro.graph.executor import _internalize
+
+    env = {}
+    feed_iter = iter(feeds)
+    for node in graph.topological_order():
+        if node.op_name == "placeholder":
+            env[(id(node), 0)] = next(feed_iter)
+            continue
+        if node.op_name == "constant":
+            env[(id(node), 0)] = _internalize(node.constant_value)
+            continue
+        args = [env[(id(i.node), i.index)] for i in node.inputs]
+        result = node.op_def.kernel(node.attrs, *args)
+        if result.__class__ is not np.ndarray:
+            result = np.asarray(result)
+        env[(id(node), 0)] = result
+    return [env[(id(o.node), o.index)] for o in graph.outputs]
+
+
+def median_seconds(fn, inner=INNER, repeats=REPEATS):
+    fn()                                       # warm
+    gc.collect()
+    gc.disable()
+    try:
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            samples.append((time.perf_counter() - start) / inner)
+    finally:
+        gc.enable()
+    return statistics.median(samples)
+
+
+def run_bench():
+    from repro.graph.executor import GraphExecutor
+    from repro.graph.lowering import fuse_graph, lower_executor
+
+    unfused = build_graph()
+    fused = build_graph()
+    fused_ops = fuse_graph(fused)
+
+    walker = GraphExecutor(unfused)
+    flat = lower_executor(GraphExecutor(unfused))
+    flat_fused = lower_executor(GraphExecutor(fused))
+
+    feed = np.linspace(-1.0, 1.0, ELEMS).astype(np.float32)
+    want = dict_env_run(unfused, [feed])[0]
+    variants = [
+        ("dict-env", len(unfused.nodes), lambda: dict_env_run(unfused,
+                                                              [feed])),
+        ("node-walk", walker.instruction_count
+         if hasattr(walker, "instruction_count")
+         else len(walker._instructions), lambda: walker.run([feed])),
+        ("flat", flat.instruction_count, lambda: flat.run([feed])),
+        ("flat+fused", flat_fused.instruction_count,
+         lambda: flat_fused.run([feed])),
+    ]
+    for name, _, fn in variants:
+        got = fn()[0]
+        assert np.array_equal(got, want), (name, got, want)
+
+    # Interleaved: one timed round per variant, round-robin, so host
+    # drift lands on every variant equally.
+    samples = {name: [] for name, _, _ in variants}
+    for name, _, fn in variants:
+        fn()                                   # warm all before timing
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            for name, _, fn in variants:
+                start = time.perf_counter()
+                for _ in range(INNER):
+                    fn()
+                samples[name].append((time.perf_counter() - start) / INNER)
+    finally:
+        gc.enable()
+
+    results = {}
+    base = None
+    for name, instructions, _ in variants:
+        per_run_us = statistics.median(samples[name]) * 1e6
+        if base is None:
+            base = per_run_us
+        results[name] = {
+            "instructions": instructions,
+            "per_run_us": per_run_us,
+            "speedup_vs_dict_env": base / per_run_us,
+        }
+    results["meta"] = {
+        "layers": LAYERS, "elems": ELEMS, "fused_ops": fused_ops,
+        "inner": INNER, "repeats": REPEATS,
+    }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless flat+fused >= node-walk "
+                             "(within the noise allowance)")
+    parser.add_argument("--threshold", type=float, default=1.0,
+                        help="required flat+fused/node-walk speedup")
+    parser.add_argument("--noise", type=float, default=0.02,
+                        help="fractional noise allowance on the gate")
+    args = parser.parse_args(argv)
+
+    results = run_bench()
+    rows = []
+    for name in ("dict-env", "node-walk", "flat", "flat+fused"):
+        row = results[name]
+        rows.append([name, row["instructions"],
+                     "%.2f" % row["per_run_us"],
+                     "%.2fx" % row["speedup_vs_dict_env"]])
+    print(format_table(
+        ["executor", "instructions", "us/run", "vs dict-env"], rows,
+        title="Lowering ladder (%d layers x %d elems, %d ops fused)"
+              % (LAYERS, ELEMS, results["meta"]["fused_ops"])))
+
+    label = os.environ.get("BENCH_LABEL")
+    path = save_results("lowering" + ("-" + label if label else ""),
+                        results)
+    print("results written to %s" % path)
+
+    if args.check:
+        speedup = (results["node-walk"]["per_run_us"]
+                   / results["flat+fused"]["per_run_us"])
+        floor = args.threshold * (1.0 - args.noise)
+        print("gate: flat+fused is %.2fx node-walk (floor %.2fx)"
+              % (speedup, floor))
+        if speedup < floor:
+            print("FAIL: lowering made the dispatch-bound graph slower")
+            return 1
+        print("OK: lowered execution holds its speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -116,6 +116,22 @@ _MEMO_SAFE = None
 _MEMO_COUNTS = [0, 0]   # [hits, stale revalidations]
 
 
+def _flush_memo():
+    """Flush the lock-free per-closure memo tallies to COUNTERS.
+
+    Called once per traced top-level run (node-walking and lowered
+    executors both) so the closures stay free of registry locking and
+    the level-2 per-op timings stay free of counter cost.
+    """
+    hits, stale = _MEMO_COUNTS
+    if hits:
+        COUNTERS.inc("executor.memo_hit", hits)
+        _MEMO_COUNTS[0] = 0
+    if stale:
+        COUNTERS.inc("executor.memo_stale", stale)
+        _MEMO_COUNTS[1] = 0
+
+
 def _memo_safe_types():
     """Types whose identity *alone* pins internal form and guard verdict.
 
@@ -527,16 +543,7 @@ class GraphExecutor:
             run_state.commit(self._py_objects_transitive())
             run_state.stats["nodes_executed"] += len(self._instructions)
             if TRACER.level:
-                # Flush the lock-free per-closure memo tallies once per
-                # run so the closures stay free of registry locking and
-                # the level-2 per-op timings stay free of counter cost.
-                hits, stale = _MEMO_COUNTS
-                if hits:
-                    COUNTERS.inc("executor.memo_hit", hits)
-                    _MEMO_COUNTS[0] = 0
-                if stale:
-                    COUNTERS.inc("executor.memo_stale", stale)
-                    _MEMO_COUNTS[1] = 0
+                _flush_memo()
                 TRACER.complete("op", "run:%s" % self.graph.name,
                                 run_start,
                                 time.perf_counter() - run_start,

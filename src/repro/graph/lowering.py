@@ -1,0 +1,550 @@
+"""Graph lowering: fused kernels and flat register-slot programs.
+
+The paper's performance claim (§4.3, Table 3) is that once speculative
+assumptions are burned in, a JANUS graph should run at symbolic-framework
+speed — "the only residual cost is checking the assumptions".  The
+node-walking :class:`~repro.graph.executor.GraphExecutor` gets most of
+the way there but still pays per-node Python dispatch: a tuple unpack, a
+kind-string compare, and one call frame per op.  This module is the
+ROADMAP "graph lowering" item that removes the remainder, mirroring the
+``full_rewrite → ProgramSpec → CompiledRunner`` lowering pipeline of
+modern tensor compilers:
+
+1. **Elementwise fusion** (:class:`~repro.graph.passes.ElementwiseFusion`
+   drives, :func:`fused_kernel_opdef` here generates the kernels):
+   chains of pure elementwise ops collapse into one generated-source
+   numpy closure, registered in :mod:`linecache` so tracebacks and
+   profilers can see the fused body.  One instruction now covers what
+   used to be N.
+
+2. **Linearization** (:class:`LoweredExecutor`): every SSA value already
+   has a preallocated register slot in the executor's flat ``values``
+   list; lowering additionally converts every *instruction* into a bare
+   ``fn(values, run_state)`` closure, so the run loop is
+   ``for fn in program: fn(values, run_state)`` — no dict environment,
+   no per-node dispatch, no interpreter frame between ops.
+
+3. **Guard preamble**: the argument assumptions the graph was
+   specialized under (placeholder dtype/shape specs) are prepended as
+   slot-checked closures that raise
+   :class:`~repro.errors.AssumptionFailed` before any kernel runs, so a
+   lowered program keeps the transactional no-partial-state property of
+   §4.2.3 even when driven directly (bypassing the api-level prechecks).
+
+Lowering is best-effort by design: any construct the linearizer does not
+recognize raises :class:`LoweringBailout`, the caller counts it under
+``lowering.bailout.<reason>``, and execution falls back to the proven
+node-walking executor.  Correctness never depends on lowering.
+
+Fusion boundary rule: only *top-level* graphs are fused.  Nested
+:class:`~repro.graph.core.GraphFunction` bodies (cond/while/invoke) are
+reused across regenerations via the fragment cache and may be
+re-differentiated by autodiff — fused OpDefs carry no ``grad_fn``, so
+fusing them would poison those reuses.  Nested bodies still get the
+flat-closure treatment (step 2) through
+:func:`_lowered_function_executor`.
+
+Paper correspondence: this module is the execution half of §4.3's
+amortization argument and the reproduction's answer to Table 3's
+residual JANUS-vs-symbolic gap (the ROADMAP "lower optimized graphs
+past the Python interpreter" item): §4.2.3's transactional all-or-
+nothing state commit is preserved verbatim (the lowered program shares
+the node-walking executor's ``RunState`` deferred-writeback machinery),
+and the guard preamble keeps §4.2's fail-before-any-effect property
+for directly driven programs.  See docs/lowering.md for the full
+design and measurements.
+"""
+
+import itertools
+import linecache
+
+import numpy as np
+
+from ..errors import AssumptionFailed, ExecutionError
+from ..observability import COUNTERS, METRICS, TRACER
+from ..tensor import PyRef
+from ..ops.registry import OpDef
+from .executor import (RunState, _MEMO_COUNTS, _externalize, _flush_memo,
+                       _function_executor, _internalize, _invoke_memo_key)
+
+import time
+
+
+class LoweringBailout(Exception):
+    """Raised when a graph contains a construct lowering cannot handle.
+
+    ``reason`` is a short dotted token suitable for a counter suffix
+    (``lowering.bailout.<reason>``).
+    """
+
+    def __init__(self, reason):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# -- fused kernel generation -------------------------------------------------
+
+_FUSED_COUNTER = itertools.count()
+
+#: Compiled code objects keyed by generated source text.  The same op
+#: chain with the same wiring generates byte-identical source (kernels
+#: and attrs are reached through namespace bindings, not literals), and
+#: chains repeat heavily — unrolled RNN cells, per-topology TreeNN
+#: regenerations — so caching ``compile()`` output cuts the dominant
+#: cost of fusing a recompile-heavy workload.  Bounded crudely: cleared
+#: when it outgrows _CODE_CACHE_MAX distinct shapes.
+_CODE_CACHE = {}
+_CODE_CACHE_MAX = 512
+
+
+def fused_kernel_opdef(members, ext_index):
+    """Generate one numpy kernel replaying ``members`` in order.
+
+    ``members`` is the fusion group in topological order (last member is
+    the group root whose output survives); ``ext_index`` maps external
+    input edges ``(id(node), index)`` to the fused node's input
+    positions.  Returns ``(op_def, source_name, uid)`` where ``op_def``
+    is a fresh single-output :class:`~repro.ops.registry.OpDef` and
+    ``source_name`` is the linecache-registered filename of the
+    generated source.
+
+    The generated body coerces every intermediate exactly like
+    ``GraphExecutor._make_op_closure`` coerces op results
+    (``r if type(r) is ndarray else asarray(r)``), so a fused chain is
+    bit-for-bit identical to running the member kernels node by node.
+    """
+    uid = next(_FUSED_COUNTER)
+    params = ["x%d" % i for i in range(len(ext_index))]
+    lines = ["def _fused(attrs, %s):" % ", ".join(params)]
+    namespace = {"_nd": np.ndarray, "_as": np.asarray}
+    local = {}
+    for i, node in enumerate(members):
+        kname, aname = "_k%d" % i, "_a%d" % i
+        namespace[kname] = node.op_def.kernel
+        namespace[aname] = node.attrs
+        args = []
+        for inp in node.inputs:
+            edge = (id(inp.node), inp.index)
+            name = local.get(edge)
+            args.append(name if name is not None
+                        else "x%d" % ext_index[edge])
+        lines.append("    v%d = %s(%s, %s)" % (i, kname, aname,
+                                               ", ".join(args)))
+        lines.append("    if v%d.__class__ is not _nd: v%d = _as(v%d)"
+                     % (i, i, i))
+        local[(id(node), 0)] = "v%d" % i
+    lines.append("    return v%d" % (len(members) - 1))
+    source = "\n".join(lines) + "\n"
+    cached = _CODE_CACHE.get(source)
+    if cached is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            _CODE_CACHE.clear()
+        source_name = "<janus-fused-%d>" % uid
+        linecache.cache[source_name] = (len(source), None,
+                                        source.splitlines(True),
+                                        source_name)
+        cached = (compile(source, source_name, "exec"), source_name)
+        _CODE_CACHE[source] = cached
+    code, source_name = cached
+    exec(code, namespace)
+
+    root_out = members[-1].outputs[0]
+    spec = (root_out.shape, root_out.dtype)
+
+    def shape_fn(attrs, in_shapes, in_dtypes, _spec=spec):
+        return [_spec]
+
+    return OpDef("fused", kernel=namespace["_fused"],
+                 shape_fn=shape_fn), source_name, uid
+
+
+def fuse_graph(graph):
+    """Run elementwise fusion on a top-level graph; returns ops fused.
+
+    Must only be called on graphs that will never be differentiated
+    again (see the fusion boundary rule in the module docstring).
+    """
+    from .passes import ElementwiseFusion
+    fusion = ElementwiseFusion()
+    fusion.run(graph)
+    return fusion.fused_ops
+
+
+# -- instruction lowering ----------------------------------------------------
+
+
+def _lower_var_assign(instr):
+    _, variable, in_slot, out_slot = instr
+
+    def run(values, run_state):
+        value = values[in_slot]
+        run_state.var_local[variable] = value
+        values[out_slot] = value
+    return run
+
+
+def _lower_py_get(instr):
+    # Dynamic-receiver heap read: the object arrives on an input edge.
+    _, kind, dyn_slot, key, check, out_slot = instr
+    is_attr = kind == "attr"
+
+    def run(values, run_state, perf=time.perf_counter):
+        ref = values[dyn_slot]
+        if not isinstance(ref, PyRef):
+            raise ExecutionError("py_get on non-PyRef input")
+        obj = ref.obj
+        local_key = (id(obj), kind, key)
+        raw = run_state.py_local.get(local_key)
+        if raw is None:
+            raw = run_state.py_read_cache.get(local_key)
+            if raw is None:
+                raw = _internalize(getattr(obj, key) if is_attr
+                                   else obj[key])
+                if check is not None:
+                    if METRICS.enabled:
+                        guard_start = perf()
+                        try:
+                            check(raw)
+                        finally:
+                            METRICS.observe("guard.check",
+                                            perf() - guard_start)
+                    else:
+                        check(raw)
+                run_state.py_read_cache[local_key] = raw
+        values[out_slot] = raw
+    return run
+
+
+def _lower_py_set(executor, instr):
+    _, kind, static_obj, dyn_slot, key, value_slot, out_slot = instr
+    # Shares the twin executor's registry so commit's transitive object
+    # collection sees receivers first met at run time.
+    py_objects = executor._py_objects
+
+    def run(values, run_state):
+        obj = static_obj if static_obj is not None else values[dyn_slot].obj
+        run_state.py_local[(id(obj), kind, key)] = values[value_slot]
+        py_objects[id(obj)] = obj
+        values[out_slot] = PyRef(obj)
+    return run
+
+
+def _lower_py_call(instr):
+    _, fn, in_slots, out_slots = instr
+    single = out_slots[0] if len(out_slots) == 1 else None
+
+    def run(values, run_state):
+        result = fn(*[_externalize(values[s]) for s in in_slots])
+        # An arbitrary Python call may mutate the heap: cached reads are
+        # now stale (matches GraphExecutor._execute).
+        run_state.py_read_cache.clear()
+        if single is not None:
+            values[single] = _internalize(result)
+        else:
+            for slot, r in zip(out_slots, result):
+                values[slot] = _internalize(r)
+    return run
+
+
+def _lower_invoke(executor, instr):
+    _, node, in_slots, out_slots = instr
+    func = node.func
+    barrier = executor.tensor_write_barrier
+
+    def run(values, run_state):
+        args = [values[s] for s in in_slots]
+        memo_key = _invoke_memo_key(func, args)
+        if memo_key is not None:
+            cached = run_state.invoke_memo.get(memo_key)
+            if cached is not None:
+                for slot, r in zip(out_slots, cached):
+                    values[slot] = r
+                return
+        sub = _lowered_function_executor(func, barrier)
+        results = sub.run(args, run_state)
+        if memo_key is not None:
+            run_state.invoke_memo[memo_key] = results
+        for slot, r in zip(out_slots, results):
+            values[slot] = r
+    return run
+
+
+def _lower_cond(executor, instr):
+    _, node, in_slots, out_slots = instr
+    branches = node.branches
+    barrier = executor.tensor_write_barrier
+    pred_slot = in_slots[0]
+    arg_slots = in_slots[1:]
+
+    def run(values, run_state):
+        branch = branches["true" if bool(np.all(values[pred_slot]))
+                          else "false"]
+        sub = _lowered_function_executor(branch, barrier)
+        results = sub.run([values[s] for s in arg_slots], run_state)
+        for slot, r in zip(out_slots, results):
+            values[slot] = r
+    return run
+
+
+def _lower_while(executor, instr):
+    _, node, in_slots, out_slots = instr
+    cond_func = node.attrs["cond_func"]
+    body_func = node.attrs["body_func"]
+    record_grad = bool(node.attrs.get("record_grad"))
+    max_iters = node.attrs.get("max_iterations", 1_000_000)
+    barrier = executor.tensor_write_barrier
+
+    def run(values, run_state):
+        cond_exec = _lowered_function_executor(cond_func, barrier)
+        body_exec = _lowered_function_executor(body_func, barrier)
+        state = [values[s] for s in in_slots]
+        record = [] if record_grad else None
+        iteration = 0
+        while True:
+            keep_going = cond_exec.run(state, run_state)[0]
+            if not bool(np.all(keep_going)):
+                break
+            if record is not None:
+                record.append(list(state))
+            state = body_exec.run(state, run_state)
+            iteration += 1
+            if iteration > max_iters:
+                raise ExecutionError("while_loop exceeded %d iterations"
+                                     % max_iters)
+        if record is not None:
+            run_state.while_records.setdefault(node, []).append(record)
+        for slot, value in zip(out_slots, state):
+            values[slot] = value
+    return run
+
+
+def _lower_while_grad(executor, instr):
+    _, node, in_slots, out_slots = instr
+    forward = node.attrs["forward_node"]
+    body_grad_func = node.attrs["body_grad_func"]
+    grad_var_count = node.attrs["grad_var_count"]
+    float_mask = node.attrs["float_mask"]
+    n_float = sum(float_mask)
+    barrier = executor.tensor_write_barrier
+
+    def run(values, run_state):
+        stack = run_state.while_records.get(forward)
+        if not stack:
+            raise ExecutionError("while_grad has no recorded iterations")
+        record = stack.pop()
+        body_grad = _lowered_function_executor(body_grad_func, barrier)
+        state_grads = [values[s] for s in in_slots]
+        var_totals = [None] * grad_var_count
+        for iteration_state in reversed(record):
+            results = body_grad.run(list(iteration_state) + state_grads,
+                                    run_state)
+            state_grads = results[:n_float]
+            for i, g in enumerate(results[n_float:]):
+                var_totals[i] = g if var_totals[i] is None \
+                    else var_totals[i] + g
+        outputs = list(state_grads) + [
+            g if g is not None else np.zeros(1, np.float32)
+            for g in var_totals]
+        for slot, value in zip(out_slots, outputs):
+            values[slot] = value
+    return run
+
+
+def _lower_instruction(executor, instr):
+    """One tagged executor instruction → one bare closure (or bail out)."""
+    kind = instr[0]
+    if kind == "closure":
+        return instr[1]
+    if kind == "var_assign":
+        return _lower_var_assign(instr)
+    if kind == "py_get":
+        return _lower_py_get(instr)
+    if kind == "py_set":
+        return _lower_py_set(executor, instr)
+    if kind == "py_call":
+        return _lower_py_call(instr)
+    if kind == "invoke":
+        return _lower_invoke(executor, instr)
+    if kind == "cond":
+        return _lower_cond(executor, instr)
+    if kind == "while":
+        return _lower_while(executor, instr)
+    if kind == "while_grad":
+        return _lower_while_grad(executor, instr)
+    raise LoweringBailout("unsupported_op.%s" % (kind,))
+
+
+# -- guard preamble ----------------------------------------------------------
+
+
+def _build_preamble(executor):
+    """Slot-checked argument guards derived from placeholder specs.
+
+    One closure per tensor placeholder, validating that the bound feed
+    is an ndarray of the specialized dtype whose shape matches the
+    (possibly partial) specialized shape.  PyRef placeholders
+    (``dtype is None``) carry no tensor assumption and are skipped.
+    """
+    ndarray = np.ndarray
+    checks = []
+    for node in executor.graph.placeholders:
+        out = node.outputs[0]
+        if out.dtype is None:
+            continue
+        slot = executor._placeholder_slots[node.attrs["ph_name"]]
+        np_dtype = out.dtype.np_dtype
+        shape_obj = out.shape if out.shape.dims is not None else None
+        name = node.debug_name
+
+        def check(values, run_state=None, slot=slot, np_dtype=np_dtype,
+                  shape_obj=shape_obj, name=name, ndarray=ndarray):
+            arr = values[slot]
+            if arr.__class__ is not ndarray:
+                raise AssumptionFailed(
+                    "lowered feed %s: expected a tensor, got %s"
+                    % (name, type(arr).__name__), site=name, observed=arr)
+            if arr.dtype != np_dtype:
+                raise AssumptionFailed(
+                    "lowered feed %s: dtype %s != specialized %s"
+                    % (name, arr.dtype, np_dtype), site=name, observed=arr)
+            if shape_obj is not None \
+                    and not shape_obj.matches_value(arr.shape):
+                raise AssumptionFailed(
+                    "lowered feed %s: shape %s violates assumption %s"
+                    % (name, arr.shape, shape_obj), site=name,
+                    observed=arr)
+        checks.append(check)
+    return checks
+
+
+# -- the lowered program -----------------------------------------------------
+
+
+class LoweredExecutor:
+    """A flat register-slot program compiled from a node-walking executor.
+
+    Wraps (never replaces) a sequential
+    :class:`~repro.graph.executor.GraphExecutor`: slot assignment,
+    feed order, output slots and the commit machinery are all reused
+    from the twin, so the two executors are interchangeable — same
+    ``run(feeds, run_state)`` contract, same results, same deferred
+    state-update transaction.  What changes is the hot loop: every
+    instruction is a pre-bound ``fn(values, run_state)`` closure and the
+    loop body is a single call, with the per-instruction kind dispatch
+    of ``GraphExecutor._execute`` done once at lowering time instead of
+    once per run.
+    """
+
+    __slots__ = ("executor", "graph", "preamble", "_program", "_labels",
+                 "_slot_count", "_ph_slot_order", "_output_slots")
+
+    def __init__(self, executor, preamble=True):
+        if executor.parallel:
+            # The level-parallel schedule dispatches through the pool;
+            # keep it on the node-walking twin (+PARL beats flat-loop
+            # gains when real cores are available).
+            raise LoweringBailout("parallel_schedule")
+        self.executor = executor
+        self.graph = executor.graph
+        self._program = [_lower_instruction(executor, instr)
+                         for instr in executor._instructions]
+        self._labels = executor._instr_labels
+        self._slot_count = executor._slot_count
+        self._ph_slot_order = executor._ph_slot_order
+        self._output_slots = executor._output_slots
+        self.preamble = _build_preamble(executor) if preamble else []
+
+    @property
+    def instruction_count(self):
+        return len(self._program)
+
+    def run(self, feeds=(), run_state=None):
+        """Execute the lowered program (same contract as GraphExecutor)."""
+        top_level = run_state is None
+        if top_level:
+            run_state = RunState()
+        run_start = time.perf_counter() \
+            if (top_level and (TRACER.level or METRICS.enabled)) else 0.0
+        values = [None] * self._slot_count
+        ph_slots = self._ph_slot_order
+        if len(feeds) != len(ph_slots):
+            raise ExecutionError("graph %s expects %d feeds, got %d"
+                                 % (self.graph.name, len(ph_slots),
+                                    len(feeds)))
+        for slot, value in zip(ph_slots, feeds):
+            values[slot] = value if type(value) is np.ndarray \
+                else _internalize(value)
+        for check in self.preamble:
+            check(values)
+
+        if TRACER.level >= 2:
+            perf = time.perf_counter
+            for fn, (op_name, debug_name) in zip(self._program,
+                                                 self._labels):
+                start = perf()
+                fn(values, run_state)
+                TRACER.complete("op", op_name, start, perf() - start,
+                                level=2, node=debug_name,
+                                graph=self.graph.name, lowered=True)
+        else:
+            for fn in self._program:
+                fn(values, run_state)
+
+        outputs = [values[s] for s in self._output_slots]
+        if top_level:
+            run_state.commit(self.executor._py_objects_transitive())
+            run_state.stats["nodes_executed"] += len(self._program)
+            if TRACER.level:
+                _flush_memo()
+                TRACER.complete("op", "run:%s" % self.graph.name,
+                                run_start,
+                                time.perf_counter() - run_start,
+                                instructions=len(self._program),
+                                lowered=True)
+            if METRICS.enabled and run_start:
+                METRICS.observe("graph.run",
+                                time.perf_counter() - run_start)
+        return outputs
+
+    def __repr__(self):
+        return "LoweredProgram(%s, %d instructions, %d guards)" % (
+            self.graph.name, len(self._program), len(self.preamble))
+
+
+#: Exported alias: the artifact name used by docs and CompiledGraph.
+LoweredProgram = LoweredExecutor
+
+
+def _lowered_function_executor(func, tensor_write_barrier=True):
+    """Lowered executor for a nested GraphFunction, cached; may fall back.
+
+    Builds on top of the cached node-walking nested executor (so both
+    views share one schedule) and caches alongside it in
+    ``func.graph._executor_cache`` — graph mutation clears that cache,
+    invalidating both views together.  Nested bodies are linearized but
+    *not* fused (see the module docstring) and carry no preamble: their
+    inputs come from already-validated slots, not user feeds.  On
+    bailout the node-walking executor itself is cached under the
+    lowered key, so the reason is counted once, not once per call.
+    """
+    base = _function_executor(func, tensor_write_barrier)
+    cache = func.graph._executor_cache
+    cache_key = "lowered" if tensor_write_barrier else "lowered-nobarrier"
+    sub = cache.get(cache_key)
+    if sub is None:
+        try:
+            sub = LoweredExecutor(base, preamble=False)
+        except LoweringBailout as exc:
+            COUNTERS.inc("lowering.bailout.%s" % exc.reason)
+            sub = base
+        cache[cache_key] = sub
+    return sub
+
+
+def lower_executor(executor, preamble=True):
+    """Lower a compiled executor into a :class:`LoweredExecutor`.
+
+    Raises :class:`LoweringBailout` when the schedule cannot be lowered
+    (the caller counts the reason and keeps the node-walking executor).
+    """
+    return LoweredExecutor(executor, preamble=preamble)

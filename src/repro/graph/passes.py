@@ -6,6 +6,21 @@ subexpression elimination, constant folding, and arithmetic
 simplification.  Speculative specialization (section 4.2.2) is what makes
 them bite — once profiled shapes and stable values are burned into the
 graph as constants, folding and simplification cascade.
+
+:class:`ElementwiseFusion` is the lowering-stage entry point (paper
+§4.3's "executing the symbolic graph with decent performance", ROADMAP
+"graph lowering" item): it is *not* part of :data:`DEFAULT_PASSES`
+because it erases per-op node structure (fused nodes carry no
+``grad_fn`` and cannot be re-differentiated), so it runs only on
+top-level graphs immediately before executor compilation — see
+:mod:`repro.graph.lowering` for the stage that invokes it.
+
+Paper correspondence: DCE/CSE/folding/simplification are §3.1's
+"various compiler optimizations" that motivate symbolic execution;
+their leverage comes from §4.2.2's specialization burning profiled
+values in as foldable constants.  :class:`ElementwiseFusion` belongs
+to §4.3/Table 3 (graph execution performance) and is documented in
+docs/lowering.md.
 """
 
 import time
@@ -295,6 +310,142 @@ class ArithmeticSimplification(Pass):
             if cb == 1.0 and keeps(a):
                 return a
         return None
+
+
+#: Pure, shape-preserving-or-broadcasting ops whose kernels compose into
+#: a single fused closure without changing results: every member reads
+#: only its direct inputs, writes one output, and touches no state.
+#: Reductions, matmuls, reshapes and gathers are deliberately absent —
+#: fusing across them would change nothing (they dominate their own
+#: cost) while complicating the group-legality argument.
+ELEMENTWISE_OPS = frozenset([
+    # arithmetic
+    "add", "sub", "mul", "div", "floordiv", "mod", "pow",
+    "maximum", "minimum", "neg", "abs", "sign", "square",
+    # transcendental / activations
+    "exp", "log", "log1p", "expm1", "sqrt", "tanh", "floor",
+    "sigmoid", "relu", "leaky_relu", "clip", "softplus", "elu", "gelu",
+    # comparisons and logic
+    "equal", "not_equal", "less", "less_equal",
+    "greater", "greater_equal",
+    "logical_and", "logical_or", "logical_not",
+    # select / dtype / passthrough
+    "where", "cast", "identity", "stop_gradient",
+    "zeros_like", "ones_like",
+])
+
+
+class ElementwiseFusion(Pass):
+    """Collapse chains of elementwise ops into single fused kernels.
+
+    Greedy reverse-topological grouping: each ungrouped elementwise node
+    becomes a group root, then absorbs producers so long as the producer
+    is (a) itself a fusable single-output op, (b) consumed *only* inside
+    the group, (c) not a graph output, and (d) free of control-dependency
+    edges in either direction.  Conditions (b)+(c) guarantee the
+    intermediate value is unobservable, so erasing it cannot change any
+    result; condition (d) plus producer-only growth guarantees the
+    replacement node cannot create a cycle.  Each group is replaced by
+    one ``fused`` node whose :class:`~repro.ops.registry.OpDef` kernel is
+    a generated-source closure replaying the member kernels in order
+    (see :func:`repro.graph.lowering.fused_kernel_opdef`).
+
+    Not in :data:`DEFAULT_PASSES`: fused OpDefs have no ``grad_fn``, so
+    this pass must only run on graphs that will never be differentiated
+    again — the top-level graph right before executor compilation.
+    Nested :class:`~repro.graph.core.GraphFunction` bodies are reused
+    across regenerations (fragment cache) and may be re-differentiated,
+    so the lowering stage leaves them unfused.
+    """
+
+    name = "elementwise_fusion"
+
+    #: Minimum member count for a group to be worth a generated kernel.
+    MIN_GROUP = 2
+
+    def __init__(self):
+        self.fused_ops = 0       # member ops collapsed in the last run
+        self.fused_kernels = 0   # fused nodes emitted in the last run
+
+    def run(self, graph, ctx=None):
+        from .lowering import fused_kernel_opdef
+        self.fused_ops = 0
+        self.fused_kernels = 0
+        order = _order_of(graph, ctx)
+        consumers, control_users = graph.consumer_info()
+        out_edges = {(id(o.node), o.index) for o in graph.outputs}
+
+        def fusable(node):
+            return (node.op_name in ELEMENTWISE_OPS
+                    and node.op_def is not None
+                    and not node.op_def.stateful
+                    and len(node.outputs) == 1
+                    and not node.control_inputs
+                    and id(node) not in control_users)
+
+        grouped = set()
+        groups = []   # (root, member set)
+        for node in reversed(order):
+            if node in grouped or not fusable(node):
+                continue
+            group = {node}
+            frontier = [node]
+            while frontier:
+                member = frontier.pop()
+                for inp in member.inputs:
+                    prod = inp.node
+                    if prod in group or prod in grouped \
+                            or not fusable(prod):
+                        continue
+                    edge = (id(prod), 0)
+                    if edge in out_edges:
+                        continue
+                    if any(c not in group
+                           for c in consumers.get(edge, ())):
+                        continue
+                    group.add(prod)
+                    frontier.append(prod)
+            if len(group) >= self.MIN_GROUP:
+                groups.append((node, group))
+                grouped |= group
+
+        if not groups:
+            return False
+
+        position = {node: i for i, node in enumerate(order)}
+        replacements = {}
+        for root, group in groups:
+            members = sorted(group, key=position.__getitem__)
+            # External inputs, deduplicated in first-use order; these
+            # become the fused node's input edges / kernel parameters.
+            ext = []
+            ext_index = {}
+            for member in members:
+                for inp in member.inputs:
+                    if inp.node in group:
+                        continue
+                    edge = (id(inp.node), inp.index)
+                    if edge not in ext_index:
+                        ext_index[edge] = len(ext)
+                        ext.append(inp)
+            op_def, source_name, uid = fused_kernel_opdef(members, ext_index)
+            fused = graph.new_node(
+                "fused", op_def=op_def,
+                attrs={"fused_id": uid,
+                       "fused_ops": "|".join(m.op_name for m in members),
+                       "fused_src": source_name},
+                inputs=ext,
+                name="fused_%s" % root.debug_name)
+            root_out = root.outputs[0]
+            new_out = fused.add_output(root_out.shape, root_out.dtype)
+            replacements[(id(root), 0)] = new_out
+            self.fused_ops += len(members)
+        self.fused_kernels = len(groups)
+        _remap_inputs(graph, replacements)
+        graph.remove_nodes(grouped)
+        COUNTERS.inc("lowering.fused_ops", self.fused_ops)
+        COUNTERS.inc("lowering.fused_kernels", self.fused_kernels)
+        return True
 
 
 DEFAULT_PASSES = (

@@ -203,8 +203,11 @@ class JanusFunction:
                     elapsed = time.perf_counter() - gen_start
                     METRICS.observe("graphgen.recompile" if regeneration
                                     else "graphgen.initial", elapsed)
-                    HEALTH.function(self.__name__).record_generation(
-                        elapsed, regeneration)
+                    health = HEALTH.function(self.__name__)
+                    health.record_generation(elapsed, regeneration)
+                    health.record_lowering(
+                        compiled.lowered is not None, compiled.fused_ops,
+                        reason=compiled.lowering_bailout)
                 return compiled
             except NotConvertible as exc:
                 # Figure 2 (C): permanently imperative-only.

@@ -19,6 +19,7 @@ or invalidated.
 import time
 
 from ..graph.executor import GraphExecutor
+from ..graph import lowering as lowering_mod
 from ..observability import COUNTERS, TRACER
 
 
@@ -29,18 +30,29 @@ class CompiledGraph:
     the runtime makes per invocation (``bind_feeds`` /
     ``check_preconditions`` / ``repack_outputs``), so callers never
     reach around it to re-create executors or re-inspect the generator.
+
+    ``lowered`` is the optional fourth-stage artifact (docs/lowering.md):
+    a :class:`~repro.graph.lowering.LoweredProgram` built behind
+    ``JanusConfig.lowering``.  When present, ``run_flat`` prefers it; the
+    node-walking ``executor`` remains the always-correct fallback and
+    the carrier of the binding/commit machinery the program shares.
     """
 
     __slots__ = ("generated", "executor", "signature", "node_count",
-                 "compile_seconds")
+                 "compile_seconds", "lowered", "fused_ops",
+                 "lowering_bailout")
 
     def __init__(self, generated, executor, signature=None,
-                 compile_seconds=0.0):
+                 compile_seconds=0.0, lowered=None, fused_ops=0,
+                 lowering_bailout=None):
         self.generated = generated
         self.executor = executor
         self.signature = signature
         self.node_count = len(generated.graph.nodes)
         self.compile_seconds = compile_seconds
+        self.lowered = lowered
+        self.fused_ops = fused_ops
+        self.lowering_bailout = lowering_bailout
 
     @property
     def graph(self):
@@ -57,11 +69,16 @@ class CompiledGraph:
 
     def run_flat(self, feeds):
         """Execute the precompiled schedule over already-bound feeds."""
+        lowered = self.lowered
+        if lowered is not None:
+            return lowered.run(feeds)
         return self.executor.run(feeds)
 
     def __repr__(self):
-        return "CompiledGraph(%s, %d nodes, compiled in %.1f ms)" % (
-            self.graph.name, self.node_count,
+        detail = "lowered, %d ops fused" % self.fused_ops \
+            if self.lowered is not None else "node-walking"
+        return "CompiledGraph(%s, %d nodes, %s, compiled in %.1f ms)" % (
+            self.graph.name, self.node_count, detail,
             self.compile_seconds * 1e3)
 
 
@@ -99,17 +116,48 @@ def compile_generated(generated, config, signature=None):
     path; everything downstream reuses the artifact.
     """
     start = time.perf_counter()
+    lowering_on = getattr(config, "lowering", True)
+    fused_ops = 0
+    if lowering_on:
+        # Fuse before the executor compiles so the schedule (and the
+        # node-walking fallback) run the same fused graph — bit-for-bit
+        # parity between the two run paths by construction.
+        lower_start = time.perf_counter()
+        with TRACER.span("janus", "lower", graph=generated.graph.name):
+            fused_ops = lowering_mod.fuse_graph(generated.graph)
     executor = GraphExecutor(
         generated.graph, parallel=config.parallel_execution,
         heavy_threshold=getattr(config, "parallel_heavy_ops_threshold", 2),
         tensor_write_barrier=getattr(config, "tensor_write_barrier", True))
+    lowered = None
+    bailout = None
+    if lowering_on:
+        try:
+            lowered = lowering_mod.lower_executor(executor)
+        except lowering_mod.LoweringBailout as exc:
+            bailout = exc.reason
+        except Exception:  # defensive: lowering must never block compile
+            bailout = "error"
+        if lowered is not None:
+            COUNTERS.inc("lowering.graphs_lowered")
+        else:
+            COUNTERS.inc("lowering.bailout.%s" % bailout)
+        COUNTERS.add_time("janus.lower",
+                          time.perf_counter() - lower_start)
+    else:
+        bailout = "disabled"
+        COUNTERS.inc("lowering.bailout.disabled")
     elapsed = time.perf_counter() - start
     COUNTERS.inc("janus.graphs_compiled")
     COUNTERS.add_time("janus.compile", elapsed)
     compiled = CompiledGraph(generated, executor, signature=signature,
-                             compile_seconds=elapsed)
+                             compile_seconds=elapsed, lowered=lowered,
+                             fused_ops=fused_ops,
+                             lowering_bailout=bailout)
     if TRACER.level:
         TRACER.instant("graphgen", "compiled", graph=generated.graph.name,
                        nodes=compiled.node_count,
-                       compile_ms=round(elapsed * 1e3, 3))
+                       compile_ms=round(elapsed * 1e3, 3),
+                       lowered=lowered is not None, fused_ops=fused_ops,
+                       lowering_bailout=bailout)
     return compiled

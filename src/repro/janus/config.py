@@ -11,6 +11,7 @@ The flags map one-to-one onto the optimization stages of paper figure 7:
 """
 
 import copy
+import os
 
 
 class JanusConfig:
@@ -30,7 +31,8 @@ class JanusConfig:
                  graph_cache_entries=64,
                  incremental_regeneration=True,
                  parallel_heavy_ops_threshold=2,
-                 tensor_write_barrier=True):
+                 tensor_write_barrier=True,
+                 lowering=None):
         #: Imperative profiling iterations before generating a graph
         #: (the paper found 3 sufficient — section 3.1 footnote).
         self.profile_runs = profile_runs
@@ -81,6 +83,14 @@ class JanusConfig:
         #: the memo restricted to immutable scalars / PyRefs (the PR-2
         #: behaviour).  See docs/compilation.md#write-barrier.
         self.tensor_write_barrier = tensor_write_barrier
+        #: Lower compiled graphs into fused flat register-slot programs
+        #: (docs/lowering.md).  None defers to the JANUS_LOWERING env
+        #: var (default on; ``JANUS_LOWERING=0`` disables — the CI knob
+        #: that keeps the node-walking fallback path green).  Lowering
+        #: never affects results: unsupported constructs bail out to the
+        #: node-walking executor, counted as ``lowering.bailout.*``.
+        self.lowering = (os.environ.get("JANUS_LOWERING", "1") != "0") \
+            if lowering is None else bool(lowering)
 
     def copy(self, **overrides):
         new = copy.copy(self)

@@ -131,6 +131,12 @@ class SpeculationHealth:
         self.recompiles = 0             # regenerations after the first build
         self.cache_evictions = 0
         self.cache_invalidations = 0
+        self.lowered_graphs = 0         # generations that produced a
+                                        # lowered program
+        self.lowering_bailouts = 0      # generations that fell back to
+                                        # the node-walking executor
+        self.fused_ops = 0              # elementwise ops collapsed, total
+        self.last_lowering_bailout = None
         self.imperative_only = False
         self.consecutive_graph_runs = 0
         #: Sliding window of recent call outcomes: "graph", "profile",
@@ -292,6 +298,20 @@ class SpeculationHealth:
                         entry["recompile_s"] = seconds
                         break
 
+    def record_lowering(self, lowered, fused_ops, reason=None):
+        """One compile's lowering outcome (docs/lowering.md).
+
+        ``lowered`` — whether a flat program was produced; ``fused_ops``
+        — elementwise ops collapsed into fused kernels this compile;
+        ``reason`` — bailout token when lowering fell back.
+        """
+        if lowered:
+            self.lowered_graphs += 1
+        else:
+            self.lowering_bailouts += 1
+            self.last_lowering_bailout = reason
+        self.fused_ops += int(fused_ops)
+
     def record_fragment(self, site, reused):
         sh = self.site(site)
         if reused:
@@ -324,6 +344,10 @@ class SpeculationHealth:
             "recompiles": self.recompiles,
             "cache_evictions": self.cache_evictions,
             "cache_invalidations": self.cache_invalidations,
+            "lowered_graphs": self.lowered_graphs,
+            "lowering_bailouts": self.lowering_bailouts,
+            "fused_ops": self.fused_ops,
+            "last_lowering_bailout": self.last_lowering_bailout,
             "imperative_only": self.imperative_only,
             "consecutive_graph_runs": self.consecutive_graph_runs,
             "graph_hit_ratio": self.graph_hit_ratio,
@@ -340,8 +364,10 @@ class SpeculationHealth:
         for field in ("calls", "graph_runs", "imperative_runs",
                       "profile_runs", "fallbacks", "graphs_generated",
                       "recompiles", "cache_evictions",
-                      "cache_invalidations", "consecutive_graph_runs"):
+                      "cache_invalidations", "consecutive_graph_runs",
+                      "lowered_graphs", "lowering_bailouts", "fused_ops"):
             setattr(health, field, int(snap.get(field, 0)))
+        health.last_lowering_bailout = snap.get("last_lowering_bailout")
         health.imperative_only = bool(snap.get("imperative_only", False))
         health.recent.extend(snap.get("recent", ()))
         health.failure_chain = list(snap.get("failure_chain",
@@ -413,16 +439,26 @@ def format_health_table(registry):
     if not functions:
         return []
     lines = [
-        "  %-24s %-13s %6s %8s %9s %6s %6s %8s"
+        "  %-24s %-13s %6s %8s %9s %6s %6s %8s %8s"
         % ("function", "state", "calls", "hit%", "fallback", "recomp",
-           "fail", "frag-re%")]
+           "fail", "frag-re%", "lowered")]
     for health in functions:
         reuse = health.fragment_reuse_ratio
         failures = sum(s.failures for s in health.sites.values())
+        generated = health.lowered_graphs + health.lowering_bailouts
+        if not generated:
+            lowered = "-"
+        elif health.lowered_graphs:
+            lowered = "%d/%d" % (health.lowered_graphs, generated)
+            if health.fused_ops:
+                lowered += "*"   # at least one fused kernel emitted
+        else:
+            lowered = health.last_lowering_bailout or "0/%d" % generated
         lines.append(
-            "  %-24s %-13s %6d %7.1f%% %9d %6d %6d %8s"
+            "  %-24s %-13s %6d %7.1f%% %9d %6d %6d %8s %8s"
             % (health.name[:24], health.state, health.calls,
                health.graph_hit_ratio * 100.0, health.fallbacks,
                health.recompiles, failures,
-               "-" if reuse is None else "%.0f%%" % (reuse * 100.0)))
+               "-" if reuse is None else "%.0f%%" % (reuse * 100.0),
+               lowered[:8]))
     return lines

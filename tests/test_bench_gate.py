@@ -95,6 +95,92 @@ class TestRelativeRatioMath:
         assert _run(tmp_path, baseline, [current], ["--relative"]) == 2
 
 
+class TestImperativeDriftHandling:
+    def test_eager_speedup_excludes_model_from_ratio_gate(self, tmp_path):
+        """A PR that speeds up the eager path halves the ratio; the
+        drift detector must recognize the stale baseline instead of
+        reporting a phantom JANUS regression (ROADMAP, relative-gate
+        baseline)."""
+        baseline = {"LeNet": _row(100.0, 50.0)}           # ratio 2.0
+        faster_eager = {"LeNet": _row(100.0, 100.0)}      # ratio 1.0
+        assert _run(tmp_path, baseline, [faster_eager],
+                    ["--relative"]) == 0
+        # The same drop with a *stable* imperative column is a real
+        # runtime regression and still fails.
+        slower = {"LeNet": _row(50.0, 50.0)}
+        assert _run(tmp_path, baseline, [slower], ["--relative"]) == 1
+
+    def test_drift_allowance_configurable(self, tmp_path):
+        baseline = {"LeNet": _row(100.0, 50.0)}
+        drifted = {"LeNet": _row(70.0, 60.0)}   # imp +20%, ratio -30%
+        assert _run(tmp_path, baseline, [drifted], ["--relative"]) == 0
+        # Widening the allowance past the drift re-engages the gate.
+        assert _run(tmp_path, baseline, [drifted],
+                    ["--relative", "--imperative-drift", "0.5"]) == 1
+
+    def test_drifted_model_still_gated_absolutely(self, tmp_path):
+        baseline = {"LeNet": _row(100.0, 50.0)}
+        both_down = {"LeNet": _row(60.0, 100.0)}
+        assert _run(tmp_path, baseline, [both_down],
+                    ["--relative"]) == 0       # excluded from ratio
+        assert _run(tmp_path, baseline, [both_down]) == 1  # absolute
+
+
+class TestSymbolicParityGate:
+    def _parity_row(self, janus, symbolic):
+        return {"janus": janus, "symbolic": symbolic, "imperative": 10.0,
+                "unit": "samples/s"}
+
+    def _parity(self, tmp_path, currents, extra=()):
+        argv = ["--current"] + [
+            _write(tmp_path, "parity-%d.json" % i, models)
+            for i, models in enumerate(currents)]
+        argv += ["--symbolic-parity", "--parity-models",
+                 "ResNet", "Inception", "LM", "TreeRNN"]
+        return check_regression.main(argv + list(extra))
+
+    def test_three_of_four_passes(self, tmp_path):
+        run = {"ResNet": self._parity_row(100.0, 95.0),
+               "Inception": self._parity_row(100.0, 101.0),
+               "LM": self._parity_row(120.0, 100.0),
+               "TreeRNN": self._parity_row(30.0, 100.0)}
+        assert self._parity(tmp_path, [run]) == 0
+
+    def test_two_of_four_fails(self, tmp_path):
+        run = {"ResNet": self._parity_row(100.0, 95.0),
+               "Inception": self._parity_row(80.0, 101.0),
+               "LM": self._parity_row(120.0, 100.0),
+               "TreeRNN": self._parity_row(30.0, 100.0)}
+        assert self._parity(tmp_path, [run]) == 1
+
+    def test_tolerance_defines_parity(self, tmp_path):
+        """0.95 tolerance: 3% behind still counts as parity (the two
+        modes run identical kernels; the residue is scheduling noise)."""
+        run = {"ResNet": self._parity_row(97.0, 100.0),
+               "Inception": self._parity_row(97.0, 100.0),
+               "LM": self._parity_row(97.0, 100.0),
+               "TreeRNN": self._parity_row(30.0, 100.0)}
+        assert self._parity(tmp_path, [run]) == 0
+        assert self._parity(tmp_path, [run],
+                            ["--parity-tolerance", "1.0"]) == 1
+
+    def test_median_across_runs(self, tmp_path):
+        good = {m: self._parity_row(100.0, 95.0)
+                for m in ("ResNet", "Inception", "LM", "TreeRNN")}
+        noisy = {m: self._parity_row(40.0, 95.0)
+                 for m in ("ResNet", "Inception", "LM", "TreeRNN")}
+        assert self._parity(tmp_path, [good, noisy, good]) == 0
+        assert self._parity(tmp_path, [noisy, good, noisy]) == 1
+
+    def test_no_baseline_needed(self, tmp_path):
+        run = {m: self._parity_row(100.0, 95.0)
+               for m in ("ResNet", "Inception", "LM", "TreeRNN")}
+        argv = ["--baseline", str(tmp_path / "absent.json"),
+                "--current", _write(tmp_path, "p.json", run),
+                "--symbolic-parity"]
+        assert check_regression.main(argv) == 0
+
+
 class TestAbsoluteGateStillWorks:
     def test_pass_and_fail(self, tmp_path):
         baseline = {"LeNet": _row(100.0, 50.0)}

@@ -1,0 +1,142 @@
+"""Differential suite for graph lowering: flat programs vs the oracle.
+
+Lowering (docs/lowering.md) re-encodes a compiled schedule — fused
+kernels plus a flat closure loop — without changing semantics.  The
+strongest statement of that claim is differential: the same randomized
+heap-mutating programs the write-barrier suite uses
+(:mod:`test_write_barrier_differential`) must produce bit-for-bit
+identical results whether a JANUS function runs the node-walking
+executor (``lowering=False``) or the lowered program (``lowering=True``)
+— and both must match the pure imperative oracle after every mutation.
+
+The generator is imported, not copied: any program shape or mutation
+kind added there automatically extends this suite.  Each seed runs both
+arms on identical inputs through warmup, a mutation storm, and the
+post-regeneration calls; besides equality, the lowered arm must prove
+it actually engaged (``lowering.graphs_lowered`` advanced) so a silent
+global bailout cannot green the suite.
+"""
+
+import linecache
+import random
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from repro.observability import COUNTERS, clear, set_trace_level, trace_level
+
+from test_write_barrier_differential import (_apply_mutation, _gen_program,
+                                             _mutation_pool, _vec)
+
+#: Seeded programs; each runs a lowered and a node-walking arm.
+SEEDS = 30
+
+
+def counters():
+    return dict(COUNTERS.snapshot()["counters"])
+
+
+@pytest.fixture(autouse=True)
+def _traced():
+    prev = trace_level()
+    set_trace_level(max(prev, 1))
+    try:
+        yield
+    finally:
+        set_trace_level(prev)
+        clear()
+
+
+def _run_arms(seed):
+    """One generated program, two arms on identical call sequences.
+
+    Returns the per-call outputs of the lowered arm, the node-walking
+    arm, and the imperative oracle, aligned call for call.  Heap
+    mutations are applied to both arms' models from one mutation plan
+    (each arm owns its model instance, regenerated from the same seed,
+    so the arms cannot observe each other's guard fallout).
+    """
+    outs = {"lowered": [], "walking": [], "oracle": []}
+    plans = None
+    for arm, lowering in (("lowered", True), ("walking", False)):
+        prog, m, used, has_branch, filename = _gen_program(
+            seed, "lowdiff-%s" % arm)
+        rng = random.Random(9_000 + seed)
+        nprng = np.random.default_rng(30_000 + seed)
+        cfg = janus.JanusConfig(fail_on_not_convertible=True,
+                                parallel_execution=False,
+                                profile_runs=2,
+                                lowering=lowering)
+        f = janus.function(config=cfg)(prog)
+
+        x_pos = R.constant(np.abs(_vec(nprng)) + 0.1)
+        state = {"x": x_pos, "x_neg": R.constant(-(x_pos.numpy()))}
+
+        pool = _mutation_pool(used, has_branch)
+        rng.shuffle(pool)
+        plan = pool[:rng.randint(1, min(3, len(pool)))]
+        if plans is None:
+            plans = plan
+        else:
+            assert plan == plans, (seed, "arms diverged on mutation plan")
+
+        try:
+            for _ in range(4):
+                out = f(state["x"])
+                outs[arm].append(out.numpy())
+                if arm == "lowered":
+                    outs["oracle"].append(f.func(state["x"]).numpy())
+            assert f.stats["graph_runs"] > 0, (seed, arm, f.stats)
+            for kind in plan:
+                _apply_mutation(kind, m, nprng, state)
+                for _ in range(2):
+                    out = f(state["x"])
+                    outs[arm].append(out.numpy())
+                    if arm == "lowered":
+                        outs["oracle"].append(f.func(state["x"]).numpy())
+        finally:
+            linecache.cache.pop(filename, None)
+    return outs
+
+
+def test_lowered_vs_node_walking_vs_imperative():
+    before = counters()
+    for seed in range(SEEDS):
+        outs = _run_arms(seed)
+        assert len(outs["lowered"]) == len(outs["walking"]) \
+            == len(outs["oracle"])
+        for k, (lo, wa, im) in enumerate(zip(outs["lowered"],
+                                             outs["walking"],
+                                             outs["oracle"])):
+            assert np.array_equal(lo, wa), (seed, k, "lowered!=walking")
+            assert np.array_equal(lo, im), (seed, k, "lowered!=oracle")
+    after = counters()
+    # The lowered arms must actually have lowered graphs, and the
+    # node-walking arms must actually have declined to.
+    assert after.get("lowering.graphs_lowered", 0) \
+        > before.get("lowering.graphs_lowered", 0)
+    assert after.get("lowering.bailout.disabled", 0) \
+        > before.get("lowering.bailout.disabled", 0)
+
+
+def test_fusion_engages_across_generated_programs():
+    """At least some generated programs contain fusable chains."""
+    before = counters()
+    for seed in range(6):
+        prog, m, used, has_branch, filename = _gen_program(seed, "lowfuse")
+        nprng = np.random.default_rng(40_000 + seed)
+        cfg = janus.JanusConfig(fail_on_not_convertible=True,
+                                parallel_execution=False, profile_runs=2,
+                                lowering=True)
+        f = janus.function(config=cfg)(prog)
+        x = R.constant(np.abs(_vec(nprng)) + 0.1)
+        try:
+            for _ in range(4):
+                out = f(x)
+                assert np.array_equal(out.numpy(), f.func(x).numpy()), seed
+        finally:
+            linecache.cache.pop(filename, None)
+    assert counters().get("lowering.fused_ops", 0) \
+        > before.get("lowering.fused_ops", 0)
