@@ -5,6 +5,9 @@
 #                      print the text summary (docs/observability.md)
 #   make stats-demo  - run the demo with metrics/health on, save a
 #                      janus-stats bundle, and smoke-check the report
+#   make test-concurrency - the threaded dispatch + serving suites
+#                      (hash seed pinned so generated programs and any
+#                      dict-order-sensitive interleavings reproduce)
 #   make bench       - regenerate the paper-evaluation tables/figures
 #   make bench-check - run Table 3 three times and fail on >10% median
 #                      regression vs benchmarks/results/baseline_table3.json
@@ -14,8 +17,12 @@
 #                      models), then gate level-0 observability overhead
 #                      (<2% of the quickstart step) and the lowering
 #                      dispatch micro-benchmark (flat+fused >= node-walk)
+#                      and the serving-throughput gate (4 clients >=
+#                      1.5x one client on multi-core hosts; skipped
+#                      with a logged reason on 1-core hosts)
 #   make ci          - tier-1 tests (lowering on, then JANUS_LOWERING=0)
-#                      + the gated benchmark (what CI runs)
+#                      + the concurrency suites + the gated benchmark
+#                      (what CI runs)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -28,8 +35,8 @@ GATE_LABELS := $(shell seq 1 $(GATE_RUNS))
 GATE_FILES := $(foreach n,$(GATE_LABELS),\
 	benchmarks/results/table3_throughput-gate-run$(n).json)
 
-.PHONY: test test-nolowering test-differential trace-demo stats-demo \
-	bench bench-check ci
+.PHONY: test test-nolowering test-differential test-concurrency \
+	trace-demo stats-demo bench bench-check ci
 
 #: Where the stats-demo smoke step writes its artifacts (kept out of the
 #: repo tree so gate runs never leave untracked files behind).
@@ -50,6 +57,16 @@ test-nolowering:
 # failure context, as CI does.
 test-differential:
 	$(PYTHON) -m pytest tests/test_write_barrier_differential.py -q
+
+# The concurrency-safe dispatch + multi-tenant serving suites: threaded
+# differential runs against the imperative oracle, cold-start stampede
+# and assumption-failure storm single-flight guarantees, admission and
+# batching behaviour.  PYTHONHASHSEED is pinned so the generated
+# programs and any hash-order-dependent interleavings reproduce
+# run-to-run (docs/serving.md).
+test-concurrency:
+	PYTHONHASHSEED=0 $(PYTHON) -m pytest tests/test_concurrency.py \
+		tests/test_serving.py -q
 
 trace-demo:
 	JANUS_TRACE=2 $(PYTHON) -m repro.observability.demo --out trace.json
@@ -85,5 +102,6 @@ bench-check:
 		--current $(GATE_FILES)
 	$(PYTHON) benchmarks/bench_observability_overhead.py --check
 	$(PYTHON) benchmarks/bench_lowering.py --check
+	$(PYTHON) benchmarks/bench_serving.py --check
 
-ci: test test-nolowering bench-check
+ci: test test-nolowering test-concurrency bench-check

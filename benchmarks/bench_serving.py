@@ -1,0 +1,192 @@
+"""Multi-tenant serving throughput vs client concurrency.
+
+The serving layer (:mod:`repro.serving`, docs/serving.md) claims that
+shape-compatible dynamic batching turns concurrent clients into
+throughput: while one graph run is in flight, arriving requests queue
+up, and the next dispatch coalesces them into a single stacked
+execution whose cost is dominated by the same per-call dispatch
+overhead a single request pays.  This bench measures end-to-end
+request throughput through a ``Server`` at 1, 2, 4, and 8 client
+threads against one warm ``janus.function`` endpoint, with
+``batch_linger_s=0`` so batches form only from natural queueing (no
+artificial latency is traded for the throughput number).
+
+``--check`` gates the claim: on a multi-core host, 4 client threads
+must reach at least ``--threshold`` (default 1.5x) the single-client
+throughput.  On a single-core host the gate is **skipped with a logged
+reason** — the dispatcher and the clients then share one core, so the
+4-client run measures scheduler contention as much as batching, and a
+threshold there would gate the host, not the code.  Run standalone or
+via ``make bench-check``::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --check
+
+``BENCH_LABEL=foo`` writes ``results/serving-foo.json``.
+"""
+
+import argparse
+import gc
+import os
+import statistics
+import sys
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import format_table, save_results  # noqa: E402
+
+#: Client-thread counts swept (first entry is the baseline).
+CLIENTS = (1, 2, 4, 8)
+#: Requests each client issues per timed round.
+REQUESTS_PER_CLIENT = 60
+#: Timed rounds per client count (median reported).
+REPEATS = 3
+#: Input rows x features per request.
+ROWS, FEATURES = 4, 32
+
+
+def build_endpoint():
+    import repro as R
+    from repro import janus
+
+    rng = np.random.default_rng(11)
+    w1 = R.constant(rng.normal(size=(FEATURES, FEATURES),
+                               scale=0.1).astype(np.float32))
+    w2 = R.constant(rng.normal(size=(FEATURES, FEATURES),
+                               scale=0.1).astype(np.float32))
+
+    @janus.function(config=janus.JanusConfig(
+        fail_on_not_convertible=True, parallel_execution=False,
+        profile_runs=2))
+    def predict(x):
+        h = R.tanh(R.matmul(x, w1))
+        return R.matmul(h, w2)
+
+    return predict
+
+
+def _timed_round(server, n_clients, request):
+    barrier = threading.Barrier(n_clients + 1)
+    errors = []
+
+    def client(_):
+        barrier.wait()
+        try:
+            for _ in range(REQUESTS_PER_CLIENT):
+                server.call("predict", request)
+        except Exception as exc:  # noqa: BLE001 - fails the bench
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join(120.0)
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return (n_clients * REQUESTS_PER_CLIENT) / elapsed
+
+
+def run_bench():
+    import repro as R
+    from repro.observability import SERVING
+    from repro.serving import Server, ServingConfig
+
+    predict = build_endpoint()
+    rng = np.random.default_rng(23)
+    request = R.constant(rng.normal(size=(ROWS, FEATURES))
+                         .astype(np.float32))
+    # Warm outside the server: profile, generate, and settle the graph
+    # so every timed round measures steady-state serving.
+    for _ in range(6):
+        predict(request)
+    assert predict.stats["graph_runs"] > 0, predict.stats
+
+    results = {}
+    with Server(ServingConfig(max_batch_size=8, batch_linger_s=0.0,
+                              max_queue_depth=256)) as server:
+        server.register("predict", predict)
+        server.call("predict", request)        # warm the dispatcher
+        gc.collect()
+        gc.disable()
+        try:
+            for n in CLIENTS:
+                SERVING.clear()
+                samples = [_timed_round(server, n, request)
+                           for _ in range(REPEATS)]
+                snap = SERVING.snapshot()
+                dispatches = max(1, snap["batches"])
+                results["%d-client" % n] = {
+                    "clients": n,
+                    "requests_per_s": statistics.median(samples),
+                    "mean_batch": snap["requests"] / dispatches,
+                    "batched_requests": snap["batched_requests"],
+                }
+        finally:
+            gc.enable()
+
+    base = results["1-client"]["requests_per_s"]
+    for row in results.values():
+        row["speedup_vs_1"] = row["requests_per_s"] / base
+    results["meta"] = {
+        "rows": ROWS, "features": FEATURES,
+        "requests_per_client": REQUESTS_PER_CLIENT, "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+    }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless 4 clients reach the threshold "
+                             "over 1 client (multi-core hosts only)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="required 4-client/1-client speedup")
+    args = parser.parse_args(argv)
+
+    results = run_bench()
+    rows = []
+    for n in CLIENTS:
+        row = results["%d-client" % n]
+        rows.append([row["clients"], "%.0f" % row["requests_per_s"],
+                     "%.2f" % row["mean_batch"],
+                     "%.2fx" % row["speedup_vs_1"]])
+    print(format_table(
+        ["clients", "req/s", "mean batch", "vs 1 client"], rows,
+        title="Serving throughput (%dx%d requests, batch<=8, linger 0)"
+              % (ROWS, FEATURES)))
+
+    label = os.environ.get("BENCH_LABEL")
+    path = save_results("serving" + ("-" + label if label else ""),
+                        results)
+    print("results written to %s" % path)
+
+    if args.check:
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            print("gate SKIPPED: host has %d CPU core(s); the 4-client "
+                  "throughput gate needs the dispatcher and clients on "
+                  "separate cores to measure batching rather than "
+                  "scheduler contention" % cores)
+            return 0
+        speedup = results["4-client"]["speedup_vs_1"]
+        print("gate: 4 clients reach %.2fx single-client throughput "
+              "(floor %.2fx)" % (speedup, args.threshold))
+        if speedup < args.threshold:
+            print("FAIL: dynamic batching is not converting concurrency "
+                  "into throughput")
+            return 1
+        print("OK: serving throughput scales with client concurrency")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

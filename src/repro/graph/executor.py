@@ -46,9 +46,15 @@ class RunState:
     """Per-top-level-run mutable state shared with nested subgraph runs."""
 
     __slots__ = ("var_local", "py_local", "while_records", "stats",
-                 "invoke_memo", "py_read_cache")
+                 "invoke_memo", "py_read_cache", "memo_counts")
 
     def __init__(self):
+        #: [memo hits, stale revalidations] for this run's py_get
+        #: closures.  Private to the run (nested executors share the
+        #: RunState), so increments need no lock even under concurrent
+        #: top-level runs; merged into COUNTERS by ``_flush_memo`` when
+        #: the run finishes.
+        self.memo_counts = [0, 0]
         self.var_local = {}        # Variable -> np.ndarray (local copy)
         self.py_local = {}         # (id(obj), kind, key) -> raw value
         self.while_records = {}    # Node -> stack of per-execution records
@@ -108,28 +114,24 @@ def _externalize(raw):
 _MEMO_MISS = object()
 _MEMO_SAFE = None
 
-#: Memo hit/stale tallies, shared by all executors (nested included) and
-#: flushed to COUNTERS at the end of each traced top-level run.  A plain
-#: list mutated without a lock: the per-closure cost of the registry's
-#: lock would dwarf the memo's savings, and under the parallel schedule
-#: a lost increment only skews an advisory metric.
-_MEMO_COUNTS = [0, 0]   # [hits, stale revalidations]
 
+def _flush_memo(run_state):
+    """Merge one run's private memo tallies into COUNTERS.
 
-def _flush_memo():
-    """Flush the lock-free per-closure memo tallies to COUNTERS.
-
-    Called once per traced top-level run (node-walking and lowered
-    executors both) so the closures stay free of registry locking and
-    the level-2 per-op timings stay free of counter cost.
+    The tallies live on the :class:`RunState` — private to the run, so
+    the hot closures increment a plain list without locking — and merge
+    here through ``COUNTERS.inc`` (which takes the registry lock) once
+    per top-level run.  This replaces the old module-global tally list,
+    which lost increments when concurrent runs raced the unlocked
+    read-modify-write and the flush's read-then-zero.
     """
-    hits, stale = _MEMO_COUNTS
+    hits, stale = run_state.memo_counts
     if hits:
         COUNTERS.inc("executor.memo_hit", hits)
-        _MEMO_COUNTS[0] = 0
+        run_state.memo_counts[0] = 0
     if stale:
         COUNTERS.inc("executor.memo_stale", stale)
-        _MEMO_COUNTS[1] = 0
+        run_state.memo_counts[1] = 0
 
 
 def _memo_safe_types():
@@ -366,9 +368,13 @@ class GraphExecutor:
         memo_safe = _memo_safe_types()
         tensor_cls, _ = _lazy_types()
         barrier = self.tensor_write_barrier
-        counts = _MEMO_COUNTS
-        # [heap value, raw form, None | (tv-or-None, version, shape, dtype)]
-        memo = [_MEMO_MISS, None, None]
+        # Single-cell publication: the memo holds one immutable tuple
+        # (value, raw, None | (tv-or-None, version, shape, dtype)) or
+        # None.  Concurrent runs share this closure, so the entry is
+        # read once and published in one store — readers can never see
+        # a value from one validation paired with the raw form of
+        # another (the old three-slot layout could tear that way).
+        memo = [None]
         internalize = _internalize
         ndarray = np.ndarray
         if kind == "attr":
@@ -379,7 +385,7 @@ class GraphExecutor:
                 return obj[key]
 
         def run_get(values, run_state, fetch=fetch, local_key=local_key,
-                    check=check, memo=memo, counts=counts,
+                    check=check, memo=memo,
                     out_slot=out_slot, metrics=METRICS,
                     perf=time.perf_counter):
             raw = run_state.py_local.get(local_key)
@@ -387,11 +393,12 @@ class GraphExecutor:
                 raw = run_state.py_read_cache.get(local_key)
                 if raw is None:
                     value = fetch()
-                    if value is memo[0]:
-                        state = memo[2]
+                    entry = memo[0]
+                    if entry is not None and value is entry[0]:
+                        state = entry[2]
                         if state is None:
-                            raw = memo[1]
-                            counts[0] += 1
+                            raw = entry[1]
+                            run_state.memo_counts[0] += 1
                         else:
                             tv = state[0]
                             arr = value if tv is None else tv.array
@@ -402,11 +409,11 @@ class GraphExecutor:
                                     and arr.shape == state[2] \
                                     and arr.dtype is state[3]:
                                 raw = arr
-                                counts[0] += 1
+                                run_state.memo_counts[0] += 1
                             else:
-                                counts[1] += 1
-                    elif memo[0] is not _MEMO_MISS:
-                        counts[1] += 1
+                                run_state.memo_counts[1] += 1
+                    elif entry is not None:
+                        run_state.memo_counts[1] += 1
                     if raw is None:
                         raw = internalize(value)
                         if check is not None:
@@ -421,9 +428,7 @@ class GraphExecutor:
                                 check(raw)
                         t = type(value)
                         if t in memo_safe:
-                            memo[0] = value
-                            memo[1] = raw
-                            memo[2] = None
+                            memo[0] = (value, raw, None)
                         elif barrier:
                             if t is tensor_cls:
                                 tv = value.value
@@ -433,11 +438,10 @@ class GraphExecutor:
                                 tv = None
                             if (tv is not None and tv.track()) \
                                     or t is ndarray:
-                                memo[0] = value
-                                memo[1] = raw
-                                memo[2] = (tv,
-                                           0 if tv is None else tv.version,
-                                           raw.shape, raw.dtype)
+                                memo[0] = (
+                                    value, raw,
+                                    (tv, 0 if tv is None else tv.version,
+                                     raw.shape, raw.dtype))
                     run_state.py_read_cache[local_key] = raw
             values[out_slot] = raw
         return ("closure", run_get)
@@ -542,8 +546,8 @@ class GraphExecutor:
         if top_level:
             run_state.commit(self._py_objects_transitive())
             run_state.stats["nodes_executed"] += len(self._instructions)
+            _flush_memo(run_state)
             if TRACER.level:
-                _flush_memo()
                 TRACER.complete("op", "run:%s" % self.graph.name,
                                 run_start,
                                 time.perf_counter() - run_start,

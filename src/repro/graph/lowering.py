@@ -57,6 +57,7 @@ design and measurements.
 
 import itertools
 import linecache
+import threading
 
 import numpy as np
 
@@ -64,7 +65,7 @@ from ..errors import AssumptionFailed, ExecutionError
 from ..observability import COUNTERS, METRICS, TRACER
 from ..tensor import PyRef
 from ..ops.registry import OpDef
-from .executor import (RunState, _MEMO_COUNTS, _externalize, _flush_memo,
+from .executor import (RunState, _externalize, _flush_memo,
                        _function_executor, _internalize, _invoke_memo_key)
 
 import time
@@ -92,9 +93,12 @@ _FUSED_COUNTER = itertools.count()
 #: chains repeat heavily — unrolled RNN cells, per-topology TreeNN
 #: regenerations — so caching ``compile()`` output cuts the dominant
 #: cost of fusing a recompile-heavy workload.  Bounded crudely: cleared
-#: when it outgrows _CODE_CACHE_MAX distinct shapes.
+#: when it outgrows _CODE_CACHE_MAX distinct shapes.  Guarded by a lock:
+#: background recompiles can fuse concurrently, and the clear-then-store
+#: sequence must not interleave.
 _CODE_CACHE = {}
 _CODE_CACHE_MAX = 512
+_CODE_CACHE_LOCK = threading.Lock()
 
 
 def fused_kernel_opdef(members, ext_index):
@@ -135,16 +139,17 @@ def fused_kernel_opdef(members, ext_index):
         local[(id(node), 0)] = "v%d" % i
     lines.append("    return v%d" % (len(members) - 1))
     source = "\n".join(lines) + "\n"
-    cached = _CODE_CACHE.get(source)
-    if cached is None:
-        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
-            _CODE_CACHE.clear()
-        source_name = "<janus-fused-%d>" % uid
-        linecache.cache[source_name] = (len(source), None,
-                                        source.splitlines(True),
-                                        source_name)
-        cached = (compile(source, source_name, "exec"), source_name)
-        _CODE_CACHE[source] = cached
+    with _CODE_CACHE_LOCK:
+        cached = _CODE_CACHE.get(source)
+        if cached is None:
+            if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+                _CODE_CACHE.clear()
+            source_name = "<janus-fused-%d>" % uid
+            linecache.cache[source_name] = (len(source), None,
+                                            source.splitlines(True),
+                                            source_name)
+            cached = (compile(source, source_name, "exec"), source_name)
+            _CODE_CACHE[source] = cached
     code, source_name = cached
     exec(code, namespace)
 
@@ -494,8 +499,8 @@ class LoweredExecutor:
         if top_level:
             run_state.commit(self.executor._py_objects_transitive())
             run_state.stats["nodes_executed"] += len(self._program)
+            _flush_memo(run_state)
             if TRACER.level:
-                _flush_memo()
                 TRACER.complete("op", "run:%s" % self.graph.name,
                                 run_start,
                                 time.perf_counter() - run_start,

@@ -18,16 +18,37 @@ returns a loss, and JANUS automatically appends gradient computation and
 parameter-update operations to the generated graph (and uses a gradient
 tape on the imperative path) — the paper's transparent handling of
 automatic differentiation (section 3).
+
+**Concurrency.**  A :class:`JanusFunction` may be called from many
+threads at once (the multi-tenant serving layer in
+:mod:`repro.serving` does exactly that).  Dispatch is RCU-style:
+callers take the *read* side of a per-function
+:class:`~repro.janus.concurrency.RWLock` only for the cheap
+lookup-and-precheck, pin the :class:`CompiledGraph` they retrieved, and
+execute it outside the lock, so warm callers never serialize on each
+other.  Artifact transitions (retiring a failed entry, publishing a
+regenerated one) take the write side — a pointer swap, never a compile.
+Compilation itself is single-flight: per-signature tickets
+(:class:`~repro.janus.concurrency.TicketTable`) guarantee that a
+cold-start stampede produces one compile and an assumption-failure
+storm produces one regeneration; every other caller is served by the
+imperative fallback (§4.3 recovery) in the meantime.  With
+``JanusConfig.recompile_workers > 0`` the ticket winner hands the
+regeneration to a shared background pool and *also* falls back
+imperatively, so the request path never blocks on graph generation.
 """
 
 import functools
+import threading
 import time
 
 from ..errors import AssumptionFailed, NotConvertible
 from ..imperative.tape import GradientTape
-from ..observability import HEALTH, METRICS, TRACER, override_level
+from ..observability import COUNTERS, HEALTH, METRICS, TRACER, \
+    override_level
 from .cache import CacheEntry, GraphCache
 from .compiled import RegenerationSeed, compile_generated
+from .concurrency import RWLock, TicketTable, recompile_pool
 from .config import get_config
 from .fragments import FragmentCache
 from .graphgen import GraphGenerator
@@ -57,7 +78,20 @@ class JanusFunction:
         self.stats = {
             "calls": 0, "imperative_runs": 0, "graph_runs": 0,
             "fallbacks": 0, "graphs_generated": 0,
+            "recompile_tickets": 0, "stampede_fallbacks": 0,
         }
+        #: RCU-style artifact slot: readers (warm callers) share it for
+        #: lookup + precheck and execute the pinned artifact outside it;
+        #: writers hold it only for the retire/publish pointer swaps.
+        self._artifact_lock = RWLock()
+        #: Per-signature single-flight compile tickets.
+        self._tickets = TicketTable()
+        #: Serializes graph generation (the generator reads and splices
+        #: shared profiler/fragment state); never held on the warm path.
+        self._generate_lock = threading.RLock()
+        #: Narrow locks for the shared mutable scalars.
+        self._stats_lock = threading.Lock()
+        self._dirty_lock = threading.Lock()
         functools.update_wrapper(self, func)
         # Speculation-health attribution (populated only while METRICS
         # is enabled): the profiler and cache report relaxations and
@@ -86,9 +120,13 @@ class JanusFunction:
                 return self._call(args)
         return self._call(args)
 
+    def _inc(self, key, amount=1):
+        with self._stats_lock:
+            self.stats[key] += amount
+
     def _call(self, args):
         args = tuple(_ensure_tensor(a) for a in args)
-        self.stats["calls"] += 1
+        self._inc("calls")
         health = HEALTH.function(self.__name__) if METRICS.enabled \
             else None
         if health is not None:
@@ -103,9 +141,17 @@ class JanusFunction:
             return self._run_imperative(args, profile=True)
 
         signature = self.cache.signature_of(args)
-        entry = self.cache.lookup(signature)
-        if entry is not None and not entry.dirty:
-            if self._checked_preconditions(entry.compiled, args):
+        # Read-side critical section: lookup + precheck only.  The
+        # retrieved entry is pinned and executed *after* the lock drops
+        # (RCU), so a slow graph run never delays an artifact swap and a
+        # swap never delays other warm callers.
+        with self._artifact_lock.read():
+            entry = self.cache.lookup(signature)
+            fresh = entry is not None and not entry.dirty
+            valid = fresh and self._checked_preconditions(entry.compiled,
+                                                          args)
+        if fresh:
+            if valid:
                 self.cache.record_hit(entry)
                 if TRACER.level:
                     TRACER.instant("cache_hit", self.__name__,
@@ -125,16 +171,30 @@ class JanusFunction:
         if TRACER.level:
             TRACER.instant("cache_miss", self.__name__,
                            reason="no_entry", signature=repr(signature))
-        compiled = self._generate(signature)
-        if compiled is None:
+        if not self._tickets.claim(signature):
+            # Another caller already owns the compile for this signature
+            # (cold-start stampede or a background regeneration still in
+            # flight): serve imperatively, do not duplicate the work.
+            self._inc("stampede_fallbacks")
+            COUNTERS.inc("dispatch.stampede_fallbacks")
             if health is not None:
-                health.record_imperative_only()
                 health.record_imperative_run()
             return self._run_imperative(args, profile=False)
-        entry = CacheEntry(compiled)
-        self.cache.max_entries = self.config.graph_cache_entries
-        self.cache.store(signature, entry)
-        self.stats["graphs_generated"] += 1
+        try:
+            with self._generate_lock:
+                compiled = self._generate(signature)
+            if compiled is None:
+                if health is not None:
+                    health.record_imperative_only()
+                    health.record_imperative_run()
+                return self._run_imperative(args, profile=False)
+            entry = CacheEntry(compiled)
+            self.cache.max_entries = self.config.graph_cache_entries
+            with self._artifact_lock.write():
+                self.cache.store(signature, entry)
+            self._inc("graphs_generated")
+        finally:
+            self._tickets.release(signature)
         if not self._checked_preconditions(compiled, args):
             self.cache.record_miss(entry)
             self.profiler.record_args(list(args))
@@ -162,13 +222,17 @@ class JanusFunction:
         Called after an assumption failure or failed precheck: the old
         CompiledGraph still holds the bound arg specs the regeneration
         can reuse, and the dirty set accumulated by ``_relax`` tells the
-        incremental generator which fragments must reconvert.
+        incremental generator which fragments must reconvert.  Runs
+        under the artifact write lock so concurrent readers see either
+        the old entry or none — never a half-retired state.
         """
-        entry = self.cache.invalidate(signature)
-        if entry is not None:
-            self.cache.remember_seed(
-                signature, RegenerationSeed(entry.compiled,
-                                            frozenset(self._dirty_sites)))
+        with self._dirty_lock:
+            dirty = frozenset(self._dirty_sites)
+        with self._artifact_lock.write():
+            entry = self.cache.invalidate(signature)
+            if entry is not None:
+                self.cache.remember_seed(
+                    signature, RegenerationSeed(entry.compiled, dirty))
 
     def _generate(self, signature=None):
         """Generate and compile: returns a CompiledGraph artifact (or
@@ -183,7 +247,9 @@ class JanusFunction:
                 incremental = self.config.incremental_regeneration
                 seed = self.cache.take_seed(signature) \
                     if incremental else None
-                dirty = frozenset(self._dirty_sites)
+                with self._dirty_lock:
+                    dirty_snapshot = frozenset(self._dirty_sites)
+                dirty = dirty_snapshot
                 if seed is not None:
                     dirty |= seed.dirty_sites
                 generator = GraphGenerator(
@@ -193,10 +259,15 @@ class JanusFunction:
                     dirty_sites=dirty, seed=seed)
                 generated = generator.generate()
                 # The reconverted graph no longer embeds the relaxed
-                # assumptions; clearing the dirty set lets fragments
-                # recorded during THIS conversion (which legitimately
-                # depend on the now-relaxed sites) be reused next time.
-                self._dirty_sites.clear()
+                # assumptions; retiring them from the dirty set lets
+                # fragments recorded during THIS conversion (which
+                # legitimately depend on the now-relaxed sites) be
+                # reused next time.  Only the snapshot is removed:
+                # sites relaxed by a *concurrent* failure while this
+                # generation ran were not consumed and must stay dirty
+                # (a plain clear() would lose them).
+                with self._dirty_lock:
+                    self._dirty_sites -= dirty_snapshot
                 compiled = compile_generated(generated, self.config,
                                              signature=signature)
                 if gen_start:
@@ -228,9 +299,13 @@ class JanusFunction:
             flat = compiled.run_flat(feeds)
         except AssumptionFailed as exc:
             # Figure 2 (E): no state was committed; fall back, relax,
-            # regenerate with the broken assumption removed.
+            # regenerate with the broken assumption removed.  Under
+            # concurrency every caller pinned to the failing artifact
+            # observes the failure, but exactly one wins the recompile
+            # ticket and owns relax + retire + regeneration; the rest
+            # go straight to the imperative fallback.
             self.cache.record_failure(entry)
-            self.stats["fallbacks"] += 1
+            self._inc("fallbacks")
             self.last_assumption_failure = str(exc)
             if TRACER.level:
                 TRACER.instant("assumption_fail", self.__name__,
@@ -240,8 +315,26 @@ class JanusFunction:
             site, kind = _failure_site(exc)
             if health is not None:
                 health.record_failure(site, kind=kind, guard=str(exc))
-            self._relax(exc)
-            self._retire_entry(signature)
+            if self._tickets.claim(signature):
+                self._inc("recompile_tickets")
+                COUNTERS.inc("dispatch.recompile_tickets")
+                background = self.config.recompile_workers > 0
+                try:
+                    self._relax(exc)
+                    self._retire_entry(signature)
+                finally:
+                    if not background:
+                        # Inline mode: the next call regenerates (under
+                        # its own cold-path ticket) — the historical
+                        # single-caller behaviour.
+                        self._tickets.release(signature)
+                if background:
+                    # The ticket travels with the background job; cold
+                    # callers for this signature keep falling back until
+                    # the regenerated artifact is published.
+                    COUNTERS.inc("dispatch.background_recompiles")
+                    recompile_pool(self.config.recompile_workers).submit(
+                        self._background_regenerate, signature)
             # The measured fallback cost: the imperative re-run this
             # guard failure forced (attributed to the failing site).
             fallback_start = time.perf_counter() if health is not None \
@@ -252,23 +345,51 @@ class JanusFunction:
                 METRICS.observe("fallback.imperative", elapsed)
                 health.record_fallback(site, elapsed, kind=kind)
             return result
-        self.stats["graph_runs"] += 1
+        self._inc("graph_runs")
         if health is not None:
             health.record_graph_run()
         return compiled.repack_outputs(flat)
+
+    def _background_regenerate(self, signature):
+        """Regenerate off the request path (recompile_workers > 0).
+
+        Runs on the shared daemon pool while callers are served by the
+        imperative fallback; the regenerated artifact is published with
+        one write-locked pointer swap.  The signature's single-flight
+        ticket — claimed by the failure that scheduled this job — is
+        released only here, so no caller duplicates the compile while
+        it is in flight.
+        """
+        try:
+            with self._generate_lock:
+                compiled = self._generate(signature)
+            if compiled is not None:
+                entry = CacheEntry(compiled)
+                self.cache.max_entries = self.config.graph_cache_entries
+                with self._artifact_lock.write():
+                    self.cache.store(signature, entry)
+                self._inc("graphs_generated")
+        finally:
+            self._tickets.release(signature)
+
+    @property
+    def recompiles_in_flight(self):
+        """Signatures whose compile/regeneration is currently owned."""
+        return len(self._tickets)
 
     def _relax(self, failure):
         site = failure.site
         if isinstance(site, tuple) and len(site) == 2:
             kind, prof_site = site
-            self._dirty_sites.add(prof_site)
+            with self._dirty_lock:
+                self._dirty_sites.add(prof_site)
             if kind in ("branch", "loop"):
                 self.profiler.force_dynamic(prof_site)
             elif kind in ("attr", "subscr"):
                 self.profiler.relax_attr_spec(prof_site, failure.observed)
 
     def _run_imperative(self, args, profile):
-        self.stats["imperative_runs"] += 1
+        self._inc("imperative_runs")
         if self.optimizer is not None:
             return self._imperative_training_step(args, profile)
         if profile:

@@ -22,8 +22,17 @@ Population and eviction emit ``cache_store`` / ``cache_evict`` /
 ``cache_invalidate`` trace events (retrieval outcomes — ``cache_hit`` /
 ``cache_miss`` — are emitted by :mod:`repro.janus.api`, which knows the
 precheck result); see :mod:`repro.observability`.
+
+The cache is **thread-safe**: every structural operation (lookup / store
+/ invalidate / seed bookkeeping) and every lifetime-total update runs
+under one narrow internal lock, so N concurrent callers share a
+function's cache without torn LRU state or lost counts.  Entries handed
+out by ``lookup`` stay valid after a concurrent ``invalidate`` — the
+caller pins the artifact it retrieved (RCU-style; see
+:mod:`repro.janus.concurrency`), it just won't be found again.
 """
 
+import threading
 from collections import OrderedDict
 
 from ..observability import COUNTERS, HEALTH, METRICS, TRACER
@@ -61,6 +70,10 @@ class GraphCache:
         #: Owning janus.function name for health attribution (set by
         #: the JanusFunction constructor; None for standalone use).
         self.owner = None
+        #: One lock for entries, seeds, and lifetime totals.  RLock:
+        #: ``store`` may evict (and record health) while already inside
+        #: the critical section.
+        self._lock = threading.RLock()
         self._entries = OrderedDict()
         #: signature -> RegenerationSeed left behind by the invalidated
         #: entry for that signature; consumed by the next regeneration.
@@ -81,72 +94,78 @@ class GraphCache:
         return tuple(spec.observe(a).signature() for a in args)
 
     def lookup(self, signature):
-        entry = self._entries.get(signature)
-        if entry is not None:
-            self._entries.move_to_end(signature)
-        return entry
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is not None:
+                self._entries.move_to_end(signature)
+            return entry
 
     # -- outcome accounting -------------------------------------------------
 
     def record_hit(self, entry):
-        entry.hits += 1
-        self.total_hits += 1
+        with self._lock:
+            entry.hits += 1
+            self.total_hits += 1
         COUNTERS.inc("cache.hits")
 
     def record_miss(self, entry=None):
-        if entry is not None:
-            entry.misses += 1
-        self.total_misses += 1
+        with self._lock:
+            if entry is not None:
+                entry.misses += 1
+            self.total_misses += 1
         COUNTERS.inc("cache.misses")
 
     def record_failure(self, entry=None):
-        if entry is not None:
-            entry.failures += 1
-        self.total_failures += 1
+        with self._lock:
+            if entry is not None:
+                entry.failures += 1
+            self.total_failures += 1
         COUNTERS.inc("cache.assumption_failures")
 
     # -- population ----------------------------------------------------------
 
     def store(self, signature, entry):
-        self._entries[signature] = entry
-        self._entries.move_to_end(signature)
-        self.stores += 1
-        COUNTERS.inc("cache.stores")
-        if TRACER.level:
-            TRACER.instant("cache_store", entry.generated.graph.name,
-                           signature=repr(signature),
-                           entries=len(self._entries))
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                evicted_sig, evicted = self._entries.popitem(last=False)
-                self.evictions += 1
-                COUNTERS.inc("cache.evictions")
-                if METRICS.enabled and self.owner is not None:
-                    HEALTH.function(self.owner).record_cache_eviction()
-                if TRACER.level:
-                    TRACER.instant("cache_evict",
-                                   evicted.generated.graph.name,
-                                   signature=repr(evicted_sig),
-                                   hits=evicted.hits,
-                                   entries=len(self._entries))
+        with self._lock:
+            self._entries[signature] = entry
+            self._entries.move_to_end(signature)
+            self.stores += 1
+            COUNTERS.inc("cache.stores")
+            if TRACER.level:
+                TRACER.instant("cache_store", entry.generated.graph.name,
+                               signature=repr(signature),
+                               entries=len(self._entries))
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    evicted_sig, evicted = self._entries.popitem(last=False)
+                    self.evictions += 1
+                    COUNTERS.inc("cache.evictions")
+                    if METRICS.enabled and self.owner is not None:
+                        HEALTH.function(self.owner).record_cache_eviction()
+                    if TRACER.level:
+                        TRACER.instant("cache_evict",
+                                       evicted.generated.graph.name,
+                                       signature=repr(evicted_sig),
+                                       hits=evicted.hits,
+                                       entries=len(self._entries))
 
     def invalidate(self, signature):
         """Drop one entry.  Lifetime totals are unaffected (they are
         accumulated through ``record_*`` at outcome time, not summed over
         live entries), so invalidation no longer erases history."""
-        entry = self._entries.pop(signature, None)
-        if entry is not None:
-            self.invalidations += 1
-            COUNTERS.inc("cache.invalidations")
-            if METRICS.enabled and self.owner is not None:
-                HEALTH.function(self.owner).record_cache_invalidation()
-            if TRACER.level:
-                TRACER.instant("cache_invalidate",
-                               entry.generated.graph.name,
-                               signature=repr(signature),
-                               hits=entry.hits, misses=entry.misses,
-                               failures=entry.failures)
-        return entry
+        with self._lock:
+            entry = self._entries.pop(signature, None)
+            if entry is not None:
+                self.invalidations += 1
+                COUNTERS.inc("cache.invalidations")
+                if METRICS.enabled and self.owner is not None:
+                    HEALTH.function(self.owner).record_cache_invalidation()
+                if TRACER.level:
+                    TRACER.instant("cache_invalidate",
+                                   entry.generated.graph.name,
+                                   signature=repr(signature),
+                                   hits=entry.hits, misses=entry.misses,
+                                   failures=entry.failures)
+            return entry
 
     # -- regeneration seeds ---------------------------------------------------
 
@@ -158,36 +177,42 @@ class GraphCache:
         churning through signatures cannot pin arbitrarily many dead
         graphs alive.
         """
-        self._seeds[signature] = seed
-        self._seeds.move_to_end(signature)
-        while len(self._seeds) > self.MAX_SEEDS:
-            self._seeds.popitem(last=False)
+        with self._lock:
+            self._seeds[signature] = seed
+            self._seeds.move_to_end(signature)
+            while len(self._seeds) > self.MAX_SEEDS:
+                self._seeds.popitem(last=False)
 
     def take_seed(self, signature):
         """Pop and return the seed for *signature* (None if absent)."""
-        return self._seeds.pop(signature, None)
+        with self._lock:
+            return self._seeds.pop(signature, None)
 
     def clear(self):
-        self._entries.clear()
-        self._seeds.clear()
+        with self._lock:
+            self._entries.clear()
+            self._seeds.clear()
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def entries(self):
         """Live entries in LRU order (oldest first); for introspection."""
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     def stats(self):
-        return {
-            "entries": len(self._entries),
-            "lowered_entries": sum(
-                1 for e in self._entries.values()
-                if getattr(e.compiled, "lowered", None) is not None),
-            "hits": self.total_hits,
-            "misses": self.total_misses,
-            "assumption_failures": self.total_failures,
-            "stores": self.stores,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "lowered_entries": sum(
+                    1 for e in self._entries.values()
+                    if getattr(e.compiled, "lowered", None) is not None),
+                "hits": self.total_hits,
+                "misses": self.total_misses,
+                "assumption_failures": self.total_failures,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

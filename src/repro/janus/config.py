@@ -32,7 +32,9 @@ class JanusConfig:
                  incremental_regeneration=True,
                  parallel_heavy_ops_threshold=2,
                  tensor_write_barrier=True,
-                 lowering=None):
+                 lowering=None,
+                 recompile_workers=0,
+                 serving=None):
         #: Imperative profiling iterations before generating a graph
         #: (the paper found 3 sufficient — section 3.1 footnote).
         self.profile_runs = profile_runs
@@ -91,6 +93,20 @@ class JanusConfig:
         #: node-walking executor, counted as ``lowering.bailout.*``.
         self.lowering = (os.environ.get("JANUS_LOWERING", "1") != "0") \
             if lowering is None else bool(lowering)
+        #: Background regeneration workers (docs/serving.md).  0 (the
+        #: default) keeps the historical inline behaviour: the caller
+        #: that wins the recompile ticket pays for regeneration on its
+        #: next call.  > 0 hands regenerations to a shared daemon pool
+        #: so the request path never blocks on graph generation —
+        #: callers are served by the imperative fallback until the new
+        #: artifact is published.
+        self.recompile_workers = int(recompile_workers)
+        #: Serving-layer configuration: None, or a
+        #: :class:`repro.serving.ServingConfig` consumed by
+        #: ``repro.serving.Server`` (max batch size, linger window,
+        #: queue bounds).  Held here so one JanusConfig fully describes
+        #: a deployment; the core runtime ignores it.
+        self.serving = serving
 
     def copy(self, **overrides):
         new = copy.copy(self)

@@ -35,6 +35,8 @@ list append/pop, stacked-list growth) are *poisoned* and never cached:
 splicing them would skip the mutation replay.
 """
 
+import threading
+
 import numpy as np
 
 from ..imperative.eager import Tensor
@@ -209,32 +211,43 @@ class FragmentCache:
     MAX_VARIANTS = 4
 
     def __init__(self):
+        # Regenerations are serialized per function, but fragment reads
+        # can race a concurrent profiler-driven store under multi-tenant
+        # dispatch; one narrow lock keeps the MRU lists and hit/miss
+        # tallies consistent.
+        self._lock = threading.Lock()
         self._by_key = {}
         self.stats = {"hits": 0, "misses": 0, "stores": 0}
 
     def lookup(self, key):
-        """All cached variants for *key* (MRU first)."""
-        return self._by_key.get(key, ())
+        """All cached variants for *key* (MRU first, copied)."""
+        with self._lock:
+            return tuple(self._by_key.get(key, ()))
 
     def touch(self, key, frag):
         """Move *frag* to the front of its variant list after a hit."""
-        variants = self._by_key.get(key)
-        if variants and frag in variants:
-            variants.remove(frag)
-            variants.insert(0, frag)
-        self.stats["hits"] += 1
+        with self._lock:
+            variants = self._by_key.get(key)
+            if variants and frag in variants:
+                variants.remove(frag)
+                variants.insert(0, frag)
+            self.stats["hits"] += 1
 
     def store(self, key, frag):
-        variants = self._by_key.setdefault(key, [])
-        variants.insert(0, frag)
-        del variants[self.MAX_VARIANTS:]
-        self.stats["stores"] += 1
+        with self._lock:
+            variants = self._by_key.setdefault(key, [])
+            variants.insert(0, frag)
+            del variants[self.MAX_VARIANTS:]
+            self.stats["stores"] += 1
 
     def miss(self):
-        self.stats["misses"] += 1
+        with self._lock:
+            self.stats["misses"] += 1
 
     def clear(self):
-        self._by_key.clear()
+        with self._lock:
+            self._by_key.clear()
 
     def __len__(self):
-        return sum(len(v) for v in self._by_key.values())
+        with self._lock:
+            return sum(len(v) for v in self._by_key.values())

@@ -18,6 +18,7 @@ each of which answers ``None`` for "no stable assumption available".
 """
 
 import builtins
+import threading
 import types
 
 import time
@@ -70,52 +71,65 @@ class Profiler:
         #: Owning janus.function name for health attribution (set by
         #: the JanusFunction constructor; None for standalone use).
         self.owner = None
+        #: Guards every read-modify-write on the site table and the
+        #: spec merges — concurrent profiled fallbacks (multi-tenant
+        #: dispatch) must not lose a relaxation or duplicate a site.
+        #: RLock: ``relax_attr_spec`` can recurse through ``merge``
+        #: into recorder callbacks on exotic specs.
+        self._lock = threading.RLock()
 
     # -- site bookkeeping ---------------------------------------------------
 
     def _get_site(self, site, kind):
-        entry = self.sites.get(site)
-        if entry is None:
-            entry = SiteProfile(kind)
-            self.sites[site] = entry
-        return entry
+        with self._lock:
+            entry = self.sites.get(site)
+            if entry is None:
+                entry = SiteProfile(kind)
+                self.sites[site] = entry
+            return entry
 
     # -- recorder callbacks (called from instrumented code) -------------------
 
     def branch(self, site, test):
         value = bool(test)
         entry = self._get_site(site, "branch")
-        if value:
-            entry.true_count += 1
-        else:
-            entry.false_count += 1
+        with self._lock:
+            if value:
+                entry.true_count += 1
+            else:
+                entry.false_count += 1
         return value
 
     def while_test(self, site, test):
         value = bool(test)
         entry = self._get_site(site, "loop")
-        counter = self._while_counts.get(site, 0)
-        if value:
-            self._while_counts[site] = counter + 1
-        else:
-            entry.trip_counts.add(counter)
-            self._while_counts[site] = 0
+        with self._lock:
+            counter = self._while_counts.get(site, 0)
+            if value:
+                self._while_counts[site] = counter + 1
+            else:
+                entry.trip_counts.add(counter)
+                self._while_counts[site] = 0
         return value
 
     def loop(self, site, iterable):
         entry = self._get_site(site, "loop")
-        entry.iterable_spec = spec.merge(entry.iterable_spec,
-                                         spec.observe(iterable))
+        with self._lock:
+            entry.iterable_spec = spec.merge(entry.iterable_spec,
+                                             spec.observe(iterable))
         count = 0
         for item in iterable:
             count += 1
             yield item
-        entry.trip_counts.add(count)
+        # Lock only the bookkeeping — never across the yields above.
+        with self._lock:
+            entry.trip_counts.add(count)
 
     def call(self, site, callee):
         entry = self._get_site(site, "call")
         target = getattr(callee, "__func__", callee)
-        entry.callees.add(target)
+        with self._lock:
+            entry.callees.add(target)
         resolved = self._resolve_callable(callee)
         if resolved is not None:
             func, self_obj = resolved
@@ -150,39 +164,45 @@ class Profiler:
     def attr(self, site, owner, name):
         value = getattr(owner, name)
         entry = self._get_site(site, "attr")
-        entry.owner_spec = spec.merge(entry.owner_spec, spec.observe(owner))
-        observed = spec.observe(value)
-        entry.value_spec = spec.merge(entry.value_spec, observed)
-        prior = entry.per_owner.get(id(owner))
-        entry.per_owner[id(owner)] = (
-            owner, spec.merge(prior[1] if prior else None, observed))
+        with self._lock:
+            entry.owner_spec = spec.merge(entry.owner_spec,
+                                          spec.observe(owner))
+            observed = spec.observe(value)
+            entry.value_spec = spec.merge(entry.value_spec, observed)
+            prior = entry.per_owner.get(id(owner))
+            entry.per_owner[id(owner)] = (
+                owner, spec.merge(prior[1] if prior else None, observed))
         return value
 
     def subscr(self, site, owner, key):
         value = owner[key]
         entry = self._get_site(site, "subscr")
-        entry.owner_spec = spec.merge(entry.owner_spec, spec.observe(owner))
-        if not isinstance(key, slice):
-            entry.value_spec = spec.merge(entry.value_spec,
-                                          spec.observe(value))
+        with self._lock:
+            entry.owner_spec = spec.merge(entry.owner_spec,
+                                          spec.observe(owner))
+            if not isinstance(key, slice):
+                entry.value_spec = spec.merge(entry.value_spec,
+                                              spec.observe(value))
         return value
 
     def ret(self, site, value):
         func_key = site[0]
-        self.return_specs[func_key] = spec.merge(
-            self.return_specs.get(func_key), spec.observe(value))
+        with self._lock:
+            self.return_specs[func_key] = spec.merge(
+                self.return_specs.get(func_key), spec.observe(value))
         return value
 
     def record_args(self, args, signature=None):
         observed = [spec.observe(a) for a in args]
         if signature is None:
             signature = tuple(o.signature() for o in observed)
-        prior = self._arg_specs.get(signature)
-        if prior is None:
-            self._arg_specs[signature] = observed
-        else:
-            self._arg_specs[signature] = [
-                spec.merge(a, b) for a, b in zip(prior, observed)]
+        with self._lock:
+            prior = self._arg_specs.get(signature)
+            if prior is None:
+                self._arg_specs[signature] = observed
+            else:
+                self._arg_specs[signature] = [
+                    spec.merge(a, b) for a, b in zip(prior, observed)]
         return signature
 
     def arg_specs_for(self, signature):

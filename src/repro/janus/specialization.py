@@ -57,24 +57,50 @@ class CallableRegistry:
     Callables that do not support weak references (builtins, some
     C-implemented methods) are held strongly; they are module-lifetime
     objects, so pinning them cannot leak meaningfully.
+
+    Token issuance is race-free under concurrent interning: two threads
+    asking for the same live callable always receive the same token
+    (double-checked insert under the registry lock).  Without that, the
+    same function could appear in two cache signatures under two tokens
+    and the graph cache would silently compile the entry twice — and
+    never hit.  The fast path reads the slot without the lock (a dict
+    probe is atomic); only the insert re-checks under the lock.  The
+    lock is reentrant because creating a weak reference can trigger a
+    garbage-collection pass that runs a *death callback* on this very
+    thread while the lock is held — with a plain lock that is a
+    self-deadlock.
     """
 
     def __init__(self):
         self._slots = {}      # id(fn) -> (weakref-or-strong-ref, token)
         self._next_token = 0
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
+
+    @staticmethod
+    def _live_token(slot, fn):
+        """The slot's token if it still refers to *fn*, else None."""
+        if slot is None:
+            return None
+        ref, token = slot
+        target = ref() if isinstance(ref, weakref.ref) else ref
+        return token if target is fn else None
 
     def token_for(self, fn):
         key = id(fn)
+        # Lock-free fast path: a populated slot for a live callable is
+        # immutable until that callable dies, so a hit needs no lock.
+        token = self._live_token(self._slots.get(key), fn)
+        if token is not None:
+            return token
         with self._lock:
-            slot = self._slots.get(key)
-            if slot is not None:
-                ref, token = slot
-                target = ref() if isinstance(ref, weakref.ref) else ref
-                if target is fn:
-                    return token
-                # Address reuse beat the death callback: fall through
-                # and overwrite with a fresh token.
+            # Double-check: another thread may have interned fn between
+            # the unlocked probe and lock acquisition; issuing a second
+            # token here is exactly the double-compile aliasing bug.
+            token = self._live_token(self._slots.get(key), fn)
+            if token is not None:
+                return token
+            # Slot absent, or address reuse beat the death callback:
+            # issue a fresh token and overwrite.
             token = self._next_token
             self._next_token += 1
             try:

@@ -41,6 +41,7 @@ from .metrics import (METRICS, Histogram, MetricsRegistry, get_metrics,
                       metrics_enabled, set_metrics_enabled)
 from .health import (HEALTH, HealthRegistry, SiteHealth, SpeculationHealth,
                      get_health)
+from .serving import SERVING, ServingStats, get_serving
 from .export import (chrome_trace_events, install_atexit_dump, text_summary,
                      write_chrome_trace)
 from .cli import (load_stats, prometheus_text, render_report,
@@ -54,6 +55,7 @@ __all__ = [
     "metrics_enabled", "set_metrics_enabled",
     "HEALTH", "HealthRegistry", "SiteHealth", "SpeculationHealth",
     "get_health",
+    "SERVING", "ServingStats", "get_serving",
     "chrome_trace_events", "install_atexit_dump", "text_summary",
     "write_chrome_trace",
     "load_stats", "prometheus_text", "render_report", "write_stats_json",
@@ -62,11 +64,13 @@ __all__ = [
 
 
 def clear():
-    """Reset the tracer buffer, counters, histograms, and health models."""
+    """Reset the tracer buffer, counters, histograms, health models, and
+    serving stats."""
     TRACER.clear()
     COUNTERS.clear()
     METRICS.clear()
     HEALTH.clear()
+    SERVING.clear()
 
 
 # Env-var-enabled tracing dumps the trace at interpreter exit.

@@ -35,35 +35,43 @@ import sys
 from .counters import COUNTERS, CounterRegistry
 from .health import HEALTH, HealthRegistry, format_health_table
 from .metrics import METRICS, MetricsRegistry, format_histograms
+from .serving import SERVING, ServingStats, format_serving_table
 
-#: Saved-stats file format tag (bump on incompatible change).
+#: Saved-stats file format tag (bump on incompatible change).  The
+#: ``serving`` section was added within format 1: readers treat it as
+#: optional, so old bundles still load.
 STATS_FORMAT = "janus-stats/1"
 
 
 # -- persistence -------------------------------------------------------------
 
-def stats_payload(metrics=None, health=None, counters=None):
+def stats_payload(metrics=None, health=None, counters=None, serving=None):
     """The JSON-serializable stats bundle for the given registries."""
     return {
         "format": STATS_FORMAT,
         "metrics": (metrics or METRICS).snapshot(),
         "health": (health or HEALTH).snapshot(),
         "counters": (counters or COUNTERS).snapshot(),
+        "serving": (serving or SERVING).snapshot(),
     }
 
 
-def write_stats_json(path, metrics=None, health=None, counters=None):
+def write_stats_json(path, metrics=None, health=None, counters=None,
+                     serving=None):
     """Save the registries for later ``janus-stats`` analysis."""
     with open(path, "w") as fh:
-        json.dump(stats_payload(metrics, health, counters), fh, indent=1)
+        json.dump(stats_payload(metrics, health, counters, serving), fh,
+                  indent=1)
     return path
 
 
 def load_stats(path):
     """Load a saved stats JSON into fresh registries.
 
-    Returns ``(metrics, health, counters)``.  Raises ``ValueError`` on a
-    file that is not a janus-stats bundle (e.g. a raw chrome trace).
+    Returns ``(metrics, health, counters, serving)``.  Raises
+    ``ValueError`` on a file that is not a janus-stats bundle (e.g. a
+    raw chrome trace).  Bundles written before the serving layer load
+    with empty serving stats.
     """
     with open(path) as fh:
         payload = json.load(fh)
@@ -80,7 +88,8 @@ def load_stats(path):
         counters.inc(name, value)
     for name, (count, total) in (counter_snap.get("timers") or {}).items():
         counters._timers[name] = [int(count), float(total)]
-    return metrics, health, counters
+    serving = ServingStats.from_snapshot(payload.get("serving"))
+    return metrics, health, counters, serving
 
 
 # -- report rendering --------------------------------------------------------
@@ -153,11 +162,13 @@ def post_mortem(health, name=None):
     return lines
 
 
-def render_report(metrics=None, health=None, counters=None, function=None):
+def render_report(metrics=None, health=None, counters=None, function=None,
+                  serving=None):
     """The full ``janus-stats`` text report."""
     metrics = metrics if metrics is not None else METRICS
     health = health if health is not None else HEALTH
     counters = counters if counters is not None else COUNTERS
+    serving = serving if serving is not None else SERVING
     lines = ["== janus-stats =="]
 
     health_lines = format_health_table(health)
@@ -167,6 +178,11 @@ def render_report(metrics=None, health=None, counters=None, function=None):
     else:
         lines.append("  (no functions recorded — enable metrics with "
                      "JANUS_METRICS=1 or set_metrics_enabled(True))")
+
+    serving_lines = format_serving_table(serving)
+    if serving_lines:
+        lines.append("-- serving --")
+        lines.extend(serving_lines)
 
     lines.append("-- latency histograms --")
     hist_lines = format_histograms(metrics)
@@ -205,34 +221,40 @@ def _prom_name(name):
     return "".join(out)
 
 
-def prometheus_text(metrics=None, health=None, counters=None):
+def prometheus_text(metrics=None, health=None, counters=None, serving=None):
     """The scrape-friendly subset in Prometheus text exposition format.
 
     Histograms map to the standard ``_bucket``/``_sum``/``_count``
     triple with cumulative ``le`` labels; per-function health maps to
     gauges labelled by function (plus a one-hot ``state`` gauge);
-    counters map to ``janus_counter_total``.
+    counters map to ``janus_counter_total``; the serving layer maps to
+    ``janus_serving_*`` gauges plus queue-depth / batch-size / wait
+    histograms.
     """
     metrics = metrics if metrics is not None else METRICS
     health = health if health is not None else HEALTH
     counters = counters if counters is not None else COUNTERS
+    serving = serving if serving is not None else SERVING
     lines = []
+
+    def emit_histogram(base, hist):
+        lines.append("# TYPE %s histogram" % base)
+        snap = hist.snapshot()
+        cumulative = 0
+        for bound, count in zip(hist.BOUNDS, snap["counts"]):
+            cumulative += count
+            lines.append('%s_bucket{le="%g"} %d'
+                         % (base, bound, cumulative))
+        cumulative += snap["counts"][-1]
+        lines.append('%s_bucket{le="+Inf"} %d' % (base, cumulative))
+        lines.append("%s_sum %g" % (base, snap["sum"]))
+        lines.append("%s_count %d" % (base, snap["count"]))
 
     for name in metrics.names():
         hist = metrics.get(name)
         if hist is None:
             continue
-        base = "janus_%s_seconds" % _prom_name(name)
-        lines.append("# TYPE %s histogram" % base)
-        cumulative = 0
-        for bound, count in zip(hist.BOUNDS, hist.counts):
-            cumulative += count
-            lines.append('%s_bucket{le="%g"} %d'
-                         % (base, bound, cumulative))
-        cumulative += hist.counts[-1]
-        lines.append('%s_bucket{le="+Inf"} %d' % (base, cumulative))
-        lines.append("%s_sum %g" % (base, hist.total))
-        lines.append("%s_count %d" % (base, hist.count))
+        emit_histogram("janus_%s_seconds" % _prom_name(name), hist)
 
     functions = health.functions()
     if functions:
@@ -264,6 +286,26 @@ def prometheus_text(metrics=None, health=None, counters=None):
                     'kind="%s"} %d'
                     % (_prom_escape(fn.name), _prom_escape(key),
                        _prom_escape(sh.kind or "unknown"), sh.failures))
+
+    serving_snap = serving.snapshot()
+    if serving_snap["requests"] or serving_snap["rejected"] \
+            or serving_snap["active_clients"]:
+        serving_gauges = (
+            ("janus_serving_requests_total", "requests"),
+            ("janus_serving_rejected_total", "rejected"),
+            ("janus_serving_batches_total", "batches"),
+            ("janus_serving_batched_requests_total", "batched_requests"),
+            ("janus_serving_active_clients", "active_clients"),
+            ("janus_serving_peak_clients", "peak_clients"),
+            ("janus_serving_recompiles_in_flight", "recompiles_in_flight"),
+        )
+        for metric, key in serving_gauges:
+            lines.append("# TYPE %s gauge" % metric)
+            lines.append("%s %d" % (metric, serving_snap[key]))
+        emit_histogram("janus_serving_queue_depth", serving.queue_depth)
+        emit_histogram("janus_serving_batch_size", serving.batch_size)
+        emit_histogram("janus_serving_queue_wait_seconds",
+                       serving.queue_wait)
 
     counter_snap = counters.snapshot().get("counters", {})
     if counter_snap:
@@ -310,17 +352,20 @@ def main(argv=None):
 
     if args.input:
         try:
-            metrics, health, counters = load_stats(args.input)
+            metrics, health, counters, serving = load_stats(args.input)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print("janus-stats: %s" % exc, file=sys.stderr)
             return 2
     else:
-        metrics, health, counters = METRICS, HEALTH, COUNTERS
+        metrics, health, counters, serving = (METRICS, HEALTH, COUNTERS,
+                                              SERVING)
 
     if args.prometheus:
-        sys.stdout.write(prometheus_text(metrics, health, counters))
+        sys.stdout.write(prometheus_text(metrics, health, counters,
+                                         serving))
     else:
-        print(render_report(metrics, health, counters, args.function))
+        print(render_report(metrics, health, counters, args.function,
+                            serving=serving))
 
     if args.check:
         problems = _selfcheck(metrics, health)

@@ -118,9 +118,17 @@ class SiteHealth:
 
 
 class SpeculationHealth:
-    """Live health model for one ``janus.function``."""
+    """Live health model for one ``janus.function``.
+
+    Thread-safe: every ``record_*`` mutator and ``snapshot`` run under a
+    per-function lock, so concurrent callers (N serving threads sharing
+    one function) never lose an increment or serialize a half-updated
+    failure chain.  RLock because the recording paths call :meth:`site`
+    internally.
+    """
 
     def __init__(self, name):
+        self._lock = threading.RLock()
         self.name = name
         self.calls = 0
         self.graph_runs = 0
@@ -155,12 +163,13 @@ class SpeculationHealth:
 
     def site(self, site, kind=None):
         key = site_key(site)
-        sh = self.sites.get(key)
-        if sh is None:
-            sh = self.sites[key] = SiteHealth(site, kind)
-        if kind is not None and sh.kind is None:
-            sh.kind = kind
-        return sh
+        with self._lock:
+            sh = self.sites.get(key)
+            if sh is None:
+                sh = self.sites[key] = SiteHealth(site, kind)
+            if kind is not None and sh.kind is None:
+                sh.kind = kind
+            return sh
 
     # -- derived signals -----------------------------------------------------
 
@@ -227,76 +236,84 @@ class SpeculationHealth:
     # -- event recording (driven by the runtime) -----------------------------
 
     def record_call(self):
-        self.calls += 1
+        with self._lock:
+            self.calls += 1
 
     def record_graph_run(self):
-        self.graph_runs += 1
-        self.consecutive_graph_runs += 1
-        self.recent.append("graph")
+        with self._lock:
+            self.graph_runs += 1
+            self.consecutive_graph_runs += 1
+            self.recent.append("graph")
 
     def record_profile_run(self):
-        self.profile_runs += 1
-        self.imperative_runs += 1
-        self.consecutive_graph_runs = 0
-        self.recent.append("profile")
+        with self._lock:
+            self.profile_runs += 1
+            self.imperative_runs += 1
+            self.consecutive_graph_runs = 0
+            self.recent.append("profile")
 
     def record_imperative_run(self):
-        self.imperative_runs += 1
-        self.consecutive_graph_runs = 0
-        self.recent.append("imperative")
+        with self._lock:
+            self.imperative_runs += 1
+            self.consecutive_graph_runs = 0
+            self.recent.append("imperative")
 
     def record_failure(self, site, kind=None, guard=None):
-        sh = self.site(site, kind)
-        sh.failures += 1
-        if guard is not None:
-            sh.last_guard = guard
-        self.consecutive_graph_runs = 0
-        if len(self.failure_chain) < MAX_CHAIN:
-            self.failure_chain.append({
-                "site": site_key(site), "kind": kind, "guard": guard,
-                "fallback_s": None, "recompile_s": None,
-            })
-        self._pending_recompile_site = site_key(site)
+        with self._lock:
+            sh = self.site(site, kind)
+            sh.failures += 1
+            if guard is not None:
+                sh.last_guard = guard
+            self.consecutive_graph_runs = 0
+            if len(self.failure_chain) < MAX_CHAIN:
+                self.failure_chain.append({
+                    "site": site_key(site), "kind": kind, "guard": guard,
+                    "fallback_s": None, "recompile_s": None,
+                })
+            self._pending_recompile_site = site_key(site)
 
     def record_fallback(self, site, seconds, kind=None):
-        sh = self.site(site, kind)
-        sh.fallback_count += 1
-        sh.fallback_total += seconds
-        self.fallbacks += 1
-        self.imperative_runs += 1
-        self.consecutive_graph_runs = 0
-        self.recent.append("fallback")
-        for entry in reversed(self.failure_chain):
-            if entry["site"] == site_key(site) \
-                    and entry["fallback_s"] is None:
-                entry["fallback_s"] = seconds
-                break
+        with self._lock:
+            sh = self.site(site, kind)
+            sh.fallback_count += 1
+            sh.fallback_total += seconds
+            self.fallbacks += 1
+            self.imperative_runs += 1
+            self.consecutive_graph_runs = 0
+            self.recent.append("fallback")
+            for entry in reversed(self.failure_chain):
+                if entry["site"] == site_key(site) \
+                        and entry["fallback_s"] is None:
+                    entry["fallback_s"] = seconds
+                    break
 
     def record_relax(self, site, action, detail=None, kind=None):
-        sh = self.site(site, kind)
-        sh.relaxations += 1
-        if len(sh.relax_chain) < MAX_CHAIN:
-            sh.relax_chain.append({"action": action, "detail": detail})
+        with self._lock:
+            sh = self.site(site, kind)
+            sh.relaxations += 1
+            if len(sh.relax_chain) < MAX_CHAIN:
+                sh.relax_chain.append({"action": action, "detail": detail})
 
     def record_generation(self, seconds, regeneration):
-        self.graphs_generated += 1
-        if regeneration:
-            self.recompiles += 1
-            self.recent.append("recompile")
-            # A recompile disrupts the stable streak: a function that
-            # regenerates on every call must never report "converged".
-            self.consecutive_graph_runs = 0
-            pending = self._pending_recompile_site
-            self._pending_recompile_site = None
-            if pending is not None and pending in self.sites:
-                sh = self.sites[pending]
-                sh.recompile_count += 1
-                sh.recompile_total += seconds
-                for entry in reversed(self.failure_chain):
-                    if entry["site"] == pending \
-                            and entry["recompile_s"] is None:
-                        entry["recompile_s"] = seconds
-                        break
+        with self._lock:
+            self.graphs_generated += 1
+            if regeneration:
+                self.recompiles += 1
+                self.recent.append("recompile")
+                # A recompile disrupts the stable streak: a function that
+                # regenerates on every call must never report "converged".
+                self.consecutive_graph_runs = 0
+                pending = self._pending_recompile_site
+                self._pending_recompile_site = None
+                if pending is not None and pending in self.sites:
+                    sh = self.sites[pending]
+                    sh.recompile_count += 1
+                    sh.recompile_total += seconds
+                    for entry in reversed(self.failure_chain):
+                        if entry["site"] == pending \
+                                and entry["recompile_s"] is None:
+                            entry["recompile_s"] = seconds
+                            break
 
     def record_lowering(self, lowered, fused_ops, reason=None):
         """One compile's lowering outcome (docs/lowering.md).
@@ -305,32 +322,41 @@ class SpeculationHealth:
         — elementwise ops collapsed into fused kernels this compile;
         ``reason`` — bailout token when lowering fell back.
         """
-        if lowered:
-            self.lowered_graphs += 1
-        else:
-            self.lowering_bailouts += 1
-            self.last_lowering_bailout = reason
-        self.fused_ops += int(fused_ops)
+        with self._lock:
+            if lowered:
+                self.lowered_graphs += 1
+            else:
+                self.lowering_bailouts += 1
+                self.last_lowering_bailout = reason
+            self.fused_ops += int(fused_ops)
 
     def record_fragment(self, site, reused):
-        sh = self.site(site)
-        if reused:
-            sh.fragments_reused += 1
-        else:
-            sh.fragments_reconverted += 1
+        with self._lock:
+            sh = self.site(site)
+            if reused:
+                sh.fragments_reused += 1
+            else:
+                sh.fragments_reconverted += 1
 
     def record_imperative_only(self):
-        self.imperative_only = True
+        with self._lock:
+            self.imperative_only = True
 
     def record_cache_eviction(self):
-        self.cache_evictions += 1
+        with self._lock:
+            self.cache_evictions += 1
 
     def record_cache_invalidation(self):
-        self.cache_invalidations += 1
+        with self._lock:
+            self.cache_invalidations += 1
 
     # -- serialization -------------------------------------------------------
 
     def snapshot(self):
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self):
         return {
             "name": self.name,
             "state": self.state,

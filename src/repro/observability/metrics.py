@@ -57,9 +57,15 @@ BUCKET_BOUNDS = tuple(1e-6 * (2.0 ** i) for i in range(28))
 
 
 class Histogram:
-    """Fixed log-bucket histogram with exact count/sum/min/max."""
+    """Fixed log-bucket histogram with exact count/sum/min/max.
 
-    __slots__ = ("counts", "count", "total", "min", "max")
+    Thread-safe: ``observe``/``merge``/``snapshot`` serialize on a
+    per-histogram lock so concurrent callers (multi-tenant dispatch,
+    the serving layer's queue-depth gauges) never lose counts or read a
+    torn count/sum pair.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max", "_lock")
 
     BOUNDS = BUCKET_BOUNDS
 
@@ -69,6 +75,7 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
 
@@ -76,14 +83,15 @@ class Histogram:
         value = float(value)
         # bisect_right: value == bound goes to the next bucket, so bucket
         # i holds (BOUNDS[i-1], BOUNDS[i]].  Negative/zero clamps to 0.
-        self.counts[bisect_right(self.BOUNDS, value) if value > 0.0
-                    else 0] += 1
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        bucket = bisect_right(self.BOUNDS, value) if value > 0.0 else 0
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     # -- statistics ----------------------------------------------------------
 
@@ -132,22 +140,25 @@ class Histogram:
 
     def merge(self, other):
         """Accumulate *other* into this histogram (same fixed buckets)."""
-        for i, n in enumerate(other.counts):
-            self.counts[i] += n
-        self.count += other.count
-        self.total += other.total
-        if other.min is not None and (self.min is None
-                                      or other.min < self.min):
-            self.min = other.min
-        if other.max is not None and (self.max is None
-                                      or other.max > self.max):
-            self.max = other.max
+        snap = other.snapshot()
+        with self._lock:
+            for i, n in enumerate(snap["counts"]):
+                self.counts[i] += n
+            self.count += snap["count"]
+            self.total += snap["sum"]
+            if snap["min"] is not None and (self.min is None
+                                            or snap["min"] < self.min):
+                self.min = snap["min"]
+            if snap["max"] is not None and (self.max is None
+                                            or snap["max"] > self.max):
+                self.max = snap["max"]
         return self
 
     def snapshot(self):
         """Plain-dict copy, JSON-serializable and restorable."""
-        return {"counts": list(self.counts), "count": self.count,
-                "sum": self.total, "min": self.min, "max": self.max}
+        with self._lock:
+            return {"counts": list(self.counts), "count": self.count,
+                    "sum": self.total, "min": self.min, "max": self.max}
 
     @classmethod
     def from_snapshot(cls, snap):
@@ -203,10 +214,11 @@ class MetricsRegistry:
     ``observe`` on a disabled registry returns immediately; hot
     instrumentation sites additionally pre-check ``METRICS.enabled``
     before taking timestamps, so a disabled site never calls
-    ``perf_counter`` at all.  Bucket-count increments are plain list
-    stores (GIL-serialized bytecode); a theoretical lost increment under
-    the parallel schedule only skews an advisory metric — the same
-    trade the executor's ``_MEMO_COUNTS`` makes.
+    ``perf_counter`` at all.  Enabled observations go through each
+    histogram's internal lock, so concurrent callers never lose an
+    increment — required now that N serving threads observe into the
+    same histograms (the old plain-store fast path lost increments
+    exactly the way the executor's retired ``_MEMO_COUNTS`` global did).
     """
 
     def __init__(self, enabled=False):

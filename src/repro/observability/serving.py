@@ -1,0 +1,183 @@
+"""Serving-layer metrics: admission, queueing, and batching signals.
+
+The multi-tenant server (:mod:`repro.serving`) multiplexes N client
+threads over shared ``janus.function`` endpoints.  The runtime-side
+registries answer "is speculation healthy?"; this module answers the
+capacity questions a serving deployment adds on top:
+
+* **admission** — requests accepted vs rejected at the queue bound,
+* **queueing** — queue depth seen by each arriving request and the wall
+  time it waited before execution,
+* **batching** — how many shape-compatible requests each dispatch
+  coalesced (the dynamic-batching win is exactly this histogram's mean),
+* **tenancy** — active / peak concurrent client threads,
+* **recompiles in flight** — compile tickets currently owned, sampled
+  from the endpoints' single-flight tables (the §4.3 recovery machinery
+  under load).
+
+Queue-depth and batch-size histograms reuse the log-bucket
+:class:`~repro.observability.metrics.Histogram` — the values are
+unitless counts rather than seconds, which is fine: percentile estimates
+clamp to the observed min/max and the fixed buckets keep snapshots
+mergeable.  Everything is thread-safe (the whole point of the layer) and
+snapshot/restore round-trips through the ``janus-stats`` bundle like the
+other registries.
+
+The process-wide singleton is :data:`SERVING`; like the health registry
+it is populated by the serving layer regardless of ``METRICS.enabled``
+— a server that is up wants its admission stats even with latency
+histograms off.
+"""
+
+import threading
+
+from .metrics import Histogram
+
+__all__ = ["SERVING", "ServingStats", "format_serving_table",
+           "get_serving"]
+
+
+class ServingStats:
+    """Aggregated serving-layer signals for one process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0            # accepted into the queue
+        self.rejected = 0            # refused at the queue bound
+        self.batches = 0             # dispatches (1 batch >= 1 request)
+        self.batched_requests = 0    # requests that shared their batch
+        self.active_clients = 0      # gauge: currently connected
+        self.peak_clients = 0
+        self.recompiles_in_flight = 0   # gauge: sampled from endpoints
+        self.queue_depth = Histogram()  # depth seen at enqueue (count)
+        self.batch_size = Histogram()   # requests per dispatch (count)
+        self.queue_wait = Histogram()   # seconds queued before dispatch
+
+    # -- recording (driven by repro.serving) --------------------------------
+
+    def client_started(self):
+        with self._lock:
+            self.active_clients += 1
+            if self.active_clients > self.peak_clients:
+                self.peak_clients = self.active_clients
+
+    def client_finished(self):
+        with self._lock:
+            self.active_clients -= 1
+
+    def record_enqueue(self, depth):
+        """One request accepted; *depth* is the queue depth it saw."""
+        with self._lock:
+            self.requests += 1
+        self.queue_depth.observe(depth)
+
+    def record_reject(self):
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, size, waits=()):
+        """One dispatch of *size* coalesced requests.
+
+        *waits* are the per-request queue-wait seconds (enqueue →
+        dispatch), observed into the ``queue_wait`` histogram.
+        """
+        with self._lock:
+            self.batches += 1
+            if size > 1:
+                self.batched_requests += size
+        self.batch_size.observe(size)
+        for wait in waits:
+            self.queue_wait.observe(wait)
+
+    def set_recompiles_in_flight(self, value):
+        with self._lock:
+            self.recompiles_in_flight = int(value)
+
+    # -- serialization -------------------------------------------------------
+
+    def snapshot(self):
+        with self._lock:
+            snap = {
+                "requests": self.requests,
+                "rejected": self.rejected,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "active_clients": self.active_clients,
+                "peak_clients": self.peak_clients,
+                "recompiles_in_flight": self.recompiles_in_flight,
+            }
+        snap["queue_depth"] = self.queue_depth.snapshot()
+        snap["batch_size"] = self.batch_size.snapshot()
+        snap["queue_wait"] = self.queue_wait.snapshot()
+        return snap
+
+    @classmethod
+    def from_snapshot(cls, snap):
+        stats = cls()
+        snap = snap or {}
+        for field in ("requests", "rejected", "batches",
+                      "batched_requests", "active_clients", "peak_clients",
+                      "recompiles_in_flight"):
+            setattr(stats, field, int(snap.get(field, 0)))
+        for field in ("queue_depth", "batch_size", "queue_wait"):
+            if snap.get(field):
+                setattr(stats, field,
+                        Histogram.from_snapshot(snap[field]))
+        return stats
+
+    def clear(self):
+        with self._lock:
+            self.requests = 0
+            self.rejected = 0
+            self.batches = 0
+            self.batched_requests = 0
+            self.active_clients = 0
+            self.peak_clients = 0
+            self.recompiles_in_flight = 0
+        self.queue_depth = Histogram()
+        self.batch_size = Histogram()
+        self.queue_wait = Histogram()
+
+    def __repr__(self):
+        return ("ServingStats(requests=%d, batches=%d, active=%d)"
+                % (self.requests, self.batches, self.active_clients))
+
+
+def format_serving_table(stats):
+    """Text lines for the ``janus-stats`` serving section.
+
+    Returns [] when the server never saw a request (section omitted).
+    """
+    if not (stats.requests or stats.rejected or stats.active_clients):
+        return []
+    lines = [
+        "  clients: %d active (peak %d) | requests: %d accepted, "
+        "%d rejected | recompiles in flight: %d"
+        % (stats.active_clients, stats.peak_clients, stats.requests,
+           stats.rejected, stats.recompiles_in_flight)]
+    depth = stats.queue_depth
+    if depth.count:
+        pct = depth.percentiles()
+        lines.append(
+            "  queue depth: p50 %.1f  p95 %.1f  max %.0f   queue wait: "
+            "p50 %.3f ms  p95 %.3f ms"
+            % (pct["p50"], pct["p95"], depth.max or 0.0,
+               stats.queue_wait.percentile(50) * 1e3,
+               stats.queue_wait.percentile(95) * 1e3))
+    size = stats.batch_size
+    if size.count:
+        pct = size.percentiles()
+        lines.append(
+            "  batch size: %d dispatches, mean %.2f  p50 %.1f  p95 %.1f  "
+            "max %.0f  (%d requests rode a shared batch)"
+            % (size.count, size.mean, pct["p50"], pct["p95"],
+               size.max or 0.0, stats.batched_requests))
+    return lines
+
+
+#: The process-wide serving stats; populated by :mod:`repro.serving`.
+SERVING = ServingStats()
+
+
+def get_serving():
+    return SERVING

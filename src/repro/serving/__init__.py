@@ -1,0 +1,18 @@
+"""Multi-tenant serving layer for ``@janus.function`` endpoints.
+
+Public surface::
+
+    from repro.serving import Server, ServingConfig
+
+    server = Server(ServingConfig(max_batch_size=8, batch_linger_s=0.002))
+    server.register("predict", predict_fn)   # predict_fn: janus.function
+    y = server.call("predict", x)            # from any client thread
+    server.close()
+
+See :mod:`repro.serving.server` for the dispatch/batching machinery and
+``docs/serving.md`` for the guide.
+"""
+
+from .server import Server, ServerClosed, ServerOverloaded, ServingConfig
+
+__all__ = ["Server", "ServerClosed", "ServerOverloaded", "ServingConfig"]

@@ -1,0 +1,369 @@
+"""Multi-tenant serving for ``@janus.function`` endpoints.
+
+A :class:`Server` exposes registered janus functions to N concurrent
+client threads.  Each endpoint owns a bounded request queue and a
+dispatcher thread; arriving calls are admission-checked, queued, and
+dispatched either singly or as a **dynamically batched** group —
+shape-compatible requests (same per-argument dtype and trailing shape)
+are stacked along axis 0, executed as one graph run, and the outputs
+are split back per request.  The batch window is bounded by
+``ServingConfig.max_batch_size`` and the ``batch_linger_s`` wait.
+
+Correctness contract for batching: a batchable endpoint must be
+*batch-polymorphic* — ``f(stack([a, b]))`` must equal
+``stack([f(a), f(b)])`` row-for-row, which holds for the standard
+per-example model functions the paper serves (inference and per-example
+losses).  The server additionally verifies the stacked output's leading
+dimension; if the endpoint returns anything that does not split back
+into per-request rows, the batch is transparently re-executed
+request-by-request, so a non-conforming endpoint is slower, never
+wrong.  Endpoints registered with ``batchable=False`` (reductions,
+scalar outputs, optimizer steps that must see single examples) always
+dispatch singly.
+
+The runtime below the server is the concurrency-safe dispatch layer of
+:mod:`repro.janus.api`: warm requests execute the shared compiled
+artifact in parallel, an assumption-failure storm elects one recompile
+ticket, and with ``JanusConfig.recompile_workers > 0`` regeneration
+happens on background workers while queued requests are served by the
+imperative fallback.  Admission, queue-depth, batch-size, and
+queue-wait metrics land in :data:`repro.observability.SERVING` and
+surface through ``janus-stats`` (text and Prometheus).
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from ..imperative.eager import Tensor
+from ..observability import SERVING, TRACER
+
+__all__ = ["Server", "ServingConfig", "ServerClosed", "ServerOverloaded"]
+
+
+class ServerOverloaded(RuntimeError):
+    """Raised to the client when the endpoint queue is at its bound."""
+
+
+class ServerClosed(RuntimeError):
+    """Raised to the client when the server is shut down."""
+
+
+class ServingConfig:
+    """Tunables of the serving layer (``JanusConfig.serving`` slot)."""
+
+    def __init__(self, max_batch_size=8, batch_linger_s=0.002,
+                 max_queue_depth=64):
+        #: Requests coalesced into one dispatch (1 disables batching).
+        self.max_batch_size = max(1, int(max_batch_size))
+        #: How long a dispatcher holds the first request of a batch
+        #: waiting for shape-compatible companions.  0 dispatches
+        #: whatever is already queued without waiting.
+        self.batch_linger_s = max(0.0, float(batch_linger_s))
+        #: Admission bound per endpoint queue; arrivals beyond it are
+        #: rejected with :class:`ServerOverloaded` (and counted).
+        self.max_queue_depth = max(1, int(max_queue_depth))
+
+    def __repr__(self):
+        return ("ServingConfig(max_batch_size=%d, batch_linger_s=%g, "
+                "max_queue_depth=%d)" % (self.max_batch_size,
+                                         self.batch_linger_s,
+                                         self.max_queue_depth))
+
+
+def _group_key(args):
+    """Batch-compatibility key, or None when the call cannot batch.
+
+    Two requests may share a batch iff every argument position agrees on
+    (dtype, trailing shape) and every argument is a tensor with a batch
+    (leading) dimension.  Returns ``(key, rows)``.
+    """
+    if not args:
+        return None, 0
+    key = []
+    rows = None
+    for arg in args:
+        arr = arg.numpy() if isinstance(arg, Tensor) \
+            else arg if isinstance(arg, np.ndarray) else None
+        if arr is None or arr.ndim == 0:
+            return None, 0
+        if rows is None:
+            rows = arr.shape[0]
+        elif arr.shape[0] != rows:
+            return None, 0
+        key.append((arr.dtype.str, arr.shape[1:]))
+    return tuple(key), rows
+
+
+class _Request:
+    """One queued client call."""
+
+    __slots__ = ("args", "key", "rows", "enqueued", "done", "result",
+                 "error")
+
+    def __init__(self, args, key, rows):
+        self.args = args
+        self.key = key
+        self.rows = rows
+        self.enqueued = time.perf_counter()
+        self.done = threading.Event()
+        self.result = None
+        self.error = None
+
+    def resolve(self, result=None, error=None):
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+class _Endpoint:
+    """One registered janus function plus its queue and dispatcher."""
+
+    def __init__(self, name, fn, batchable, server):
+        self.name = name
+        self.fn = fn
+        self.batchable = batchable
+        self.server = server
+        self.queue = []
+        self.cond = threading.Condition(threading.Lock())
+        self.thread = threading.Thread(
+            target=self._dispatch_loop,
+            name="janus-serve-%s" % name, daemon=True)
+        self.thread.start()
+
+    # -- client side ---------------------------------------------------------
+
+    def submit(self, args):
+        config = self.server.config
+        key, rows = _group_key(args) if self.batchable \
+            and config.max_batch_size > 1 else (None, 0)
+        request = _Request(args, key, rows)
+        with self.cond:
+            if self.server.closed:
+                raise ServerClosed("server is shut down")
+            if len(self.queue) >= config.max_queue_depth:
+                SERVING.record_reject()
+                raise ServerOverloaded(
+                    "endpoint %r queue is full (%d requests)"
+                    % (self.name, len(self.queue)))
+            SERVING.record_enqueue(len(self.queue))
+            self.queue.append(request)
+            self.cond.notify_all()
+        return request
+
+    # -- dispatcher side -----------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+            SERVING.set_recompiles_in_flight(
+                self.server.recompiles_in_flight())
+
+    def _next_batch(self):
+        """Block for the next request, then linger for companions."""
+        config = self.server.config
+        with self.cond:
+            while not self.queue:
+                if self.server.closed:
+                    return None
+                self.cond.wait(0.05)
+            first = self.queue.pop(0)
+            batch = [first]
+            if first.key is None or config.max_batch_size <= 1:
+                return batch
+            deadline = time.perf_counter() + config.batch_linger_s
+            while len(batch) < config.max_batch_size:
+                self._take_compatible(first.key, batch, config)
+                if len(batch) >= config.max_batch_size:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self.server.closed:
+                    break
+                self.cond.wait(remaining)
+            self._take_compatible(first.key, batch, config)
+            return batch
+
+    def _take_compatible(self, key, batch, config):
+        """Move queued requests with a matching key into *batch*."""
+        index = 0
+        while index < len(self.queue) \
+                and len(batch) < config.max_batch_size:
+            if self.queue[index].key == key:
+                batch.append(self.queue.pop(index))
+            else:
+                index += 1
+
+    def _execute(self, batch):
+        dispatch = time.perf_counter()
+        SERVING.record_batch(len(batch),
+                             [dispatch - r.enqueued for r in batch])
+        if TRACER.level:
+            TRACER.instant("serve_dispatch", self.name,
+                           batch=len(batch),
+                           queued=len(self.queue))
+        if len(batch) == 1:
+            self._run_single(batch[0])
+            return
+        try:
+            # Re-wrap each stacked buffer in the type of the first
+            # request's argument so the batched call produces the same
+            # ValueSpec signature family as its constituents.
+            stacked = []
+            for position, proto in enumerate(batch[0].args):
+                merged = np.concatenate(
+                    [_as_array(request.args[position])
+                     for request in batch], axis=0)
+                stacked.append(Tensor(merged)
+                               if isinstance(proto, Tensor) else merged)
+            result = self.fn(*stacked)
+            parts = _split_result(result, [r.rows for r in batch])
+        except Exception:
+            parts = None
+        if parts is None:
+            # The endpoint is not batch-polymorphic for this input (or
+            # raised): fall back to per-request execution so batching
+            # can only cost latency, never correctness.
+            for request in batch:
+                self._run_single(request)
+            return
+        for request, part in zip(batch, parts):
+            request.resolve(result=part)
+
+    def _run_single(self, request):
+        try:
+            request.resolve(result=self.fn(*request.args))
+        except Exception as exc:               # delivered to the caller
+            request.resolve(error=exc)
+
+
+def _as_array(arg):
+    return arg.numpy() if isinstance(arg, Tensor) else np.asarray(arg)
+
+
+def _split_result(result, row_counts):
+    """Split a batched endpoint result back into per-request pieces.
+
+    Returns None when the result does not decompose row-for-row (wrong
+    leading dimension, scalar output, unknown type) — the caller then
+    re-executes the batch singly.
+    """
+    total = sum(row_counts)
+    if isinstance(result, (tuple, list)):
+        split_parts = [_split_result(item, row_counts) for item in result]
+        if any(part is None for part in split_parts):
+            return None
+        return [type(result)(items) for items in zip(*split_parts)]
+    arr = result.numpy() if isinstance(result, Tensor) \
+        else result if isinstance(result, np.ndarray) else None
+    if arr is None or arr.ndim == 0 or arr.shape[0] != total:
+        return None
+    offsets = np.cumsum(row_counts)[:-1]
+    pieces = np.split(arr, offsets, axis=0)
+    if isinstance(result, Tensor):
+        return [Tensor(piece.copy()) for piece in pieces]
+    return [piece.copy() for piece in pieces]
+
+
+class Server:
+    """Serve registered ``@janus.function`` endpoints to many clients.
+
+    Usage::
+
+        server = Server(ServingConfig(max_batch_size=8))
+        server.register("predict", predict_fn)
+        ...                       # N client threads:
+        y = server.call("predict", x)
+        ...
+        server.close()
+
+    ``call`` blocks until the request's batch completes and returns the
+    endpoint result (or re-raises the endpoint's exception in the
+    calling thread).  The server is also a context manager; leaving the
+    ``with`` block closes it.
+    """
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else ServingConfig()
+        self.closed = False
+        self._endpoints = {}
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, name, fn, batchable=True):
+        """Expose *fn* (typically a JanusFunction) as endpoint *name*."""
+        with self._lock:
+            if self.closed:
+                raise ServerClosed("server is shut down")
+            if name in self._endpoints:
+                raise ValueError("endpoint %r already registered" % name)
+            endpoint = _Endpoint(name, fn, batchable, self)
+            self._endpoints[name] = endpoint
+            return endpoint
+
+    def endpoints(self):
+        with self._lock:
+            return sorted(self._endpoints)
+
+    # -- client API ----------------------------------------------------------
+
+    def call(self, name, *args):
+        """Invoke endpoint *name*; blocks until its dispatch completes."""
+        with self._lock:
+            endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise KeyError("no endpoint %r (have %s)"
+                           % (name, self.endpoints()))
+        SERVING.client_started()
+        try:
+            request = endpoint.submit(args)
+            request.done.wait()
+            if request.error is not None:
+                raise request.error
+            return request.result
+        finally:
+            SERVING.client_finished()
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    def recompiles_in_flight(self):
+        """Compile tickets currently owned across all endpoints."""
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        return sum(getattr(ep.fn, "recompiles_in_flight", 0)
+                   for ep in endpoints)
+
+    def close(self, timeout=5.0):
+        """Drain queues, stop dispatchers, and reject further calls."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            endpoints = list(self._endpoints.values())
+        for endpoint in endpoints:
+            with endpoint.cond:
+                endpoint.cond.notify_all()
+        for endpoint in endpoints:
+            endpoint.thread.join(timeout)
+        # Any request that slipped into a queue after its dispatcher
+        # exited is failed rather than left hanging.
+        for endpoint in endpoints:
+            with endpoint.cond:
+                leftovers, endpoint.queue = endpoint.queue, []
+            for request in leftovers:
+                request.resolve(error=ServerClosed("server is shut down"))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "Server(%d endpoints%s)" % (
+            len(self._endpoints), ", closed" if self.closed else "")

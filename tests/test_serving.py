@@ -1,0 +1,317 @@
+"""Multi-tenant serving layer: batching, admission, metrics, lifecycle.
+
+:mod:`repro.serving` multiplexes N client threads over shared
+``janus.function`` endpoints with shape-compatible dynamic batching.
+These tests pin down:
+
+* bit-for-bit correctness through the batch/split round trip (including
+  mixed shapes that must not share a batch, and endpoints that are not
+  batch-polymorphic and must transparently fall back to per-request
+  execution),
+* admission control at the queue bound (``ServerOverloaded`` + the
+  rejected counter),
+* client accounting, exception propagation, and close semantics,
+* the serving section of the ``janus-stats`` report and Prometheus text.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro as R
+from repro import janus
+from repro.observability import SERVING, clear
+from repro.observability.cli import prometheus_text, render_report
+from repro.serving import (Server, ServerClosed, ServerOverloaded,
+                           ServingConfig)
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear()
+    yield
+    clear()
+
+
+def strict(**kw):
+    return janus.JanusConfig(fail_on_not_convertible=True,
+                             parallel_execution=False, **kw)
+
+
+def _rows(i, rows=2, cols=3):
+    return R.constant(np.full((rows, cols), float(i), np.float32))
+
+
+def _run_clients(n, target):
+    barrier = threading.Barrier(n)
+    errors = []
+
+    def runner(index):
+        barrier.wait()
+        try:
+            target(index)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(i,))
+               for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30.0)
+        assert not t.is_alive(), "client thread hung"
+    return errors
+
+
+class TestBatching:
+    def test_concurrent_clients_bitwise_correct_and_coalesced(self):
+        @janus.function(config=strict(profile_runs=1))
+        def affine(x):
+            return x * 2.0 + 1.0
+
+        results = {}
+        with Server(ServingConfig(max_batch_size=8,
+                                  batch_linger_s=0.05)) as server:
+            server.register("affine", affine)
+
+            def client(i):
+                # First dispatch is slow (profiling/generation), so
+                # later arrivals pile up and coalesce behind it.
+                results[i] = server.call("affine", _rows(i))
+
+            assert not _run_clients(8, client)
+
+        for i in range(8):
+            expect = np.full((2, 3), i * 2.0 + 1.0, np.float32)
+            assert np.array_equal(results[i].numpy(), expect), i
+
+        snap = SERVING.snapshot()
+        assert snap["requests"] == 8
+        assert snap["rejected"] == 0
+        assert snap["batches"] <= 8
+        assert snap["peak_clients"] >= 2
+
+    def test_batched_dispatch_splits_rows_exactly(self):
+        calls = []
+
+        def kernel(x):
+            calls.append(x.shape[0])
+            return R.constant(x.numpy() + 10.0)
+
+        with Server(ServingConfig(max_batch_size=4,
+                                  batch_linger_s=0.2)) as server:
+            endpoint = server.register("k", kernel)
+            # Enqueue directly while stalling the dispatcher's linger
+            # window is unnecessary: submit from threads and let the
+            # 200 ms window coalesce them.
+            results = {}
+
+            def client(i):
+                if i > 0:
+                    time.sleep(0.02)      # arrive inside the window
+                results[i] = server.call("k", _rows(i, rows=1 + i % 2))
+
+            assert not _run_clients(4, client)
+            assert endpoint is not None
+
+        for i in range(4):
+            rows = 1 + i % 2
+            expect = np.full((rows, 3), i + 10.0, np.float32)
+            assert np.array_equal(results[i].numpy(), expect), \
+                (i, results[i].numpy())
+
+    def test_incompatible_shapes_never_share_a_batch(self):
+        seen = []
+
+        def kernel(x):
+            seen.append(tuple(x.shape))
+            return R.constant(x.numpy() * 3.0)
+
+        with Server(ServingConfig(max_batch_size=8,
+                                  batch_linger_s=0.1)) as server:
+            server.register("k", kernel)
+            results = {}
+
+            def client(i):
+                cols = 3 if i % 2 == 0 else 5   # two signature families
+                results[i] = server.call("k", _rows(i, cols=cols))
+
+            assert not _run_clients(6, client)
+
+        for i in range(6):
+            cols = 3 if i % 2 == 0 else 5
+            expect = np.full((2, cols), i * 3.0, np.float32)
+            assert np.array_equal(results[i].numpy(), expect), i
+        # Every kernel invocation saw a homogeneous trailing shape.
+        assert all(shape[1] in (3, 5) for shape in seen)
+
+    def test_non_polymorphic_endpoint_falls_back_per_request(self):
+        # reduce_sum collapses the batch dimension: the stacked output
+        # cannot split back row-for-row, so the server must transparently
+        # re-execute request by request.
+        def total(x):
+            return R.reduce_sum(x)
+
+        with Server(ServingConfig(max_batch_size=8,
+                                  batch_linger_s=0.1)) as server:
+            server.register("total", total)
+            results = {}
+
+            def client(i):
+                results[i] = server.call("total", _rows(i))
+
+            assert not _run_clients(5, client)
+
+        for i in range(5):
+            assert float(results[i].numpy()) == pytest.approx(i * 6.0), i
+
+    def test_non_batchable_registration_dispatches_singly(self):
+        sizes = []
+
+        def kernel(x):
+            sizes.append(x.shape[0])
+            return R.constant(x.numpy() + 1.0)
+
+        with Server(ServingConfig(max_batch_size=8,
+                                  batch_linger_s=0.1)) as server:
+            server.register("k", kernel, batchable=False)
+
+            def client(i):
+                out = server.call("k", _rows(i))
+                assert np.array_equal(out.numpy(),
+                                      _rows(i).numpy() + 1.0)
+
+            assert not _run_clients(4, client)
+        assert sizes and all(s == 2 for s in sizes)
+        assert SERVING.snapshot()["batched_requests"] == 0
+
+    def test_scalar_args_bypass_batching(self):
+        def square(x):
+            return R.constant(np.float32(float(x.numpy()) ** 2))
+
+        with Server(ServingConfig(max_batch_size=8)) as server:
+            server.register("sq", square)
+            assert float(server.call(
+                "sq", R.constant(np.float32(3.0))).numpy()) == 9.0
+
+
+class TestAdmissionAndLifecycle:
+    def test_queue_bound_rejects_with_counter(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow(x):
+            started.set()
+            release.wait(10.0)
+            return x
+
+        server = Server(ServingConfig(max_batch_size=1,
+                                      max_queue_depth=2))
+        server.register("slow", slow, batchable=False)
+        try:
+            results = []
+            workers = [threading.Thread(
+                target=lambda: results.append(
+                    server.call("slow", _rows(1)))) for _ in range(3)]
+            workers[0].start()
+            assert started.wait(5.0)   # dispatcher busy on request 0
+            workers[1].start()
+            workers[2].start()
+            deadline = time.time() + 5.0
+            while SERVING.snapshot()["requests"] < 3 \
+                    and time.time() < deadline:
+                time.sleep(0.005)
+            # Queue holds 2; a fourth client is refused at admission.
+            with pytest.raises(ServerOverloaded):
+                server.call("slow", _rows(9))
+            assert SERVING.snapshot()["rejected"] == 1
+        finally:
+            release.set()
+            for w in workers:
+                w.join(10.0)
+            server.close()
+        assert len(results) == 3
+
+    def test_endpoint_exception_propagates_to_caller(self):
+        def boom(x):
+            raise ValueError("bad batch")
+
+        with Server(ServingConfig(max_batch_size=1)) as server:
+            server.register("boom", boom, batchable=False)
+            with pytest.raises(ValueError, match="bad batch"):
+                server.call("boom", _rows(0))
+
+    def test_unknown_endpoint_and_duplicate_registration(self):
+        with Server() as server:
+            server.register("a", lambda x: x)
+            with pytest.raises(KeyError):
+                server.call("nope", _rows(0))
+            with pytest.raises(ValueError):
+                server.register("a", lambda x: x)
+            assert server.endpoints() == ["a"]
+
+    def test_closed_server_rejects_calls(self):
+        server = Server()
+        server.register("id", lambda x: x, batchable=False)
+        assert np.array_equal(server.call("id", _rows(2)).numpy(),
+                              _rows(2).numpy())
+        server.close()
+        with pytest.raises(ServerClosed):
+            server.call("id", _rows(2))
+        with pytest.raises(ServerClosed):
+            server.register("late", lambda x: x)
+        server.close()   # idempotent
+
+    def test_recompiles_in_flight_sampled_from_endpoints(self):
+        class _Fn:
+            recompiles_in_flight = 2
+
+            def __call__(self, x):
+                return x
+
+        with Server() as server:
+            server.register("f", _Fn(), batchable=False)
+            server.call("f", _rows(0))
+            assert server.recompiles_in_flight() == 2
+            assert SERVING.snapshot()["recompiles_in_flight"] == 2
+
+
+class TestServingObservability:
+    def _drive(self):
+        @janus.function(config=strict(profile_runs=1))
+        def affine(x):
+            return x * 3.0
+
+        with Server(ServingConfig(max_batch_size=4,
+                                  batch_linger_s=0.02)) as server:
+            server.register("affine", affine)
+
+            def client(i):
+                out = server.call("affine", _rows(i))
+                assert np.array_equal(out.numpy(),
+                                      _rows(i).numpy() * 3.0)
+
+            assert not _run_clients(6, client)
+
+    def test_report_has_serving_section(self):
+        self._drive()
+        report = render_report()
+        assert "-- serving --" in report
+        assert "requests: 6 accepted" in report
+        assert "queue depth:" in report
+        assert "batch size:" in report
+
+    def test_prometheus_exports_serving_gauges(self):
+        self._drive()
+        text = prometheus_text()
+        assert "janus_serving_requests_total 6" in text
+        assert "janus_serving_rejected_total 0" in text
+        assert "janus_serving_queue_depth_count" in text
+        assert "janus_serving_batch_size_count" in text
+        assert "janus_serving_queue_wait_seconds_count" in text
+
+    def test_idle_serving_section_omitted(self):
+        assert "-- serving --" not in render_report()
+        assert "janus_serving_requests_total" not in prometheus_text()

@@ -338,7 +338,7 @@ class TestStatsCli:
         write_stats_json(path)
         obs.clear()                            # post-mortem: live data gone
 
-        metrics, health, _counters = load_stats(path)
+        metrics, health, _counters, _serving = load_stats(path)
         assert health.get("step").state == live_state
         assert metrics.get("graph.run").count == live_count
         assert health.get("step").worst_site().failures == 1
@@ -347,6 +347,45 @@ class TestStatsCli:
         out = capsys.readouterr()
         assert "step" in out.out and "assumption failure" in out.out
         assert "check ok" in out.err
+
+    def test_serving_stats_roundtrip_through_bundle(self, tmp_path):
+        from repro.observability.serving import SERVING
+
+        SERVING.client_started()
+        SERVING.record_enqueue(0)
+        SERVING.record_enqueue(3)
+        SERVING.record_reject()
+        SERVING.record_batch(2, [0.001, 0.004])
+        SERVING.set_recompiles_in_flight(1)
+        SERVING.client_finished()
+        path = str(tmp_path / "stats.json")
+        write_stats_json(path)
+        obs.clear()
+
+        _metrics, _health, _counters, serving = load_stats(path)
+        assert serving.requests == 2
+        assert serving.rejected == 1
+        assert serving.batches == 1
+        assert serving.batched_requests == 2
+        assert serving.peak_clients == 1
+        assert serving.recompiles_in_flight == 1
+        assert serving.queue_depth.count == 2
+        assert serving.queue_wait.count == 2
+        report = render_report(serving=serving)
+        assert "-- serving --" in report
+        assert "1 rejected" in report
+
+    def test_legacy_bundle_without_serving_section_loads(self, tmp_path):
+        _drive_failing_function()
+        path = tmp_path / "stats.json"
+        write_stats_json(str(path))
+        payload = json.loads(path.read_text())
+        payload.pop("serving", None)           # bundle from an older build
+        path.write_text(json.dumps(payload))
+        _metrics, health, _counters, serving = load_stats(str(path))
+        assert health.get("step") is not None
+        assert serving.requests == 0
+        assert "-- serving --" not in render_report(serving=serving)
 
     def test_function_filter_limits_post_mortem(self, tmp_path, capsys):
         _drive_failing_function()
