@@ -19,10 +19,18 @@
 #                      dispatch micro-benchmark (flat+fused >= node-walk)
 #                      and the serving-throughput gate (4 clients >=
 #                      1.5x one client on multi-core hosts; skipped
-#                      with a logged reason on 1-core hosts)
+#                      with a logged reason on 1-core hosts) and the
+#                      warm-start gate (disk-cache warm start >= 5x
+#                      faster to first graph hit than a cold compile)
+#   make test-persistence - the persistent compile-cache suite (warm
+#                      start bit-for-bit, corruption tolerance,
+#                      multi-process sharing), run once with the cache
+#                      enabled per-test and once with JANUS_CACHE_DIR
+#                      explicitly unset to prove the default path is
+#                      unchanged
 #   make ci          - tier-1 tests (lowering on, then JANUS_LOWERING=0)
-#                      + the concurrency suites + the gated benchmark
-#                      (what CI runs)
+#                      + the concurrency suites + the persistence suite
+#                      + the gated benchmark (what CI runs)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -36,7 +44,7 @@ GATE_FILES := $(foreach n,$(GATE_LABELS),\
 	benchmarks/results/table3_throughput-gate-run$(n).json)
 
 .PHONY: test test-nolowering test-differential test-concurrency \
-	trace-demo stats-demo bench bench-check ci
+	test-persistence trace-demo stats-demo bench bench-check ci
 
 #: Where the stats-demo smoke step writes its artifacts (kept out of the
 #: repo tree so gate runs never leave untracked files behind).
@@ -67,6 +75,16 @@ test-differential:
 test-concurrency:
 	PYTHONHASHSEED=0 $(PYTHON) -m pytest tests/test_concurrency.py \
 		tests/test_serving.py -q
+
+# The persistent compile-cache suite.  Run twice: the suite itself
+# (each test opts into a private cache dir), then the default-path
+# smoke with JANUS_CACHE_DIR forced unset — persistence must be
+# invisible unless configured (docs/compilation.md).
+test-persistence:
+	$(PYTHON) -m pytest tests/test_persistence.py -q
+	env -u JANUS_CACHE_DIR $(PYTHON) -m pytest \
+		tests/test_persistence.py -q \
+		-k "default_config_never_touches_disk"
 
 trace-demo:
 	JANUS_TRACE=2 $(PYTHON) -m repro.observability.demo --out trace.json
@@ -103,5 +121,6 @@ bench-check:
 	$(PYTHON) benchmarks/bench_observability_overhead.py --check
 	$(PYTHON) benchmarks/bench_lowering.py --check
 	$(PYTHON) benchmarks/bench_serving.py --check
+	$(PYTHON) benchmarks/bench_warm_start.py --check
 
-ci: test test-nolowering test-concurrency bench-check
+ci: test test-nolowering test-concurrency test-persistence bench-check

@@ -8,4 +8,14 @@ __all__ = [
     "ring_allreduce", "AllReduceCostModel",
     "StepTiming", "measure_step", "DataParallelSimulator",
     "DistributedOptimizer", "ReplicaGroup",
+    "run_fleet",
 ]
+
+
+def __getattr__(name):
+    # Lazy: warmstart is also a __main__ entry point, and importing it
+    # eagerly here would shadow the runpy execution of the submodule.
+    if name == "run_fleet":
+        from .warmstart import run_fleet
+        return run_fleet
+    raise AttributeError(name)

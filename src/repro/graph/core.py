@@ -283,6 +283,13 @@ class Graph:
         self._executor_cache.clear()
         return node
 
+    def __getstate__(self):
+        # Executor closures are per-process; a deserialized graph starts
+        # with an empty cache and rebuilds them on first execution.
+        state = self.__dict__.copy()
+        state["_executor_cache"] = {}
+        return state
+
     def remove_nodes(self, dead):
         """Drop a set of nodes (used by optimization passes)."""
         dead = set(dead)
@@ -396,6 +403,18 @@ class GraphFunction:
         self.grad_meta = None       # set on gradient functions
         self.janus_meta = None      # set by the JANUS graph generator
         self._memo_effects = None   # cached has_effects (executor memo)
+
+    def __getstate__(self):
+        # Variables, gradient functions, and effect memos are lazily
+        # derived (or, for janus_meta, conversion-time only) and may
+        # capture process-local identity; rebuild them on demand in the
+        # loading process.
+        state = self.__dict__.copy()
+        state["_variables"] = None
+        state["_grad"] = None
+        state["_memo_effects"] = None
+        state["janus_meta"] = None
+        return state
 
     @property
     def is_finalized(self):

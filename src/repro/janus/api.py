@@ -44,15 +44,22 @@ import time
 
 from ..errors import AssumptionFailed, NotConvertible
 from ..imperative.tape import GradientTape
-from ..observability import COUNTERS, HEALTH, METRICS, TRACER, \
-    override_level
+from ..observability import COUNTERS, DISKCACHE, HEALTH, METRICS, \
+    TRACER, override_level
+from . import diskcache as diskcache_mod
 from .cache import CacheEntry, GraphCache
-from .compiled import RegenerationSeed, compile_generated
+from .compiled import RegenerationSeed, compile_generated, load_compiled
 from .concurrency import RWLock, TicketTable, recompile_pool
 from .config import get_config
 from .fragments import FragmentCache
 from .graphgen import GraphGenerator
 from .profiler import Profiler
+
+
+#: Sentinels: "not yet computed" for the source-hash memo and "no warm
+#: start happened" for the disk-probe fast path.
+_UNSET = object()
+_WARM_MISS = object()
 
 
 class JanusFunction:
@@ -79,6 +86,7 @@ class JanusFunction:
             "calls": 0, "imperative_runs": 0, "graph_runs": 0,
             "fallbacks": 0, "graphs_generated": 0,
             "recompile_tickets": 0, "stampede_fallbacks": 0,
+            "warm_starts": 0,
         }
         #: RCU-style artifact slot: readers (warm callers) share it for
         #: lookup + precheck and execute the pinned artifact outside it;
@@ -92,6 +100,13 @@ class JanusFunction:
         #: Narrow locks for the shared mutable scalars.
         self._stats_lock = threading.Lock()
         self._dirty_lock = threading.Lock()
+        #: Warm-start bookkeeping (docs/compilation.md#persistence--warm-start):
+        #: signatures whose disk probe already happened (probe once, then
+        #: the in-memory tiers own the signature) and the memoized source
+        #: hash keying this function's disk entries.
+        self._disk_probed = set()
+        self._disk_lock = threading.Lock()
+        self._src_hash = _UNSET
         functools.update_wrapper(self, func)
         # Speculation-health attribution (populated only while METRICS
         # is enabled): the profiler and cache report relaxations and
@@ -136,6 +151,16 @@ class JanusFunction:
                 health.record_imperative_run()
             return self._run_imperative(args, profile=False)
         if self.profiler.runs < self.config.profile_runs:
+            # Warm start: with a disk cache configured, probe it (once
+            # per signature) before paying a single profiling run — a
+            # warm worker's first call goes straight to _run_graph.
+            # With no cache dir configured this branch is one None
+            # check, byte-identical to the historical profiling path.
+            store = self._disk_store()
+            if store is not None:
+                result = self._warm_start(store, args, health)
+                if result is not _WARM_MISS:
+                    return result
             if health is not None:
                 health.record_profile_run()
             return self._run_imperative(args, profile=True)
@@ -193,6 +218,7 @@ class JanusFunction:
             with self._artifact_lock.write():
                 self.cache.store(signature, entry)
             self._inc("graphs_generated")
+            self._publish_disk(signature, compiled)
         finally:
             self._tickets.release(signature)
         if not self._checked_preconditions(compiled, args):
@@ -234,6 +260,99 @@ class JanusFunction:
                 self.cache.remember_seed(
                     signature, RegenerationSeed(entry.compiled, dirty))
 
+    # -- persistent cross-process cache (warm start) -------------------------
+
+    def _disk_store(self):
+        """The configured DiskGraphStore, or None (the default)."""
+        return diskcache_mod.store_for(self.config)
+
+    def _source_hash(self):
+        if self._src_hash is _UNSET:
+            self._src_hash = diskcache_mod.source_hash(self.func)
+        return self._src_hash
+
+    def _should_persist(self, signature):
+        """Snapshot a serializable payload during this compile?"""
+        return (signature is not None
+                and diskcache_mod.signature_portable(signature)
+                and self._disk_store() is not None
+                and self._source_hash() is not None)
+
+    def _disk_key(self, signature):
+        src = self._source_hash()
+        if src is None or not diskcache_mod.signature_portable(signature):
+            return None
+        return diskcache_mod.entry_key(src, signature, self.config)
+
+    def _publish_disk(self, signature, compiled):
+        """Publish a freshly-compiled artifact to the disk tier."""
+        store = self._disk_store()
+        if store is None or signature is None:
+            return
+        payload = compiled.take_payload()
+        if payload is None:
+            if compiled.portable_skip is not None:
+                DISKCACHE.record_store_skip()
+            return
+        key = self._disk_key(signature)
+        if key is None:
+            return
+        store.store(key, payload, graph_name=compiled.graph.name)
+        with self._disk_lock:
+            # The producer never needs to probe its own publication.
+            self._disk_probed.add(signature)
+
+    def _warm_start(self, store, args, health):
+        """Dispatch against the in-memory/disk tiers while still in the
+        profiling phase.
+
+        Returns ``_WARM_MISS`` when the caller should fall through to a
+        normal profiling run.  The disk store is probed at most once
+        per signature; a hit is compiled back into a full artifact,
+        published to the in-memory cache, and run — zero profiling runs.
+        """
+        signature = self.cache.signature_of(args)
+        with self._artifact_lock.read():
+            entry = self.cache.lookup(signature)
+            valid = entry is not None and not entry.dirty and \
+                self._checked_preconditions(entry.compiled, args)
+        if valid:
+            self.cache.record_hit(entry)
+            return self._run_graph(entry, args, signature, health)
+        with self._disk_lock:
+            probed = signature in self._disk_probed
+            self._disk_probed.add(signature)
+        if probed:
+            return _WARM_MISS
+        key = self._disk_key(signature)
+        if key is None:
+            # Identity-bearing signature or unknowable source: this
+            # function/specialization can never live on disk.
+            DISKCACHE.record_miss("unportable")
+            COUNTERS.inc("diskcache.misses.unportable")
+            return _WARM_MISS
+        compiled = store.load(
+            key, rebuild=lambda payload: load_compiled(
+                payload, self.config, signature=signature))
+        if compiled is None:
+            return _WARM_MISS
+        entry = CacheEntry(compiled)
+        self.cache.max_entries = self.config.graph_cache_entries
+        with self._artifact_lock.write():
+            self.cache.store(signature, entry)
+        self._inc("warm_starts")
+        COUNTERS.inc("dispatch.warm_starts")
+        if TRACER.level:
+            TRACER.instant("cache_hit", self.__name__, source="disk",
+                           signature=repr(signature))
+        if not self._checked_preconditions(compiled, args):
+            # Loaded but its burned-in assumptions don't hold here (e.g.
+            # a changed module global): profile imperatively; the normal
+            # dispatch will retire the entry and regenerate.
+            return _WARM_MISS
+        self.cache.record_hit(entry)
+        return self._run_graph(entry, args, signature, health)
+
     def _generate(self, signature=None):
         """Generate and compile: returns a CompiledGraph artifact (or
         None when the function is imperative-only).  Conversion and
@@ -268,8 +387,9 @@ class JanusFunction:
                 # (a plain clear() would lose them).
                 with self._dirty_lock:
                     self._dirty_sites -= dirty_snapshot
-                compiled = compile_generated(generated, self.config,
-                                             signature=signature)
+                compiled = compile_generated(
+                    generated, self.config, signature=signature,
+                    persist=self._should_persist(signature))
                 if gen_start:
                     elapsed = time.perf_counter() - gen_start
                     METRICS.observe("graphgen.recompile" if regeneration
@@ -369,6 +489,7 @@ class JanusFunction:
                 with self._artifact_lock.write():
                     self.cache.store(signature, entry)
                 self._inc("graphs_generated")
+                self._publish_disk(signature, compiled)
         finally:
             self._tickets.release(signature)
 

@@ -35,7 +35,14 @@ caller pins the artifact it retrieved (RCU-style; see
 import threading
 from collections import OrderedDict
 
+from ..imperative.eager import Tensor
 from ..observability import COUNTERS, HEALTH, METRICS, TRACER
+from ..tensor import TensorValue
+from . import specialization as spec
+
+#: Bound on the per-cache tensor-signature memo (cleared wholesale
+#: beyond it — entries are a handful of words, so this is generous).
+_SIG_MEMO_MAX = 4096
 
 
 class CacheEntry:
@@ -88,10 +95,47 @@ class GraphCache:
         self.stores = 0
         self.evictions = 0
         self.invalidations = 0
+        #: id(TensorValue) -> (token, version, dtype, ndim): memoized
+        #: signature tokens for *tracked* (write-barrier-sealed) values.
+        #: The validation triple fully determines the token, so an id
+        #: reused by a different value can never yield a wrong result.
+        self._sig_memo = {}
 
     def signature_of(self, args):
-        from . import specialization as spec
-        return tuple(spec.observe(a).signature() for a in args)
+        """The type-level cache key for a positional-argument tuple.
+
+        Tensor arguments take a fast path: their signature is exactly
+        ``("T", dtype name, rank)``, computable without building a
+        ValueSpec — this runs on *every* warm dispatch, and workloads
+        like TreeNN pay it per tree node.  Everything else goes through
+        :func:`repro.janus.specialization.observe`.
+        """
+        out = []
+        for a in args:
+            if type(a) is Tensor:
+                out.append(self._tensor_signature(a.value))
+            elif type(a) is TensorValue:
+                out.append(self._tensor_signature(a))
+            else:
+                out.append(spec.observe(a).signature())
+        return tuple(out)
+
+    def _tensor_signature(self, tv):
+        if tv.tracked:
+            # Sealed values: (identity, version) pins content, so the
+            # memoized token is valid while both match (and the triple
+            # re-derives it even across id reuse).
+            memo = self._sig_memo
+            hit = memo.get(id(tv))
+            if hit is not None and hit[1] == tv.version \
+                    and hit[2] is tv.dtype and hit[3] == tv.array.ndim:
+                return hit[0]
+            token = ("T", tv.dtype.name, tv.array.ndim)
+            if len(memo) >= _SIG_MEMO_MAX:
+                memo.clear()
+            memo[id(tv)] = (token, tv.version, tv.dtype, tv.array.ndim)
+            return token
+        return ("T", tv.dtype.name, tv.array.ndim)
 
     def lookup(self, signature):
         with self._lock:

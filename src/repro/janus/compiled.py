@@ -16,11 +16,109 @@ then lives in the :class:`~repro.janus.cache.GraphCache` until evicted
 or invalidated.
 """
 
+import pickle
 import time
 
 from ..graph.executor import GraphExecutor
 from ..graph import lowering as lowering_mod
 from ..observability import COUNTERS, TRACER
+from ..tensor import PyRef, TensorValue
+
+#: Bump when the pickled GeneratedGraph layout changes incompatibly;
+#: the disk cache treats any other value as a miss.
+ARTIFACT_FORMAT = 1
+
+
+class UnportableArtifact(Exception):
+    """This artifact pins process-local state and cannot be persisted.
+
+    ``reason`` is a short machine-readable kind (surfaced as a
+    ``diskcache.store_skipped.<reason>`` counter), never an error the
+    caller must handle beyond "don't publish".
+    """
+
+    def __init__(self, reason):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def portability_blockers(generated):
+    """Why a GeneratedGraph must not cross a process boundary (or None).
+
+    A graph is portable when nothing in it refers to objects of the
+    producing process by *identity*: no Variables, no Python-heap access
+    (``py_*`` nodes / PyRef constants), and no identity prechecks.  Such
+    graphs are pure tensor programs — exactly the ones whose semantics
+    survive pickling.
+    """
+    for desc, check in generated.prechecks:
+        if not getattr(check, "portable", False):
+            return "identity_precheck"
+    seen = set()
+    stack = [generated.graph]
+    while stack:
+        graph = stack.pop()
+        if id(graph) in seen:
+            continue
+        seen.add(id(graph))
+        for node in graph.nodes:
+            if node.variable is not None:
+                return "variable"
+            if node.py_object is not None or node.op_name.startswith("py_"):
+                return "heap_access"
+            if isinstance(node.constant_value, PyRef):
+                return "pyref_const"
+            for func in node._nested_functions():
+                if func is not None and func.graph is not None:
+                    stack.append(func.graph)
+    blocker = _structure_blocker(generated.output_structure)
+    if blocker:
+        return blocker
+    return None
+
+
+def _structure_blocker(structure):
+    kind = structure[0]
+    if kind == "const":
+        value = structure[1]
+        if not (value is None or isinstance(
+                value, (bool, int, float, str, TensorValue))):
+            return "const_output"
+        return None
+    if kind in ("seq", "dict"):
+        for sub in structure[2]:
+            blocker = _structure_blocker(sub)
+            if blocker:
+                return blocker
+    return None
+
+
+def serialize_generated(generated):
+    """Pickle a (pre-fusion) GeneratedGraph, or raise UnportableArtifact.
+
+    Must be called *before* :func:`~repro.graph.lowering.fuse_graph`
+    mutates the graph: fused kernels are exec-generated code objects
+    that cannot pickle.  Loading re-runs the full deterministic
+    ``compile_generated`` pipeline on the deserialized graph, so loaded
+    and freshly-compiled artifacts are bit-for-bit identical.
+    """
+    blocker = portability_blockers(generated)
+    if blocker:
+        raise UnportableArtifact(blocker)
+    try:
+        return pickle.dumps(generated, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # defensive: persistence must never block compile
+        raise UnportableArtifact("pickle_error")
+
+
+def deserialize_generated(payload):
+    """Inverse of :func:`serialize_generated` (raises on corrupt input)."""
+    generated = pickle.loads(payload)
+    if not isinstance(generated, object) or \
+            not hasattr(generated, "graph") or \
+            not hasattr(generated, "prechecks"):
+        raise ValueError("payload is not a GeneratedGraph")
+    return generated
 
 
 class CompiledGraph:
@@ -40,7 +138,8 @@ class CompiledGraph:
 
     __slots__ = ("generated", "executor", "signature", "node_count",
                  "compile_seconds", "lowered", "fused_ops",
-                 "lowering_bailout")
+                 "lowering_bailout", "payload", "portable_skip",
+                 "from_disk")
 
     def __init__(self, generated, executor, signature=None,
                  compile_seconds=0.0, lowered=None, fused_ops=0,
@@ -53,6 +152,21 @@ class CompiledGraph:
         self.lowered = lowered
         self.fused_ops = fused_ops
         self.lowering_bailout = lowering_bailout
+        #: Pre-fusion pickle of ``generated``, captured by
+        #: ``compile_generated(..., persist=True)`` for disk publication;
+        #: consumed (once) via :meth:`take_payload`.
+        self.payload = None
+        #: Why the artifact could not be serialized (None = it could, or
+        #: persistence was never requested).
+        self.portable_skip = None
+        #: True when this artifact was rebuilt from a disk-cache entry.
+        self.from_disk = False
+
+    def take_payload(self):
+        """Hand off the serialized form (and release the bytes)."""
+        payload = self.payload
+        self.payload = None
+        return payload
 
     @property
     def graph(self):
@@ -108,14 +222,27 @@ class RegenerationSeed:
         return getattr(self.compiled.generated, "bound_arg_specs", None)
 
 
-def compile_generated(generated, config, signature=None):
+def compile_generated(generated, config, signature=None, persist=False):
     """Build the :class:`CompiledGraph` artifact for a generated graph.
 
     This is the one place executor schedules (and with them the
     specialized guard/heap-read closures) are compiled on the JANUS
     path; everything downstream reuses the artifact.
+
+    ``persist=True`` additionally snapshots the pre-fusion pickle of
+    *generated* (when portable) so the caller can publish the artifact
+    to the cross-process disk cache; the snapshot must happen here,
+    before fusion rewrites the graph in place.
     """
     start = time.perf_counter()
+    payload = None
+    portable_skip = None
+    if persist:
+        try:
+            payload = serialize_generated(generated)
+        except UnportableArtifact as exc:
+            portable_skip = exc.reason
+            COUNTERS.inc("diskcache.store_skipped.%s" % exc.reason)
     lowering_on = getattr(config, "lowering", True)
     fused_ops = 0
     if lowering_on:
@@ -154,10 +281,27 @@ def compile_generated(generated, config, signature=None):
                              compile_seconds=elapsed, lowered=lowered,
                              fused_ops=fused_ops,
                              lowering_bailout=bailout)
+    compiled.payload = payload
+    compiled.portable_skip = portable_skip
     if TRACER.level:
         TRACER.instant("graphgen", "compiled", graph=generated.graph.name,
                        nodes=compiled.node_count,
                        compile_ms=round(elapsed * 1e3, 3),
                        lowered=lowered is not None, fused_ops=fused_ops,
                        lowering_bailout=bailout)
+    return compiled
+
+
+def load_compiled(payload, config, signature=None):
+    """Rebuild a full CompiledGraph from a persisted payload.
+
+    Runs the standard ``compile_generated`` pipeline (fuse → executor →
+    lower) on the deserialized pre-fusion graph, so the result is
+    indistinguishable from a freshly-compiled artifact apart from
+    ``from_disk``.  Raises on corrupt payloads; the disk cache converts
+    any raise into a counted miss.
+    """
+    generated = deserialize_generated(payload)
+    compiled = compile_generated(generated, config, signature=signature)
+    compiled.from_disk = True
     return compiled

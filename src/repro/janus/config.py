@@ -34,7 +34,9 @@ class JanusConfig:
                  tensor_write_barrier=True,
                  lowering=None,
                  recompile_workers=0,
-                 serving=None):
+                 serving=None,
+                 cache_dir=None,
+                 cache_max_bytes=None):
         #: Imperative profiling iterations before generating a graph
         #: (the paper found 3 sufficient — section 3.1 footnote).
         self.profile_runs = profile_runs
@@ -107,6 +109,38 @@ class JanusConfig:
         #: queue bounds).  Held here so one JanusConfig fully describes
         #: a deployment; the core runtime ignores it.
         self.serving = serving
+        #: Directory for the persistent cross-process compile cache
+        #: (docs/compilation.md#persistence--warm-start).  None defers
+        #: to the JANUS_CACHE_DIR env var at dispatch time; both unset
+        #: disables persistence entirely (the default — no disk I/O).
+        self.cache_dir = cache_dir
+        #: Size bound in bytes for the cache directory (LRU eviction
+        #: beyond it).  None defers to JANUS_CACHE_MAX_BYTES, default
+        #: 256 MiB.
+        self.cache_max_bytes = cache_max_bytes
+
+    def resolved_cache_dir(self):
+        """The effective cache directory, or None when persistence is off.
+
+        Resolved dynamically (not at construction) so the env var works
+        for configs created before it was set — e.g. the module-level
+        default config in a worker that reads JANUS_CACHE_DIR from its
+        launcher.
+        """
+        if self.cache_dir:
+            return str(self.cache_dir)
+        return os.environ.get("JANUS_CACHE_DIR") or None
+
+    def resolved_cache_max_bytes(self):
+        if self.cache_max_bytes is not None:
+            return int(self.cache_max_bytes)
+        env = os.environ.get("JANUS_CACHE_MAX_BYTES")
+        if env:
+            try:
+                return int(env)
+            except ValueError:
+                pass
+        return 256 * 1024 * 1024
 
     def copy(self, **overrides):
         new = copy.copy(self)

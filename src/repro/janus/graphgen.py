@@ -561,10 +561,7 @@ class GraphGenerator:
             value = sp.value
             self._add_precheck(
                 "arg %d constant" % index,
-                lambda a, i=index, v=value: spec.matches(
-                    spec.ValueSpec(spec.CONST_TENSOR,
-                                   dtype=dtypes.DType.of(v.dtype),
-                                   shape=Shape(v.shape), value=v), a[i]))
+                spec.ArgConstTensor(index, value))
             return self.builder.constant(TensorValue.of(value))
         if sp.is_tensor_like:
             # Shapes are part of the basic type assumption (checked at
@@ -578,7 +575,7 @@ class GraphGenerator:
                                         shape=shape)
             self._add_precheck(
                 "arg %d tensor spec" % index,
-                lambda a, i=index, s=check_spec: spec.matches(s, a[i]))
+                spec.ArgSpecMatches(index, check_spec))
             return ph
         if sp.kind == spec.NONE:
             return Const(None)
@@ -586,32 +583,31 @@ class GraphGenerator:
             value = sp.value
             self._add_precheck(
                 "arg %d const" % index,
-                lambda a, i=index, v=value: a[i] == v)
+                spec.ArgEquals(index, value))
             return Const(value)
         if sp.kind == spec.CALLABLE:
             target = sp.value
             self._add_precheck(
                 "arg %d callee identity" % index,
-                lambda a, i=index, t=target:
-                    getattr(a[i], "__func__", a[i]) is t)
+                spec.ArgCallableIs(index, target))
             return Const(target)
         if sp.kind == spec.VARIABLE:
             var = sp.value
             self._add_precheck(
                 "arg %d variable identity" % index,
-                lambda a, i=index, v=var: a[i] is v)
+                spec.ArgIsObject(index, var))
             return Const(var)
         if sp.kind == spec.PYOBJ:
             if sp.value is not None:
                 obj = sp.value
                 self._add_precheck(
                     "arg %d object identity" % index,
-                    lambda a, i=index, o=obj: a[i] is o)
+                    spec.ArgIsObject(index, obj))
                 return Const(obj)
             py_type = sp.py_type
             self._add_precheck(
                 "arg %d object type" % index,
-                lambda a, i=index, t=py_type: type(a[i]) is t)
+                spec.ArgTypeIs(index, py_type))
             ph = self.builder.placeholder("arg_%d_%s" % (index, name),
                                           shape=(), dtype=None)
             arg_plan.append(("arg", index))
@@ -621,8 +617,7 @@ class GraphGenerator:
             n = len(sp.elements)
             self._add_precheck(
                 "arg %d sequence length" % index,
-                lambda a, i=index, k=n: isinstance(a[i], (list, tuple))
-                and len(a[i]) == k)
+                spec.ArgSeqLen(index, n))
             for j, esp in enumerate(sp.elements):
                 if esp.is_tensor_like:
                     shape = esp.shape
@@ -634,8 +629,7 @@ class GraphGenerator:
                                            shape=shape)
                     self._add_precheck(
                         "arg %d item %d" % (index, j),
-                        lambda a, i=index, jj=j, s=check:
-                            spec.matches(s, a[i][jj]))
+                        spec.ArgItemMatches(index, j, check))
                     elements.append(ph)
                 else:
                     raise NotConvertible(
@@ -964,8 +958,7 @@ class _FunctionConverter:
             target = getattr(self.func, "__func__", self.func)
             self.gen._add_precheck(
                 "global %r value" % name,
-                lambda a, t=target, n=name, v=value:
-                    n in t.__globals__ and t.__globals__[n] == v)
+                spec.GlobalEquals(target, name, value))
             return Const(value)
         return Const(value)
 

@@ -19,6 +19,7 @@ new points, so a trace shows exactly *which* assumption each fallback
 cost.
 """
 
+import sys
 import threading
 import weakref
 
@@ -191,6 +192,19 @@ class ValueSpec:
         if self.kind == NONE:
             return ("N",)
         return ("_",)
+
+    def __getstate__(self):
+        # ``source`` pins a live TensorValue so write-barrier digests can
+        # use (identity, version); identity is meaningless in another
+        # process, so persisted specs drop it and fall back to content
+        # hashing on the next digest.
+        state = {s: getattr(self, s) for s in self.__slots__}
+        state["source"] = None
+        return state
+
+    def __setstate__(self, state):
+        for s in self.__slots__:
+            setattr(self, s, state.get(s))
 
     def __repr__(self):
         if self.kind == TENSOR:
@@ -386,6 +400,189 @@ def _as_array(value):
         return TensorValue.of(value if not isinstance(value, np.generic)
                               else value.item()).array
     return None
+
+
+class Precheck:
+    """Base for cache-retrieval prechecks (paper figure 2 (1)).
+
+    Prechecks used to be closures; they are small callable *objects* so
+    that persisted artifacts (:mod:`repro.janus.diskcache`) can pickle
+    them alongside the graph — closures don't pickle, data does.  Each
+    instance is called with the positional-argument tuple and returns
+    whether the burned-in assumption still holds.
+
+    ``portable`` marks whether the check is meaningful in a different
+    process: value/shape/type checks are, identity (``is``) checks pin
+    objects of *this* process and are not.  The serialization layer
+    refuses to persist artifacts carrying non-portable prechecks.
+    """
+
+    __slots__ = ()
+    portable = True
+
+
+class ArgConstTensor(Precheck):
+    """Argument ``index`` equals a burned-in constant tensor."""
+
+    __slots__ = ("index", "value")
+
+    def __init__(self, index, value):
+        self.index = index
+        self.value = np.asarray(value)
+
+    def __call__(self, args):
+        arr = _as_array(args[self.index])
+        return arr is not None and arr.dtype == self.value.dtype \
+            and arr.shape == self.value.shape \
+            and np.array_equal(arr, self.value)
+
+
+class ArgSpecMatches(Precheck):
+    """Argument ``index`` satisfies a dtype/shape spec."""
+
+    __slots__ = ("index", "spec")
+
+    def __init__(self, index, spec):
+        self.index = index
+        self.spec = spec
+
+    @property
+    def portable(self):
+        return self.spec.kind in (TENSOR, CONST_TENSOR)
+
+    def __call__(self, args):
+        return matches(self.spec, args[self.index])
+
+
+class ArgEquals(Precheck):
+    """Argument ``index`` compares equal to a burned-in Python value."""
+
+    __slots__ = ("index", "value")
+
+    def __init__(self, index, value):
+        self.index = index
+        self.value = value
+
+    def __call__(self, args):
+        return args[self.index] == self.value
+
+
+class ArgCallableIs(Precheck):
+    """Argument ``index`` is the same underlying function (identity)."""
+
+    __slots__ = ("index", "target")
+    portable = False
+
+    def __init__(self, index, target):
+        self.index = index
+        self.target = target
+
+    def __call__(self, args):
+        value = args[self.index]
+        return getattr(value, "__func__", value) is self.target
+
+
+class ArgIsObject(Precheck):
+    """Argument ``index`` is a specific object (identity)."""
+
+    __slots__ = ("index", "obj")
+    portable = False
+
+    def __init__(self, index, obj):
+        self.index = index
+        self.obj = obj
+
+    def __call__(self, args):
+        return args[self.index] is self.obj
+
+
+class ArgTypeIs(Precheck):
+    """Argument ``index`` has exactly a burned-in type (identity)."""
+
+    __slots__ = ("index", "py_type")
+    portable = False
+
+    def __init__(self, index, py_type):
+        self.index = index
+        self.py_type = py_type
+
+    def __call__(self, args):
+        return type(args[self.index]) is self.py_type
+
+
+class ArgSeqLen(Precheck):
+    """Argument ``index`` is a sequence of a burned-in length."""
+
+    __slots__ = ("index", "length")
+
+    def __init__(self, index, length):
+        self.index = index
+        self.length = length
+
+    def __call__(self, args):
+        value = args[self.index]
+        return isinstance(value, (list, tuple)) \
+            and len(value) == self.length
+
+
+class ArgItemMatches(Precheck):
+    """Element ``item`` of sequence argument ``index`` satisfies a spec."""
+
+    __slots__ = ("index", "item", "spec")
+
+    def __init__(self, index, item, spec):
+        self.index = index
+        self.item = item
+        self.spec = spec
+
+    @property
+    def portable(self):
+        return self.spec.kind in (TENSOR, CONST_TENSOR)
+
+    def __call__(self, args):
+        return matches(self.spec, args[self.index][self.item])
+
+
+class GlobalEquals(Precheck):
+    """A module global read at conversion time still has its old value.
+
+    Portable form: when the converted function's globals *are* its
+    module's ``__dict__`` (the common case) and the burned-in value is a
+    plain scalar, the check stores only ``(module name, global name,
+    value)`` and re-resolves through ``sys.modules`` in the loading
+    process.  Otherwise (exec'd functions, synthetic globals, rich
+    values) it pins the function object itself and is not portable.
+    """
+
+    __slots__ = ("module", "name", "value", "target", "portable")
+
+    def __init__(self, target, name, value):
+        self.name = name
+        self.value = value
+        mod = getattr(target, "__module__", None)
+        module = sys.modules.get(mod) if mod else None
+        if module is not None \
+                and getattr(target, "__globals__", None) is module.__dict__ \
+                and (value is None
+                     or isinstance(value, (bool, int, float, str))):
+            self.module = mod
+            self.target = None
+            self.portable = True
+        else:
+            self.module = None
+            self.target = target
+            self.portable = False
+
+    def __call__(self, args):
+        if self.target is not None:
+            globals_dict = self.target.__globals__
+        else:
+            module = sys.modules.get(self.module)
+            if module is None:
+                return False
+            globals_dict = module.__dict__
+        return self.name in globals_dict \
+            and globals_dict[self.name] == self.value
 
 
 def expected_attr_spec(spec):

@@ -42,6 +42,7 @@ from .metrics import (METRICS, Histogram, MetricsRegistry, get_metrics,
 from .health import (HEALTH, HealthRegistry, SiteHealth, SpeculationHealth,
                      get_health)
 from .serving import SERVING, ServingStats, get_serving
+from .diskcache import DISKCACHE, DiskCacheStats, get_diskcache
 from .export import (chrome_trace_events, install_atexit_dump, text_summary,
                      write_chrome_trace)
 from .cli import (load_stats, prometheus_text, render_report,
@@ -56,6 +57,7 @@ __all__ = [
     "HEALTH", "HealthRegistry", "SiteHealth", "SpeculationHealth",
     "get_health",
     "SERVING", "ServingStats", "get_serving",
+    "DISKCACHE", "DiskCacheStats", "get_diskcache",
     "chrome_trace_events", "install_atexit_dump", "text_summary",
     "write_chrome_trace",
     "load_stats", "prometheus_text", "render_report", "write_stats_json",
@@ -71,6 +73,7 @@ def clear():
     METRICS.clear()
     HEALTH.clear()
     SERVING.clear()
+    DISKCACHE.clear()
 
 
 # Env-var-enabled tracing dumps the trace at interpreter exit.

@@ -33,19 +33,21 @@ import json
 import sys
 
 from .counters import COUNTERS, CounterRegistry
+from .diskcache import DISKCACHE, DiskCacheStats, format_diskcache_table
 from .health import HEALTH, HealthRegistry, format_health_table
 from .metrics import METRICS, MetricsRegistry, format_histograms
 from .serving import SERVING, ServingStats, format_serving_table
 
 #: Saved-stats file format tag (bump on incompatible change).  The
-#: ``serving`` section was added within format 1: readers treat it as
-#: optional, so old bundles still load.
+#: ``serving`` and ``diskcache`` sections were added within format 1:
+#: readers treat them as optional, so old bundles still load.
 STATS_FORMAT = "janus-stats/1"
 
 
 # -- persistence -------------------------------------------------------------
 
-def stats_payload(metrics=None, health=None, counters=None, serving=None):
+def stats_payload(metrics=None, health=None, counters=None, serving=None,
+                  diskcache=None):
     """The JSON-serializable stats bundle for the given registries."""
     return {
         "format": STATS_FORMAT,
@@ -53,25 +55,26 @@ def stats_payload(metrics=None, health=None, counters=None, serving=None):
         "health": (health or HEALTH).snapshot(),
         "counters": (counters or COUNTERS).snapshot(),
         "serving": (serving or SERVING).snapshot(),
+        "diskcache": (diskcache or DISKCACHE).snapshot(),
     }
 
 
 def write_stats_json(path, metrics=None, health=None, counters=None,
-                     serving=None):
+                     serving=None, diskcache=None):
     """Save the registries for later ``janus-stats`` analysis."""
     with open(path, "w") as fh:
-        json.dump(stats_payload(metrics, health, counters, serving), fh,
-                  indent=1)
+        json.dump(stats_payload(metrics, health, counters, serving,
+                                diskcache), fh, indent=1)
     return path
 
 
 def load_stats(path):
     """Load a saved stats JSON into fresh registries.
 
-    Returns ``(metrics, health, counters, serving)``.  Raises
+    Returns ``(metrics, health, counters, serving, diskcache)``.  Raises
     ``ValueError`` on a file that is not a janus-stats bundle (e.g. a
-    raw chrome trace).  Bundles written before the serving layer load
-    with empty serving stats.
+    raw chrome trace).  Bundles written before the serving layer / disk
+    cache existed load with empty stats for those sections.
     """
     with open(path) as fh:
         payload = json.load(fh)
@@ -89,7 +92,8 @@ def load_stats(path):
     for name, (count, total) in (counter_snap.get("timers") or {}).items():
         counters._timers[name] = [int(count), float(total)]
     serving = ServingStats.from_snapshot(payload.get("serving"))
-    return metrics, health, counters, serving
+    diskcache = DiskCacheStats.from_snapshot(payload.get("diskcache"))
+    return metrics, health, counters, serving, diskcache
 
 
 # -- report rendering --------------------------------------------------------
@@ -163,12 +167,13 @@ def post_mortem(health, name=None):
 
 
 def render_report(metrics=None, health=None, counters=None, function=None,
-                  serving=None):
+                  serving=None, diskcache=None):
     """The full ``janus-stats`` text report."""
     metrics = metrics if metrics is not None else METRICS
     health = health if health is not None else HEALTH
     counters = counters if counters is not None else COUNTERS
     serving = serving if serving is not None else SERVING
+    diskcache = diskcache if diskcache is not None else DISKCACHE
     lines = ["== janus-stats =="]
 
     health_lines = format_health_table(health)
@@ -183,6 +188,11 @@ def render_report(metrics=None, health=None, counters=None, function=None,
     if serving_lines:
         lines.append("-- serving --")
         lines.extend(serving_lines)
+
+    diskcache_lines = format_diskcache_table(diskcache)
+    if diskcache_lines:
+        lines.append("-- disk cache --")
+        lines.extend(diskcache_lines)
 
     lines.append("-- latency histograms --")
     hist_lines = format_histograms(metrics)
@@ -221,7 +231,8 @@ def _prom_name(name):
     return "".join(out)
 
 
-def prometheus_text(metrics=None, health=None, counters=None, serving=None):
+def prometheus_text(metrics=None, health=None, counters=None, serving=None,
+                    diskcache=None):
     """The scrape-friendly subset in Prometheus text exposition format.
 
     Histograms map to the standard ``_bucket``/``_sum``/``_count``
@@ -229,12 +240,14 @@ def prometheus_text(metrics=None, health=None, counters=None, serving=None):
     gauges labelled by function (plus a one-hot ``state`` gauge);
     counters map to ``janus_counter_total``; the serving layer maps to
     ``janus_serving_*`` gauges plus queue-depth / batch-size / wait
-    histograms.
+    histograms; the disk compile cache maps to ``janus_diskcache_*``
+    gauges (misses labelled by reason) plus the load-latency histogram.
     """
     metrics = metrics if metrics is not None else METRICS
     health = health if health is not None else HEALTH
     counters = counters if counters is not None else COUNTERS
     serving = serving if serving is not None else SERVING
+    diskcache = diskcache if diskcache is not None else DISKCACHE
     lines = []
 
     def emit_histogram(base, hist):
@@ -307,6 +320,32 @@ def prometheus_text(metrics=None, health=None, counters=None, serving=None):
         emit_histogram("janus_serving_queue_wait_seconds",
                        serving.queue_wait)
 
+    disk_snap = diskcache.snapshot()
+    if disk_snap["loads"] or disk_snap["stores"] \
+            or disk_snap["store_skips"]:
+        disk_gauges = (
+            ("janus_diskcache_loads_total", "loads"),
+            ("janus_diskcache_hits_total", "hits"),
+            ("janus_diskcache_stores_total", "stores"),
+            ("janus_diskcache_store_bytes_total", "store_bytes"),
+            ("janus_diskcache_store_skips_total", "store_skips"),
+            ("janus_diskcache_evictions_total", "evictions"),
+            ("janus_diskcache_bytes_on_disk", "bytes_on_disk"),
+            ("janus_diskcache_entries_on_disk", "entries_on_disk"),
+        )
+        for metric, key in disk_gauges:
+            lines.append("# TYPE %s gauge" % metric)
+            lines.append("%s %d" % (metric, disk_snap[key]))
+        if disk_snap["miss_reasons"]:
+            lines.append("# TYPE janus_diskcache_misses_total gauge")
+            for reason in sorted(disk_snap["miss_reasons"]):
+                lines.append(
+                    'janus_diskcache_misses_total{reason="%s"} %d'
+                    % (_prom_escape(reason),
+                       disk_snap["miss_reasons"][reason]))
+        emit_histogram("janus_diskcache_load_seconds",
+                       diskcache.load_latency)
+
     counter_snap = counters.snapshot().get("counters", {})
     if counter_snap:
         lines.append("# TYPE janus_counter_total counter")
@@ -352,20 +391,21 @@ def main(argv=None):
 
     if args.input:
         try:
-            metrics, health, counters, serving = load_stats(args.input)
+            metrics, health, counters, serving, diskcache = \
+                load_stats(args.input)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print("janus-stats: %s" % exc, file=sys.stderr)
             return 2
     else:
-        metrics, health, counters, serving = (METRICS, HEALTH, COUNTERS,
-                                              SERVING)
+        metrics, health, counters, serving, diskcache = (
+            METRICS, HEALTH, COUNTERS, SERVING, DISKCACHE)
 
     if args.prometheus:
         sys.stdout.write(prometheus_text(metrics, health, counters,
-                                         serving))
+                                         serving, diskcache))
     else:
         print(render_report(metrics, health, counters, args.function,
-                            serving=serving))
+                            serving=serving, diskcache=diskcache))
 
     if args.check:
         problems = _selfcheck(metrics, health)

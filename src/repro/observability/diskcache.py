@@ -1,0 +1,173 @@
+"""Disk-compile-cache metrics: loads, misses by kind, bytes on disk.
+
+The persistent cross-process compile cache (:mod:`repro.janus.diskcache`)
+turns cold-start compilation into a one-time fleet cost — provided warm
+workers actually hit.  This registry answers the operational questions
+that design raises:
+
+* **loads** — probe attempts, hits, and misses broken down by *why*
+  (``absent``, ``corrupt``, ``version``, ``key_mismatch``, ``unpickle``,
+  ``rebuild``): a fleet whose misses skew ``version`` is mid-rollout,
+  one skewing ``corrupt`` has a storage problem,
+* **stores** — artifacts published, bytes written, publishes skipped
+  because the artifact pins process-local state (see
+  ``diskcache.store_skipped.*`` counters for the reason taxonomy),
+* **evictions** — LRU pressure against the size bound,
+* **load latency** — the warm-start price actually paid (unpickle +
+  re-fuse + re-lower), the number to compare against a cold compile.
+
+Thread-safe like the other registries and snapshot/restore round-trips
+through the ``janus-stats`` bundle.  The process-wide singleton is
+:data:`DISKCACHE`; populated by the store regardless of
+``METRICS.enabled`` — a worker with a cache dir configured wants its
+hit ratio even with latency histograms off.
+"""
+
+import threading
+
+from .metrics import Histogram
+
+__all__ = ["DISKCACHE", "DiskCacheStats", "format_diskcache_table",
+           "get_diskcache"]
+
+
+class DiskCacheStats:
+    """Aggregated disk-compile-cache signals for one process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.loads = 0               # probe attempts
+        self.hits = 0
+        self.miss_reasons = {}       # reason kind -> count
+        self.stores = 0              # artifacts published
+        self.store_bytes = 0         # total payload bytes written
+        self.store_skips = 0         # unportable artifacts not published
+        self.evictions = 0           # entries dropped by the LRU bound
+        self.bytes_on_disk = 0       # gauge: sampled at probe/publish
+        self.entries_on_disk = 0     # gauge
+        self.load_latency = Histogram()   # seconds per successful load
+
+    # -- recording (driven by repro.janus.diskcache) -------------------------
+
+    def record_hit(self, seconds):
+        with self._lock:
+            self.loads += 1
+            self.hits += 1
+        self.load_latency.observe(seconds)
+
+    def record_miss(self, reason):
+        with self._lock:
+            self.loads += 1
+            self.miss_reasons[reason] = self.miss_reasons.get(reason, 0) + 1
+
+    def record_store(self, nbytes):
+        with self._lock:
+            self.stores += 1
+            self.store_bytes += int(nbytes)
+
+    def record_store_skip(self):
+        with self._lock:
+            self.store_skips += 1
+
+    def record_evictions(self, count):
+        with self._lock:
+            self.evictions += int(count)
+
+    def set_disk_usage(self, nbytes, entries):
+        with self._lock:
+            self.bytes_on_disk = int(nbytes)
+            self.entries_on_disk = int(entries)
+
+    # -- serialization -------------------------------------------------------
+
+    def snapshot(self):
+        with self._lock:
+            snap = {
+                "loads": self.loads,
+                "hits": self.hits,
+                "miss_reasons": dict(self.miss_reasons),
+                "stores": self.stores,
+                "store_bytes": self.store_bytes,
+                "store_skips": self.store_skips,
+                "evictions": self.evictions,
+                "bytes_on_disk": self.bytes_on_disk,
+                "entries_on_disk": self.entries_on_disk,
+            }
+        snap["load_latency"] = self.load_latency.snapshot()
+        return snap
+
+    @classmethod
+    def from_snapshot(cls, snap):
+        stats = cls()
+        snap = snap or {}
+        for field in ("loads", "hits", "stores", "store_bytes",
+                      "store_skips", "evictions", "bytes_on_disk",
+                      "entries_on_disk"):
+            setattr(stats, field, int(snap.get(field, 0)))
+        stats.miss_reasons = {str(k): int(v) for k, v in
+                              (snap.get("miss_reasons") or {}).items()}
+        if snap.get("load_latency"):
+            stats.load_latency = Histogram.from_snapshot(
+                snap["load_latency"])
+        return stats
+
+    def clear(self):
+        with self._lock:
+            self.loads = 0
+            self.hits = 0
+            self.miss_reasons = {}
+            self.stores = 0
+            self.store_bytes = 0
+            self.store_skips = 0
+            self.evictions = 0
+            self.bytes_on_disk = 0
+            self.entries_on_disk = 0
+        self.load_latency = Histogram()
+
+    def __repr__(self):
+        return ("DiskCacheStats(loads=%d, hits=%d, stores=%d)"
+                % (self.loads, self.hits, self.stores))
+
+
+def format_diskcache_table(stats):
+    """Text lines for the ``janus-stats`` disk-cache section.
+
+    Returns [] when the process never touched a disk cache (section
+    omitted, keeping default-off runs identical to older reports).
+    """
+    if not (stats.loads or stats.stores or stats.store_skips):
+        return []
+    misses = sum(stats.miss_reasons.values())
+    lines = [
+        "  loads: %d (%d hits, %d misses) | stores: %d (%.1f KiB, "
+        "%d skipped unportable) | evictions: %d"
+        % (stats.loads, stats.hits, misses, stats.stores,
+           stats.store_bytes / 1024.0, stats.store_skips,
+           stats.evictions)]
+    if stats.miss_reasons:
+        reasons = ", ".join(
+            "%s: %d" % (kind, count) for kind, count in
+            sorted(stats.miss_reasons.items(),
+                   key=lambda item: (-item[1], item[0])))
+        lines.append("  miss reasons: %s" % reasons)
+    if stats.bytes_on_disk or stats.entries_on_disk:
+        lines.append("  on disk: %d entries, %.1f KiB"
+                     % (stats.entries_on_disk,
+                        stats.bytes_on_disk / 1024.0))
+    latency = stats.load_latency
+    if latency.count:
+        pct = latency.percentiles()
+        lines.append(
+            "  load latency: p50 %.2f ms  p95 %.2f ms  max %.2f ms"
+            % (pct["p50"] * 1e3, pct["p95"] * 1e3,
+               (latency.max or 0.0) * 1e3))
+    return lines
+
+
+#: The process-wide disk-cache stats; populated by
+#: :mod:`repro.janus.diskcache`.
+DISKCACHE = DiskCacheStats()
+
+
+def get_diskcache():
+    return DISKCACHE

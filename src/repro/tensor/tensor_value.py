@@ -186,6 +186,12 @@ class TensorValue:
         self.version += 1
         return self
 
+    def __reduce__(self):
+        # Version stamps and seal state are per-process write-barrier
+        # bookkeeping; a deserialized value starts life as a fresh,
+        # untracked tensor in the loading process.
+        return (TensorValue, (self.array, self.dtype))
+
     def __repr__(self):
         return "TensorValue(dtype=%s, shape=%s)" % (
             self.dtype.name, tuple(self.array.shape))

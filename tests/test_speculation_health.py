@@ -338,7 +338,7 @@ class TestStatsCli:
         write_stats_json(path)
         obs.clear()                            # post-mortem: live data gone
 
-        metrics, health, _counters, _serving = load_stats(path)
+        metrics, health, _counters, _serving, _diskcache = load_stats(path)
         assert health.get("step").state == live_state
         assert metrics.get("graph.run").count == live_count
         assert health.get("step").worst_site().failures == 1
@@ -362,7 +362,7 @@ class TestStatsCli:
         write_stats_json(path)
         obs.clear()
 
-        _metrics, _health, _counters, serving = load_stats(path)
+        _metrics, _health, _counters, serving, _diskcache = load_stats(path)
         assert serving.requests == 2
         assert serving.rejected == 1
         assert serving.batches == 1
@@ -382,7 +382,8 @@ class TestStatsCli:
         payload = json.loads(path.read_text())
         payload.pop("serving", None)           # bundle from an older build
         path.write_text(json.dumps(payload))
-        _metrics, health, _counters, serving = load_stats(str(path))
+        _metrics, health, _counters, serving, _diskcache = \
+            load_stats(str(path))
         assert health.get("step") is not None
         assert serving.requests == 0
         assert "-- serving --" not in render_report(serving=serving)
