@@ -8,6 +8,9 @@
 #   make test-concurrency - the threaded dispatch + serving suites
 #                      (hash seed pinned so generated programs and any
 #                      dict-order-sensitive interleavings reproduce)
+#   make test-coexec - the three-way co-execution differential suite
+#                      (co-executed vs whole-function imperative vs
+#                      full-graph; docs/coexecution.md)
 #   make bench       - regenerate the paper-evaluation tables/figures
 #   make bench-check - run Table 3 three times and fail on >10% median
 #                      regression vs benchmarks/results/baseline_table3.json
@@ -28,9 +31,10 @@
 #                      enabled per-test and once with JANUS_CACHE_DIR
 #                      explicitly unset to prove the default path is
 #                      unchanged
-#   make ci          - tier-1 tests (lowering on, then JANUS_LOWERING=0)
-#                      + the concurrency suites + the persistence suite
-#                      + the gated benchmark (what CI runs)
+#   make ci          - tier-1 tests (lowering on, then JANUS_LOWERING=0,
+#                      then JANUS_COEXEC=0) + the concurrency suites
+#                      + the persistence suite + the gated benchmark
+#                      (what CI runs)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -43,8 +47,9 @@ GATE_LABELS := $(shell seq 1 $(GATE_RUNS))
 GATE_FILES := $(foreach n,$(GATE_LABELS),\
 	benchmarks/results/table3_throughput-gate-run$(n).json)
 
-.PHONY: test test-nolowering test-differential test-concurrency \
-	test-persistence trace-demo stats-demo bench bench-check ci
+.PHONY: test test-nolowering test-nocoexec test-differential \
+	test-concurrency test-coexec test-persistence trace-demo \
+	stats-demo bench bench-check ci
 
 #: Where the stats-demo smoke step writes its artifacts (kept out of the
 #: repo tree so gate runs never leave untracked files behind).
@@ -58,6 +63,12 @@ test:
 # it must stay green on its own (docs/lowering.md).
 test-nolowering:
 	JANUS_LOWERING=0 $(PYTHON) -m pytest -x -q
+
+# The same tier-1 suite with co-execution disabled: every function that
+# would run under a partial plan must fall back to the classic
+# whole-function imperative verdict and stay green (docs/coexecution.md).
+test-nocoexec:
+	JANUS_COEXEC=0 $(PYTHON) -m pytest -x -q
 
 # The randomized write-barrier differential suite (>= 200 generated
 # programs across the barrier x regeneration matrix).  Part of the
@@ -75,6 +86,15 @@ test-differential:
 test-concurrency:
 	PYTHONHASHSEED=0 $(PYTHON) -m pytest tests/test_concurrency.py \
 		tests/test_serving.py -q
+
+# The randomized three-way co-execution differential suite: >= 40
+# seeded programs with unsupported constructs injected, each run
+# co-executed, whole-function imperative, and full-graph against the
+# imperative oracle (docs/coexecution.md).  Hash seed pinned for
+# reproducible program generation, as in test-concurrency.
+test-coexec:
+	PYTHONHASHSEED=0 $(PYTHON) -m pytest \
+		tests/test_coexec_differential.py -q
 
 # The persistent compile-cache suite.  Run twice: the suite itself
 # (each test opts into a private cache dir), then the default-path
@@ -123,4 +143,5 @@ bench-check:
 	$(PYTHON) benchmarks/bench_serving.py --check
 	$(PYTHON) benchmarks/bench_warm_start.py --check
 
-ci: test test-nolowering test-concurrency test-persistence bench-check
+ci: test test-nolowering test-nocoexec test-concurrency \
+	test-persistence bench-check

@@ -6,6 +6,12 @@ the AST level; the bench exercises one probe program per feature family
 and reports whether the generator converts it or routes it to the
 imperative executor — regenerating the appendix's coverage map for this
 implementation.
+
+The coverage map is the *whole-function* verdict, so the probes pin
+``coexecution=False``.  A second pass re-probes the imperative-only
+families with co-execution on (docs/coexecution.md) and counts which of
+them become **partially converted** — symbolic fragments around the
+unconvertible statement — a column Table 4 has no analogue for.
 """
 
 import numpy as np
@@ -41,9 +47,15 @@ def _load_probe(source):
 
 
 def _probe(family, section, source, n_args=1, convertible=True):
-    """Build a probe JanusFunction from source and test conversion."""
+    """Build a probe JanusFunction from source and test conversion.
+
+    Pinned to ``coexecution=False``: Table 4 reports the all-or-nothing
+    conversion verdict, and with co-execution on the imperative-only
+    probes would land on the ``partial`` state instead (that dimension
+    is reported separately by ``test_coexec_partial_coverage``).
+    """
     func = _load_probe(source)
-    jf = janus.function(func)
+    jf = janus.function(config=janus.JanusConfig(coexecution=False))(func)
     args = [R.constant(np.ones(2, np.float32)) for _ in range(n_args)]
     for _ in range(5):
         try:
@@ -138,6 +150,39 @@ def test_coverage(family, section, source, convertible, benchmark):
         rounds=1)
 
 
+_COEXEC_ROWS = []
+
+
+def test_coexec_partial_coverage(benchmark):
+    """Re-probe the imperative-only families with co-execution on: how
+    many convert *partially* (symbolic fragments around the gap)?"""
+
+    def run():
+        for family, section, source, convertible in FAMILIES:
+            if convertible:
+                continue
+            jf = janus.function(
+                config=janus.JanusConfig(coexecution=True))(
+                    _load_probe(source))
+            x = R.constant(np.ones(2, np.float32))
+            for _ in range(6):
+                jf(x)
+            if jf.stats["coexec_runs"]:
+                plan = jf.coexec_plan
+                ratio = plan.converted_ratio if plan is not None else None
+                status = "partial" if ratio is None else \
+                    "partial (%.0f%% symbolic)" % (ratio * 100.0)
+            else:
+                status = "imperative-only"
+            _COEXEC_ROWS.append([family, section, status])
+        # At least one imperative-only family must recover symbolic
+        # fragments under co-execution.
+        assert any(r[2].startswith("partial") for r in _COEXEC_ROWS), \
+            _COEXEC_ROWS
+
+    benchmark.pedantic(run, rounds=1)
+
+
 def test_zz_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1)
     print()
@@ -148,6 +193,22 @@ def test_zz_report(benchmark):
     print("\n%d/%d probe families convert; the rest run imperatively "
           "(full Python coverage via the imperative executor)"
           % (converted, len(_ROWS)))
+    if _COEXEC_ROWS:
+        print()
+        print(format_table(
+            ["Feature family", "Paper section", "With co-execution"],
+            _COEXEC_ROWS,
+            title="Imperative-only families under co-execution "
+                  "(beyond Table 4)"))
+        partial = sum(1 for r in _COEXEC_ROWS
+                      if r[2].startswith("partial"))
+        print("\n%d/%d imperative-only families partially convert under "
+              "co-execution (docs/coexecution.md)"
+              % (partial, len(_COEXEC_ROWS)))
     save_results("table4_coverage",
-                 [dict(zip(("family", "section", "status"), r))
-                  for r in _ROWS])
+                 {"whole_function":
+                  [dict(zip(("family", "section", "status"), r))
+                   for r in _ROWS],
+                  "coexecution":
+                  [dict(zip(("family", "section", "status"), r))
+                   for r in _COEXEC_ROWS]})

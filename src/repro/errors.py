@@ -42,9 +42,14 @@ class NotConvertible(ReproError):
     imperative executor (paper section 4.3, figure 2 (C)).
     """
 
-    def __init__(self, message, feature=None):
+    def __init__(self, message, feature=None, lineno=None):
         super().__init__(message)
         self.feature = feature
+        #: Source line (in the coordinates of the function being
+        #: converted) of the offending construct, when the generator can
+        #: attribute one.  The co-execution planner uses it to split the
+        #: function at the failing statement (docs/coexecution.md).
+        self.lineno = lineno
 
 
 class FallbackRequested(ReproError):

@@ -46,6 +46,7 @@ from ..errors import AssumptionFailed, NotConvertible
 from ..imperative.tape import GradientTape
 from ..observability import COUNTERS, DISKCACHE, HEALTH, METRICS, \
     TRACER, override_level
+from . import coexec as coexec_mod
 from . import diskcache as diskcache_mod
 from .cache import CacheEntry, GraphCache
 from .compiled import RegenerationSeed, compile_generated, load_compiled
@@ -86,8 +87,14 @@ class JanusFunction:
             "calls": 0, "imperative_runs": 0, "graph_runs": 0,
             "fallbacks": 0, "graphs_generated": 0,
             "recompile_tickets": 0, "stampede_fallbacks": 0,
-            "warm_starts": 0,
+            "warm_starts": 0, "coexec_runs": 0,
+            "coexec_fragment_runs": 0,
         }
+        #: Terra-style co-execution schedule (docs/coexecution.md),
+        #: installed when whole-function conversion fails on an
+        #: unsupported construct but the body can be partitioned into
+        #: symbolic fragments and imperative gaps.  None otherwise.
+        self._coexec_plan = None
         #: RCU-style artifact slot: readers (warm callers) share it for
         #: lookup + precheck and execute the pinned artifact outside it;
         #: writers hold it only for the retire/publish pointer swaps.
@@ -150,6 +157,9 @@ class JanusFunction:
             if health is not None:
                 health.record_imperative_run()
             return self._run_imperative(args, profile=False)
+        plan = self._coexec_plan
+        if plan is not None:
+            return self._run_coexec(plan, args, health)
         if self.profiler.runs < self.config.profile_runs:
             # Warm start: with a disk cache configured, probe it (once
             # per signature) before paying a single profiling run — a
@@ -209,8 +219,12 @@ class JanusFunction:
             with self._generate_lock:
                 compiled = self._generate(signature)
             if compiled is None:
+                # A co-execution plan may have been installed instead of
+                # the imperative-only verdict; this call still serves
+                # imperatively, the next one dispatches the plan.
                 if health is not None:
-                    health.record_imperative_only()
+                    if self._coexec_plan is None:
+                        health.record_imperative_only()
                     health.record_imperative_run()
                 return self._run_imperative(args, profile=False)
             entry = CacheEntry(compiled)
@@ -401,6 +415,17 @@ class JanusFunction:
                         reason=compiled.lowering_bailout)
                 return compiled
             except NotConvertible as exc:
+                if not self.config.fail_on_not_convertible \
+                        and self.config.coexecution \
+                        and self._coexec_plan is None:
+                    plan = coexec_mod.build_plan(self, exc)
+                    if plan is not None:
+                        # Terra-style partial conversion: keep the
+                        # convertible regions symbolic instead of going
+                        # whole-function imperative (docs/coexecution.md).
+                        self._coexec_plan = plan
+                        self.not_convertible_reason = str(exc)
+                        return None
                 # Figure 2 (C): permanently imperative-only.
                 self.imperative_only = True
                 self.not_convertible_reason = str(exc)
@@ -470,6 +495,50 @@ class JanusFunction:
             health.record_graph_run()
         return compiled.repack_outputs(flat)
 
+    def _run_coexec(self, plan, args, health):
+        """Dispatch one call through the co-execution plan.
+
+        The plan runs symbolic fragments and imperative gaps in
+        statement order, refining itself when a fragment turns out
+        unconvertible.  Two exits abandon it: a boundary mismatch
+        (re-run the whole function imperatively — correctness first)
+        and refinement degenerating to an all-gap schedule (no partial
+        win left; classic imperative-only).
+        """
+        self._inc("coexec_runs")
+        COUNTERS.inc("dispatch.coexec_runs")
+        try:
+            result, frag_runs, alive = plan.run(args)
+        except coexec_mod.BoundaryMismatch as exc:
+            # This call is re-counted as an imperative run, not a
+            # co-executed one, so counter conservation holds:
+            # calls == graph_runs + imperative_runs + coexec_runs.
+            self._inc("coexec_runs", -1)
+            COUNTERS.inc("coexec.boundary_fallbacks")
+            self._coexec_plan = None
+            plan.invalidate()
+            self.imperative_only = True
+            self.not_convertible_reason = \
+                "co-execution boundary mismatch: %s" % exc
+            if TRACER.level:
+                TRACER.instant("fallback", self.__name__,
+                               reason="coexec_boundary", detail=str(exc))
+            if health is not None:
+                health.record_imperative_only()
+                health.record_imperative_run()
+            return self._run_imperative(args, profile=False)
+        if frag_runs:
+            self._inc("coexec_fragment_runs", frag_runs)
+        if health is not None:
+            health.record_coexec_run(frag_runs, plan.converted_ratio)
+        if not alive:
+            self._coexec_plan = None
+            plan.invalidate()
+            self.imperative_only = True
+            if health is not None:
+                health.record_imperative_only()
+        return result
+
     def _background_regenerate(self, signature):
         """Regenerate off the request path (recompile_workers > 0).
 
@@ -535,10 +604,23 @@ class JanusFunction:
     def cache_stats(self):
         stats = dict(self.stats)
         stats.update(self.cache.stats())
+        plan = self._coexec_plan
+        if plan is not None:
+            stats["coexec"] = plan.artifact().stats()
         return stats
 
+    @property
+    def coexec_plan(self):
+        """The active co-execution plan, or None (introspection)."""
+        return self._coexec_plan
+
     def __repr__(self):
-        mode = "imperative-only" if self.imperative_only else "speculative"
+        if self.imperative_only:
+            mode = "imperative-only"
+        elif self._coexec_plan is not None:
+            mode = "co-executed"
+        else:
+            mode = "speculative"
         return "JanusFunction(%s, %s)" % (self.__name__, mode)
 
     def __get__(self, instance, owner):

@@ -232,6 +232,19 @@ class GraphCache:
         with self._lock:
             return self._seeds.pop(signature, None)
 
+    def invalidate_all(self):
+        """Drop every live entry, with per-entry invalidation accounting.
+
+        Used by the co-execution planner when a plan is torn down (all
+        fragment artifacts become unreachable at once); unlike
+        :meth:`clear` this counts each drop so lifetime stats and trace
+        events stay truthful.
+        """
+        with self._lock:
+            for signature in list(self._entries):
+                self.invalidate(signature)
+            self._seeds.clear()
+
     def clear(self):
         with self._lock:
             self._entries.clear()

@@ -222,6 +222,58 @@ class RegenerationSeed:
         return getattr(self.compiled.generated, "bound_arg_specs", None)
 
 
+class CoExecArtifact:
+    """The multi-fragment artifact behind a co-execution plan.
+
+    A co-executed function does not own one :class:`CompiledGraph` — it
+    owns an alternating schedule of symbolic fragments (each a full
+    JanusFunction with its own :class:`~repro.janus.cache.GraphCache`
+    of CompiledGraph artifacts, compiled through the same
+    ``compile_generated`` pipeline) and imperative gaps.  This record
+    is the introspection/invalidation handle over that whole family:
+    ``janus-stats`` reads the converted-op ratio off it, and tearing a
+    plan down invalidates every fragment cache in one sweep.
+    """
+
+    __slots__ = ("name", "segments", "fragment_functions",
+                 "converted_ratio")
+
+    def __init__(self, name, segments, fragment_functions,
+                 converted_ratio):
+        #: Owning janus.function name.
+        self.name = name
+        #: ``[("sym"|"gap", start_stmt, end_stmt), ...]`` — the current
+        #: top-level partition, for reporting.
+        self.segments = list(segments)
+        #: The live fragment JanusFunctions (symbolic segments only).
+        self.fragment_functions = list(fragment_functions)
+        #: Weighted fraction of the function body covered by symbolic
+        #: fragments (AST-node weighted; see docs/coexecution.md).
+        self.converted_ratio = converted_ratio
+
+    def compiled_graphs(self):
+        """Every live CompiledGraph across all fragment caches."""
+        out = []
+        for jf in self.fragment_functions:
+            for _sig, entry in jf.cache.entries():
+                out.append(entry.compiled)
+        return out
+
+    def invalidate(self):
+        """Invalidate every fragment's cached artifacts (counted)."""
+        for jf in self.fragment_functions:
+            jf.cache.invalidate_all()
+
+    def stats(self):
+        return {
+            "fragments": len(self.fragment_functions),
+            "gaps": sum(1 for kind, _a, _b in self.segments
+                        if kind == "gap"),
+            "converted_ratio": self.converted_ratio,
+            "fragment_graphs": len(self.compiled_graphs()),
+        }
+
+
 def compile_generated(generated, config, signature=None, persist=False):
     """Build the :class:`CompiledGraph` artifact for a generated graph.
 

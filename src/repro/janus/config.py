@@ -33,6 +33,7 @@ class JanusConfig:
                  parallel_heavy_ops_threshold=2,
                  tensor_write_barrier=True,
                  lowering=None,
+                 coexecution=None,
                  recompile_workers=0,
                  serving=None,
                  cache_dir=None,
@@ -95,6 +96,18 @@ class JanusConfig:
         #: node-walking executor, counted as ``lowering.bailout.*``.
         self.lowering = (os.environ.get("JANUS_LOWERING", "1") != "0") \
             if lowering is None else bool(lowering)
+        #: Terra-style imperative–symbolic co-execution
+        #: (docs/coexecution.md).  When whole-function conversion fails
+        #: on an unsupported construct, split the function into guarded
+        #: symbolic fragments and imperative gaps instead of permanently
+        #: falling back.  None defers to the JANUS_COEXEC env var
+        #: (default on; ``JANUS_COEXEC=0`` disables — the CI knob that
+        #: keeps the all-or-nothing path green on its own).  Has no
+        #: effect on functions that convert whole, and never changes
+        #: results: any boundary trouble falls back whole-function
+        #: imperative.
+        self.coexecution = (os.environ.get("JANUS_COEXEC", "1") != "0") \
+            if coexecution is None else bool(coexecution)
         #: Background regeneration workers (docs/serving.md).  0 (the
         #: default) keeps the historical inline behaviour: the caller
         #: that wins the recompile ticket pays for regeneration on its

@@ -97,7 +97,7 @@ def check_convertible(fdef):
         raise NotConvertible(
             "line %d uses %s — imperative-only per paper %s"
             % (lineno, feature, IMPERATIVE_ONLY_FEATURES[feature]),
-            feature=feature)
+            feature=feature, lineno=lineno or None)
 
 
 def has_custom_accessors(obj):

@@ -966,12 +966,21 @@ class _FunctionConverter:
 
     def convert_block(self, stmts):
         for index, stmt in enumerate(stmts):
-            if isinstance(stmt, ast.If):
-                handled = self._convert_if(stmt, stmts[index + 1:])
-                if handled == "consumed-rest":
-                    return
-                continue
-            self.convert_statement(stmt)
+            # Annotate conversion failures with the statement they died
+            # in (innermost statement wins — an already-set lineno is
+            # kept).  The co-execution planner maps the lineno back to a
+            # top-level statement to split the function there.
+            try:
+                if isinstance(stmt, ast.If):
+                    handled = self._convert_if(stmt, stmts[index + 1:])
+                    if handled == "consumed-rest":
+                        return
+                    continue
+                self.convert_statement(stmt)
+            except NotConvertible as exc:
+                if exc.lineno is None:
+                    exc.lineno = getattr(stmt, "lineno", None)
+                raise
 
     def convert_statement(self, stmt):
         if isinstance(stmt, ast.Expr):
@@ -1853,15 +1862,21 @@ class _FunctionConverter:
         key = function_key(target)
         if key in self.gen.recursive_keys:
             return self._call_recursive(target, args, kwargs)
-        fdef = get_function_ast(target)
-        check_convertible(fdef)
-        env = self._bind_call_args(target, fdef, args, kwargs)
-        converter = _FunctionConverter(self.gen, target, env,
-                                       builder=self.builder)
         try:
+            fdef = get_function_ast(target)
+            check_convertible(fdef)
+            env = self._bind_call_args(target, fdef, args, kwargs)
+            converter = _FunctionConverter(self.gen, target, env,
+                                           builder=self.builder)
             converter.convert_block(fdef.body)
         except _ReturnValue as ret:
             return ret.value
+        except NotConvertible as exc:
+            # The lineno (if any) is in the callee's coordinates; drop
+            # it so the caller's convert_block stamps the call-site
+            # statement — the coordinate the co-execution planner needs.
+            exc.lineno = None
+            raise
         return Const(None)
 
     def _call_recursive(self, target, args, kwargs):
@@ -1961,6 +1976,11 @@ class _FunctionConverter:
             converter.convert_block(fdef.body)
         except _ReturnValue as ret:
             return ret.value
+        except NotConvertible as exc:
+            # Callee coordinates, same as _call_user_function: the
+            # call-site statement is the one the planner must split at.
+            exc.lineno = None
+            raise
         return Const(None)
 
     # -- structural builtins ------------------------------------------------------------

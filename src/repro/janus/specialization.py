@@ -422,19 +422,58 @@ class Precheck:
 
 
 class ArgConstTensor(Precheck):
-    """Argument ``index`` equals a burned-in constant tensor."""
+    """Argument ``index`` equals a burned-in constant tensor.
 
-    __slots__ = ("index", "value")
+    The content comparison is memoized through the write barrier: after
+    a full ``np.array_equal`` match against a tracked (sealed)
+    TensorValue, the pair ``(value, version)`` is remembered.  A sealed
+    buffer cannot change content without a COW rebind (new ``array``
+    identity under the same TensorValue, version bumped) — so seeing
+    the same TensorValue at the same version proves equality with two
+    identity checks instead of an O(n) element compare.  Signatures
+    carrying many constant tensor arguments (frozen weights passed
+    positionally, ResNet-style) pay the full compare only on the first
+    call per distinct tensor object.
+
+    The memo is per-process bookkeeping: it pins a live TensorValue, so
+    pickling for the disk cache drops it (the loading process re-earns
+    it on first match).
+    """
+
+    __slots__ = ("index", "value", "_memo")
 
     def __init__(self, index, value):
         self.index = index
         self.value = np.asarray(value)
+        self._memo = None    # (TensorValue, version) of the last match
+
+    def __getstate__(self):
+        return (self.index, self.value)
+
+    def __setstate__(self, state):
+        self.index, self.value = state
+        self._memo = None
 
     def __call__(self, args):
-        arr = _as_array(args[self.index])
-        return arr is not None and arr.dtype == self.value.dtype \
+        value = args[self.index]
+        tv = value.value if isinstance(value, Tensor) else \
+            value if isinstance(value, TensorValue) else None
+        if tv is not None:
+            memo = self._memo    # local ref: racing writers can't tear
+            if memo is not None and memo[0] is tv \
+                    and memo[1] == tv.version:
+                return True
+            arr = tv.array
+        else:
+            arr = _as_array(value)
+            if arr is None:
+                return False
+        ok = arr.dtype == self.value.dtype \
             and arr.shape == self.value.shape \
             and np.array_equal(arr, self.value)
+        if ok and tv is not None and (tv.tracked or tv.track()):
+            self._memo = (tv, tv.version)
+        return ok
 
 
 class ArgSpecMatches(Precheck):

@@ -22,6 +22,10 @@ State model per function (reported by :attr:`SpeculationHealth.state`):
 
 * ``imperative-only`` — conversion failed; JANUS gave up on this
   function permanently.
+* ``partial`` — whole-function conversion failed but the function runs
+  under a Terra-style co-execution plan (docs/coexecution.md): symbolic
+  fragments interleaved with imperative gaps.  ``converted_ratio``
+  reports the fraction of body operations running symbolically.
 * ``profiling`` — still in the initial profiling runs; no graph yet.
 * ``converged`` — the most recent :data:`CONVERGED_RUNS` calls all ran
   the compiled graph without a guard failure.
@@ -146,6 +150,11 @@ class SpeculationHealth:
         self.fused_ops = 0              # elementwise ops collapsed, total
         self.last_lowering_bailout = None
         self.imperative_only = False
+        self.coexec_runs = 0            # calls served by a co-exec plan
+        self.coexec_fragment_runs = 0   # symbolic fragment graph runs
+        #: Weighted fraction of body ops inside symbolic fragments
+        #: (None until the first co-executed call reports it).
+        self.converted_ratio = None
         self.consecutive_graph_runs = 0
         #: Sliding window of recent call outcomes: "graph", "profile",
         #: "fallback", "recompile", "imperative".
@@ -190,6 +199,8 @@ class SpeculationHealth:
     def state(self):
         if self.imperative_only:
             return "imperative-only"
+        if self.coexec_runs:
+            return "partial"
         if not self.graphs_generated:
             return "profiling"
         if self.consecutive_graph_runs >= CONVERGED_RUNS:
@@ -206,6 +217,12 @@ class SpeculationHealth:
         if state == "imperative-only":
             return ("conversion failed; permanently running the imperative "
                     "path")
+        if state == "partial":
+            ratio = self.converted_ratio
+            pct = "?" if ratio is None else "%.0f%%" % (ratio * 100.0)
+            return ("partially converted (%s of ops symbolic): %d "
+                    "co-executed calls, %d fragment graph runs"
+                    % (pct, self.coexec_runs, self.coexec_fragment_runs))
         if state == "profiling":
             return ("still profiling (%d imperative runs, no graph yet)"
                     % self.profile_runs)
@@ -338,6 +355,21 @@ class SpeculationHealth:
             else:
                 sh.fragments_reconverted += 1
 
+    def record_coexec_run(self, fragment_graph_runs, ratio=None):
+        """One call served by the co-execution plan.
+
+        ``fragment_graph_runs`` — compiled-graph executions across the
+        plan's symbolic fragments during this call; ``ratio`` — the
+        plan's current converted-op ratio (refinement shrinks it).
+        """
+        with self._lock:
+            self.coexec_runs += 1
+            self.coexec_fragment_runs += int(fragment_graph_runs)
+            if ratio is not None:
+                self.converted_ratio = float(ratio)
+            self.consecutive_graph_runs = 0
+            self.recent.append("coexec")
+
     def record_imperative_only(self):
         with self._lock:
             self.imperative_only = True
@@ -375,6 +407,9 @@ class SpeculationHealth:
             "fused_ops": self.fused_ops,
             "last_lowering_bailout": self.last_lowering_bailout,
             "imperative_only": self.imperative_only,
+            "coexec_runs": self.coexec_runs,
+            "coexec_fragment_runs": self.coexec_fragment_runs,
+            "converted_ratio": self.converted_ratio,
             "consecutive_graph_runs": self.consecutive_graph_runs,
             "graph_hit_ratio": self.graph_hit_ratio,
             "fragment_reuse_ratio": self.fragment_reuse_ratio,
@@ -391,8 +426,12 @@ class SpeculationHealth:
                       "profile_runs", "fallbacks", "graphs_generated",
                       "recompiles", "cache_evictions",
                       "cache_invalidations", "consecutive_graph_runs",
-                      "lowered_graphs", "lowering_bailouts", "fused_ops"):
+                      "lowered_graphs", "lowering_bailouts", "fused_ops",
+                      # Absent from pre-co-execution bundles: default 0.
+                      "coexec_runs", "coexec_fragment_runs"):
             setattr(health, field, int(snap.get(field, 0)))
+        ratio = snap.get("converted_ratio")
+        health.converted_ratio = float(ratio) if ratio is not None else None
         health.last_lowering_bailout = snap.get("last_lowering_bailout")
         health.imperative_only = bool(snap.get("imperative_only", False))
         health.recent.extend(snap.get("recent", ()))

@@ -1,0 +1,261 @@
+"""Shared seeded program generator for the differential suites.
+
+Grown out of the inline generators that test_write_barrier_differential,
+test_lowering_differential, and test_concurrency each carried a copy of:
+a seeded :func:`gen_program` builds a small tensor program over a heap
+model object (Tensor attributes, raw ndarrays, aliased attributes,
+burned scalars, Variables, input-dependent branches), registers its
+source in ``linecache`` so JANUS can convert from the AST, and returns
+the compiled function plus the model.  :func:`mutation_pool` /
+:func:`apply_mutation` provide the randomized heap-mutation storm the
+guard suites interleave between calls.
+
+Everything is parameterized by a :class:`Mix` — the construct-mix
+config.  The two predefined mixes reproduce the historical generators
+**stream-for-stream** (same ``random``/``default_rng`` consumption
+order, so the same seed yields byte-identical programs and models as
+before the extraction):
+
+* :data:`WRITE_BARRIER_MIX` — the 5-kind pool with t/t2 aliasing
+  (test_write_barrier_differential, test_lowering_differential),
+* :data:`CONCURRENCY_MIX` — the 4-kind pool without aliasing
+  (test_concurrency).
+
+``Mix.inject`` extends a mix with *unsupported constructs* planted at
+random body positions — the co-execution differential suite
+(test_coexec_differential.py) uses it to generate programs that cannot
+convert whole: ``.numpy()`` materialization into opaque list mutation,
+dict mutation through a sourceless helper, third-party-style sourceless
+calls feeding values back into the tensor flow, and generator
+expressions.  All injection draws happen on a *separate* rng stream, so
+enabling injection never perturbs the base program generation.
+"""
+
+import linecache
+import random
+
+import numpy as np
+
+import repro as R
+
+__all__ = [
+    "Mix", "Model", "WRITE_BARRIER_MIX", "CONCURRENCY_MIX",
+    "COEXEC_MIX", "GUARDED_ON", "GUARDED_OFF", "INJECTIONS",
+    "gen_program", "mutation_pool", "apply_mutation", "vec",
+]
+
+
+class Model:
+    """Heap object whose attributes the generated programs read."""
+
+
+#: Statement pool, keyed by the attribute each statement exercises.
+STMTS = {
+    "t":    "    y = y + m.t",
+    "t2":   "    y = y * m.t2",
+    "w":    "    y = y + m.w",
+    "gain": "    y = y * m.gain",
+    "var":  "    y = y + m.var.value()",
+}
+
+BRANCH = [
+    "    if R.reduce_sum(x) > 0.0:",
+    "        y = y * 2.0",
+    "    else:",
+    "        y = y - 1.0",
+]
+
+#: Unsupported-construct injection pool: each entry is a list of source
+#: lines forming ONE top-level statement (multi-line constructs hide
+#: under ``if True:`` so a single partition boundary isolates them).
+#: ``opaque_record`` and ``thirdparty_norm`` are exec-created (no
+#: retrievable source), modelling third-party library calls.
+INJECTIONS = {
+    # I/O-style materialization + opaque list mutation.
+    "io_log": ["    m.log.append(float(R.reduce_sum(y).numpy()))"],
+    # Dict mutation through a sourceless helper.
+    "dict_mut": ["    opaque_record(m.metrics, 'sum', y)"],
+    # Third-party-style call whose result feeds back into tensor flow.
+    "thirdparty": ["    y = y * thirdparty_norm(y)"],
+    # Generator expression consumed imperatively.
+    "generator": ["    if True:",
+                  "        gvals = (float(q) * 0.5 for q in y.numpy())",
+                  "        m.log.append(max(gvals))"],
+}
+
+_HELPER_SRC = """
+def opaque_record(d, key, v):
+    d[key] = d.get(key, 0.0) + float(R.reduce_sum(v).numpy())
+
+def thirdparty_norm(v):
+    return 1.0 + abs(float(v.numpy().mean())) * 0.25
+"""
+
+
+class Mix:
+    """Construct-mix configuration for :func:`gen_program`.
+
+    ``kinds`` — statement pool (subset of :data:`STMTS` keys);
+    ``nprng_offset`` — numpy rng namespace (keeps suites' value streams
+    disjoint); ``aliasing`` — allow ``m.t2 is m.t``; ``model_order`` —
+    heap-attribute creation order (it fixes the rng consumption order,
+    so it is part of stream compatibility); ``filename_prefix`` — the
+    linecache pseudo-filename family; ``inject`` — unsupported
+    constructs from :data:`INJECTIONS` planted at random positions
+    (1..min(2, len(inject)) of them per program).
+    """
+
+    def __init__(self, kinds=None, nprng_offset=10_000, aliasing=True,
+                 model_order=("w", "t", "t2", "gain", "var"),
+                 filename_prefix="progen", inject=()):
+        self.kinds = sorted(STMTS if kinds is None else kinds)
+        self.nprng_offset = nprng_offset
+        self.aliasing = aliasing
+        self.model_order = tuple(model_order)
+        self.filename_prefix = filename_prefix
+        self.inject = tuple(inject)
+
+
+#: Stream-identical to the historical test_write_barrier_differential
+#: generator (also consumed by test_lowering_differential).
+WRITE_BARRIER_MIX = Mix(filename_prefix="wbdiff")
+
+#: Stream-identical to the historical test_concurrency generator: no
+#: t2 (hence no aliasing draw), model built t, w, gain, var.
+CONCURRENCY_MIX = Mix(kinds=("t", "w", "gain", "var"),
+                      nprng_offset=40_000, aliasing=False,
+                      model_order=("t", "w", "gain", "var"),
+                      filename_prefix="concdiff")
+
+#: The co-execution mix: full statement pool plus every unsupported
+#: construct class (test_coexec_differential.py).
+COEXEC_MIX = Mix(nprng_offset=70_000, filename_prefix="coexdiff",
+                 inject=tuple(sorted(INJECTIONS)))
+
+
+def vec(nprng, n=4):
+    return nprng.normal(size=(n,)).astype(np.float32)
+
+
+def _build_model(mix, rng, nprng, used):
+    m = Model()
+    for attr in mix.model_order:
+        if attr == "w":
+            m.w = vec(nprng)
+        elif attr == "t":
+            m.t = R.constant(vec(nprng))
+        elif attr == "t2":
+            # Aliasing: sometimes both Tensor attributes are the same
+            # object, so two read sites share one TensorValue.
+            if mix.aliasing and "t" in used and "t2" in used \
+                    and rng.random() < 0.4:
+                m.t2 = m.t
+            else:
+                m.t2 = R.constant(vec(nprng))
+        elif attr == "gain":
+            m.gain = float(round(rng.uniform(0.5, 2.0), 3))
+        elif attr == "var":
+            m.var = R.Variable(vec(nprng))
+        else:  # pragma: no cover - mix config bug
+            raise AssertionError(attr)
+    return m
+
+
+def gen_program(seed, tag=None, mix=WRITE_BARRIER_MIX):
+    """One random program + its heap model, with retrievable source.
+
+    JANUS converts from the AST, so ``inspect.getsource`` must work on
+    the generated function: the source is registered in ``linecache``
+    under a ``<...>`` filename (the doctest trick) before ``exec``.
+    Returns ``(prog, model, used_kinds, has_branch, filename)``.
+    """
+    rng = random.Random(seed)
+    nprng = np.random.default_rng(mix.nprng_offset + seed)
+
+    kinds = list(mix.kinds)
+    rng.shuffle(kinds)
+    used = kinds[:rng.randint(2, min(4, len(kinds)))]
+    body = [STMTS[k] for k in used]
+    rng.shuffle(body)
+    has_branch = rng.random() < 0.5
+    if mix.inject:
+        # Separate stream: injection must not perturb base generation.
+        irng = random.Random(90_000 + seed)
+        picks = sorted(mix.inject)
+        irng.shuffle(picks)
+        for name in picks[:irng.randint(1, min(2, len(picks)))]:
+            at = irng.randint(0, len(body))
+            body[at:at] = INJECTIONS[name]
+    lines = ["def prog(x):", "    y = x * 1.0"] + body
+    if has_branch:
+        lines += BRANCH
+    lines.append("    return R.reduce_sum(y * y)")
+    src = "\n".join(lines) + "\n"
+
+    m = _build_model(mix, rng, nprng, used)
+    if mix.inject:
+        m.log = []
+        m.metrics = {}
+
+    filename = "<%s-%d>" % (mix.filename_prefix, seed) if tag is None \
+        else "<%s-%s-%d>" % (mix.filename_prefix, tag, seed)
+    linecache.cache[filename] = (len(src), None, src.splitlines(True),
+                                 filename)
+    ns = {"R": R, "m": m}
+    if mix.inject:
+        exec(compile(_HELPER_SRC, "<%s-helpers>" % mix.filename_prefix,
+                     "exec"), ns)
+    exec(compile(src, filename, "exec"), ns)
+    return ns["prog"], m, used, has_branch, filename
+
+
+# -- mutations ---------------------------------------------------------------
+
+#: Kinds whose mutation must produce a guard/stale signal when the
+#: write barrier is ON (tensor reads memoized + sealed).
+GUARDED_ON = {"t_inplace", "t_rebind_same", "t_rebind_shape", "t2_rebind",
+              "gain_change", "x_flip"}
+#: With the barrier OFF tensor reads are re-internalized every run, so
+#: only spec guards (shape change), burned constants, and branch
+#: assertions still fire.
+GUARDED_OFF = {"t_rebind_shape", "gain_change", "x_flip"}
+
+
+def mutation_pool(used, has_branch):
+    pool = []
+    if "w" in used:
+        pool.append("w_inplace")
+    if "t" in used:
+        pool += ["t_inplace", "t_rebind_same", "t_rebind_shape"]
+    if "t2" in used:
+        pool.append("t2_rebind")
+    if "gain" in used:
+        pool.append("gain_change")
+    if "var" in used:
+        pool.append("var_assign")
+    if has_branch:
+        pool.append("x_flip")
+    return pool
+
+
+def apply_mutation(kind, m, nprng, state):
+    if kind == "w_inplace":
+        m.w[int(nprng.integers(0, m.w.shape[0]))] += 0.75
+    elif kind == "t_inplace":
+        m.t.add_(1.25)
+    elif kind == "t_rebind_same":
+        m.t = R.constant(vec(nprng, m.t.value.array.shape[0]))
+    elif kind == "t_rebind_shape":
+        # (4,) -> (1,): still broadcastable, so the imperative oracle
+        # stays well-defined while the concrete shape guard breaks.
+        m.t = R.constant(vec(nprng, 1))
+    elif kind == "t2_rebind":
+        m.t2 = R.constant(vec(nprng))
+    elif kind == "gain_change":
+        m.gain = float(round(m.gain + 0.375, 3))
+    elif kind == "var_assign":
+        m.var.assign(R.constant(vec(nprng)))
+    elif kind == "x_flip":
+        state["x"] = state["x_neg"]
+    else:  # pragma: no cover - generator bug
+        raise AssertionError(kind)

@@ -140,57 +140,16 @@ class TestPrimitives:
 
 # -- seeded threaded differential --------------------------------------------
 
-class _Model:
-    """Heap object the generated programs read attributes from."""
-
-
-_STMTS = {
-    "t":    "    y = y + m.t",
-    "w":    "    y = y + m.w",
-    "gain": "    y = y * m.gain",
-    "var":  "    y = y + m.var.value()",
-}
-
-_BRANCH = [
-    "    if R.reduce_sum(x) > 0.0:",
-    "        y = y * 2.0",
-    "    else:",
-    "        y = y - 1.0",
-]
-
-
-def _vec(nprng, n=4):
-    return nprng.normal(size=(n,)).astype(np.float32)
+# Shared seeded generator (tests/progen.py): CONCURRENCY_MIX reproduces
+# the historical inline generator stream-for-stream — 4-kind pool, no
+# t/t2 aliasing, model built t, w, gain, var.
+from progen import CONCURRENCY_MIX, gen_program, vec as _vec  # noqa: E402
 
 
 def _gen_program(seed):
-    """One random pure program + heap model (source via linecache so
-    JANUS can convert from the AST)."""
-    rng = random.Random(seed)
-    nprng = np.random.default_rng(40_000 + seed)
-    kinds = sorted(_STMTS)
-    rng.shuffle(kinds)
-    used = kinds[:rng.randint(2, 4)]
-    body = [_STMTS[k] for k in used]
-    rng.shuffle(body)
-    lines = ["def prog(x):", "    y = x * 1.0"] + body
-    if rng.random() < 0.5:
-        lines += _BRANCH
-    lines.append("    return R.reduce_sum(y * y)")
-    src = "\n".join(lines) + "\n"
-
-    m = _Model()
-    m.t = R.constant(_vec(nprng))
-    m.w = _vec(nprng)
-    m.gain = float(round(rng.uniform(0.5, 2.0), 3))
-    m.var = R.Variable(_vec(nprng))
-
-    filename = "<concdiff-%d>" % seed
-    linecache.cache[filename] = (len(src), None, src.splitlines(True),
-                                 filename)
-    ns = {"R": R, "m": m}
-    exec(compile(src, filename, "exec"), ns)
-    return ns["prog"], filename
+    prog, _m, _used, _branch, filename = gen_program(
+        seed, mix=CONCURRENCY_MIX)
+    return prog, filename
 
 
 def _differential_one(seed, recompile_workers):
@@ -220,11 +179,12 @@ def _differential_one(seed, recompile_workers):
 
         total = THREADS * CALLS_PER_THREAD * len(inputs)
         stats = f.stats
-        # Exact conservation: every call ran a graph or the fallback.
-        # A lost update anywhere in the locked counters breaks this.
+        # Exact conservation: every call ran a graph, the fallback, or
+        # a co-execution plan (zero here — these programs convert
+        # whole).  A lost update in the locked counters breaks this.
         assert stats["calls"] == total, stats
-        assert stats["graph_runs"] + stats["imperative_runs"] == total, \
-            stats
+        assert stats["graph_runs"] + stats["imperative_runs"] \
+            + stats["coexec_runs"] == total, stats
         assert stats["graph_runs"] > 0, stats
     finally:
         # Let any background regeneration publish before teardown.

@@ -161,8 +161,10 @@ class TestBreakContinue:
     def test_unstable_break_in_dynamic_loop_is_imperative_only(self):
         """When the break direction is genuinely unstable inside a
         dynamic loop, there is no graph representation: the function
-        stays imperative (and correct)."""
-        @janus.function
+        stays imperative (and correct).  Co-execution is pinned off —
+        with it on, the loop becomes an imperative gap instead (see
+        test_coexec_differential.py)."""
+        @janus.function(config=janus.JanusConfig(coexecution=False))
         def f(seq, limit):
             total = R.constant(0.0)
             for row in seq:

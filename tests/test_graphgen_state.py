@@ -193,7 +193,9 @@ class TestImperativeOnlyFallback:
         assert f.stats["graph_runs"] == 0
 
     def test_numpy_materialization_stays_imperative(self):
-        @janus.function
+        # coexecution off: this tests the whole-function verdict (the
+        # co-executed counterpart lives in test_coexec_differential.py).
+        @janus.function(config=janus.JanusConfig(coexecution=False))
         def f(x):
             arr = x.numpy()     # escapes the graph world
             return R.constant(float(arr.sum()))
@@ -204,7 +206,7 @@ class TestImperativeOnlyFallback:
         assert f.imperative_only
 
     def test_not_convertible_reason_recorded(self):
-        @janus.function
+        @janus.function(config=janus.JanusConfig(coexecution=False))
         def f(x):
             import math  # inline import: section 4.3.2
             return x

@@ -96,7 +96,8 @@ class TestMethodDecorator:
 
 class TestNotConvertibleRouting:
     def test_silent_fallback_by_default(self):
-        @janus.function
+        # coexecution off: this tests the whole-function verdict.
+        @janus.function(config=janus.JanusConfig(coexecution=False))
         def f(x):
             import os  # inline import: imperative-only
             return x
@@ -117,7 +118,7 @@ class TestNotConvertibleRouting:
                 f(R.constant(1.0))
 
     def test_imperative_only_skips_profiling_overhead(self):
-        @janus.function
+        @janus.function(config=janus.JanusConfig(coexecution=False))
         def f(x):
             import os  # noqa
             return x

@@ -9,8 +9,8 @@ identical results whether a JANUS function runs the node-walking
 executor (``lowering=False``) or the lowered program (``lowering=True``)
 — and both must match the pure imperative oracle after every mutation.
 
-The generator is imported, not copied: any program shape or mutation
-kind added there automatically extends this suite.  Each seed runs both
+The generator is imported from :mod:`progen`, not copied: any program
+shape or mutation kind added there automatically extends this suite.  Each seed runs both
 arms on identical inputs through warmup, a mutation storm, and the
 post-regeneration calls; besides equality, the lowered arm must prove
 it actually engaged (``lowering.graphs_lowered`` advanced) so a silent
@@ -27,8 +27,9 @@ import repro as R
 from repro import janus
 from repro.observability import COUNTERS, clear, set_trace_level, trace_level
 
-from test_write_barrier_differential import (_apply_mutation, _gen_program,
-                                             _mutation_pool, _vec)
+from progen import (apply_mutation as _apply_mutation,
+                    gen_program as _gen_program,
+                    mutation_pool as _mutation_pool, vec as _vec)
 
 #: Seeded programs; each runs a lowered and a node-walking arm.
 SEEDS = 30

@@ -246,7 +246,9 @@ class TestLifecycleStates:
         assert METRICS.get("graphgen.recompile").count >= 4
 
     def test_imperative_only_state(self):
-        @janus.function                        # default: no fail_on_...
+        # no fail_on_not_convertible; coexecution off so the verdict is
+        # the classic whole-function one (partial is tested below).
+        @janus.function(config=janus.JanusConfig(coexecution=False))
         def u(x):
             import os  # noqa: F401 — inline import: imperative-only
             return x
@@ -425,6 +427,96 @@ class TestStatsCli:
                          counters=CounterRegistry())
         assert stats_main(["--input", path, "--check"]) == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+# -- the partial (co-executed) state through the CLI surfaces -----------------
+
+def _drive_partial_function():
+    """A function with an unconvertible statement between two tensor-dense
+    regions, run until the co-execution plan serves it (state partial)."""
+    log = []
+
+    def pstep(x):
+        y = x * 2.0
+        log.append(float(R.reduce_sum(y).numpy()))
+        z = y * y
+        z = z + y
+        return R.reduce_sum(z)
+
+    cfg = janus.JanusConfig(profile_runs=2, parallel_execution=False,
+                            coexecution=True)
+    f = janus.function(config=cfg)(pstep)
+    x = R.constant(np.linspace(0.5, 2.0, 4).astype(np.float32))
+    for _ in range(8):
+        f(x)
+    assert f.stats["coexec_runs"] >= 1, f.stats
+    return f
+
+
+class TestPartialStateCli:
+    def test_partial_state_in_report_and_table(self):
+        _drive_partial_function()
+        report = render_report()
+        assert "pstep" in report
+        assert "partial" in report
+        assert "partially converted" in report
+        assert "fragment graph runs" in report
+
+    def test_partial_state_in_prometheus_exposition(self):
+        _drive_partial_function()
+        text = prometheus_text()
+        assert ('janus_function_state{function="pstep",state="partial"} 1'
+                in text)
+
+    def test_partial_state_bundle_roundtrip(self, tmp_path, capsys):
+        f = _drive_partial_function()
+        live = HEALTH.get("pstep")
+        live_runs = live.coexec_runs
+        live_frag_runs = live.coexec_fragment_runs
+        live_ratio = live.converted_ratio
+        assert live.state == "partial"
+        path = str(tmp_path / "stats.json")
+        write_stats_json(path)
+        obs.clear()                            # post-mortem: live data gone
+
+        _metrics, health, _counters, _serving, _diskcache = load_stats(path)
+        restored = health.get("pstep")
+        assert restored.state == "partial"
+        assert restored.coexec_runs == live_runs
+        assert restored.coexec_fragment_runs == live_frag_runs
+        assert restored.converted_ratio == pytest.approx(live_ratio)
+        assert "partially converted" in restored.diagnosis()
+
+        assert stats_main(["--input", path, "--function", "pstep"]) == 0
+        out = capsys.readouterr().out
+        assert "pstep [partial]" in out
+        del f
+
+    def test_legacy_bundle_without_coexec_fields_loads(self, tmp_path):
+        """A bundle written before co-execution existed has no
+        coexec_runs / coexec_fragment_runs / converted_ratio keys: it
+        must restore with the 0/None defaults and never report partial."""
+        _drive_partial_function()
+        path = tmp_path / "stats.json"
+        write_stats_json(str(path))
+        payload = json.loads(path.read_text())
+        snap = payload["health"]["pstep"]
+        for key in ("coexec_runs", "coexec_fragment_runs",
+                    "converted_ratio"):
+            snap.pop(key, None)
+        path.write_text(json.dumps(payload))
+
+        _metrics, health, _counters, _serving, _diskcache = \
+            load_stats(str(path))
+        restored = health.get("pstep")
+        assert restored is not None
+        assert restored.coexec_runs == 0
+        assert restored.coexec_fragment_runs == 0
+        assert restored.converted_ratio is None
+        assert restored.state != "partial"
+        # The restored model is still render- and diagnose-able.
+        assert restored.diagnosis()
+        assert "pstep" in render_report(health=health)
 
 
 # -- digest-flip regression: fragment reuse across sealing --------------------

@@ -75,127 +75,13 @@ def _barrier(request):
     yield
 
 
-# -- program generator -------------------------------------------------------
+# -- program generator / mutations (shared; see tests/progen.py) ------------
 
-class _Model:
-    """Heap object whose attributes the generated programs read."""
-
-
-#: Statement pool, keyed by the attribute each statement exercises.
-_STMTS = {
-    "t":    "    y = y + m.t",
-    "t2":   "    y = y * m.t2",
-    "w":    "    y = y + m.w",
-    "gain": "    y = y * m.gain",
-    "var":  "    y = y + m.var.value()",
-}
-
-_BRANCH = [
-    "    if R.reduce_sum(x) > 0.0:",
-    "        y = y * 2.0",
-    "    else:",
-    "        y = y - 1.0",
-]
-
-
-def _vec(nprng, n=4):
-    return nprng.normal(size=(n,)).astype(np.float32)
-
-
-def _gen_program(seed, tag):
-    """One random program + its heap model, with retrievable source.
-
-    JANUS converts from the AST, so ``inspect.getsource`` must work on
-    the generated function: the source is registered in ``linecache``
-    under a ``<...>`` filename (the doctest trick) before ``exec``.
-    Returns ``(prog, model, used_kinds, has_branch, filename)``.
-    """
-    rng = random.Random(seed)
-    nprng = np.random.default_rng(10_000 + seed)
-
-    kinds = sorted(_STMTS)
-    rng.shuffle(kinds)
-    used = kinds[:rng.randint(2, 4)]
-    body = [_STMTS[k] for k in used]
-    rng.shuffle(body)
-    has_branch = rng.random() < 0.5
-    lines = ["def prog(x):", "    y = x * 1.0"] + body
-    if has_branch:
-        lines += _BRANCH
-    lines.append("    return R.reduce_sum(y * y)")
-    src = "\n".join(lines) + "\n"
-
-    m = _Model()
-    m.w = _vec(nprng)
-    m.t = R.constant(_vec(nprng))
-    # Aliasing: sometimes both Tensor attributes are the same object,
-    # so two read sites share one TensorValue.
-    if "t" in used and "t2" in used and rng.random() < 0.4:
-        m.t2 = m.t
-    else:
-        m.t2 = R.constant(_vec(nprng))
-    m.gain = float(round(rng.uniform(0.5, 2.0), 3))
-    m.var = R.Variable(_vec(nprng))
-
-    filename = "<wbdiff-%s-%d>" % (tag, seed)
-    linecache.cache[filename] = (len(src), None, src.splitlines(True),
-                                 filename)
-    ns = {"R": R, "m": m}
-    exec(compile(src, filename, "exec"), ns)
-    return ns["prog"], m, used, has_branch, filename
-
-
-# -- mutations ---------------------------------------------------------------
-
-#: Kinds whose mutation must produce a guard/stale signal when the
-#: barrier is ON (tensor reads memoized + sealed).
-_GUARDED_ON = {"t_inplace", "t_rebind_same", "t_rebind_shape", "t2_rebind",
-               "gain_change", "x_flip"}
-#: With the barrier OFF tensor reads are re-internalized every run, so
-#: only spec guards (shape change), burned constants, and branch
-#: assertions still fire.
-_GUARDED_OFF = {"t_rebind_shape", "gain_change", "x_flip"}
-
-
-def _mutation_pool(used, has_branch):
-    pool = []
-    if "w" in used:
-        pool.append("w_inplace")
-    if "t" in used:
-        pool += ["t_inplace", "t_rebind_same", "t_rebind_shape"]
-    if "t2" in used:
-        pool.append("t2_rebind")
-    if "gain" in used:
-        pool.append("gain_change")
-    if "var" in used:
-        pool.append("var_assign")
-    if has_branch:
-        pool.append("x_flip")
-    return pool
-
-
-def _apply_mutation(kind, m, nprng, state):
-    if kind == "w_inplace":
-        m.w[int(nprng.integers(0, m.w.shape[0]))] += 0.75
-    elif kind == "t_inplace":
-        m.t.add_(1.25)
-    elif kind == "t_rebind_same":
-        m.t = R.constant(_vec(nprng, m.t.value.array.shape[0]))
-    elif kind == "t_rebind_shape":
-        # (4,) -> (1,): still broadcastable, so the imperative oracle
-        # stays well-defined while the concrete shape guard breaks.
-        m.t = R.constant(_vec(nprng, 1))
-    elif kind == "t2_rebind":
-        m.t2 = R.constant(_vec(nprng))
-    elif kind == "gain_change":
-        m.gain = float(round(m.gain + 0.375, 3))
-    elif kind == "var_assign":
-        m.var.assign(R.constant(_vec(nprng)))
-    elif kind == "x_flip":
-        state["x"] = state["x_neg"]
-    else:  # pragma: no cover - generator bug
-        raise AssertionError(kind)
-
+from progen import (GUARDED_OFF as _GUARDED_OFF,        # noqa: E402
+                    GUARDED_ON as _GUARDED_ON,
+                    apply_mutation as _apply_mutation,
+                    gen_program as _gen_program,
+                    mutation_pool as _mutation_pool, vec as _vec)
 
 # -- the differential run ----------------------------------------------------
 
