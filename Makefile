@@ -5,6 +5,10 @@
 #                      print the text summary (docs/observability.md)
 #   make stats-demo  - run the demo with metrics/health on, save a
 #                      janus-stats bundle, and smoke-check the report
+#   make stats-serve - live-endpoint smoke: start the httpstat server
+#                      on an ephemeral port, drive a small serving
+#                      workload, scrape /metrics + /health + /requests
+#                      over HTTP, assert all three are populated
 #   make test-concurrency - the threaded dispatch + serving suites
 #                      (hash seed pinned so generated programs and any
 #                      dict-order-sensitive interleavings reproduce)
@@ -49,7 +53,7 @@ GATE_FILES := $(foreach n,$(GATE_LABELS),\
 
 .PHONY: test test-nolowering test-nocoexec test-differential \
 	test-concurrency test-coexec test-persistence trace-demo \
-	stats-demo bench bench-check ci
+	stats-demo stats-serve bench bench-check ci
 
 #: Where the stats-demo smoke step writes its artifacts (kept out of the
 #: repo tree so gate runs never leave untracked files behind).
@@ -124,6 +128,12 @@ stats-demo:
 	$(PYTHON) -m repro.observability.stats \
 		--input $(STATS_DEMO_DIR)/stats.json --check > /dev/null
 
+# Live scrape-endpoint smoke: ephemeral port, in-process demo serving
+# workload, real HTTP scrapes of /metrics, /health, and /requests.
+# Exits non-zero if any endpoint serves an empty or malformed payload.
+stats-serve:
+	$(PYTHON) -m repro.observability.httpstat --port 0 --smoke
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -144,4 +154,4 @@ bench-check:
 	$(PYTHON) benchmarks/bench_warm_start.py --check
 
 ci: test test-nolowering test-nocoexec test-concurrency \
-	test-persistence bench-check
+	test-persistence stats-serve bench-check

@@ -16,6 +16,12 @@ MLP training step):
 4. FAIL if that bound exceeds ``--threshold`` (default 2%) of the
    measured step time.
 
+The request-tracing layer (PR 10) adds its own inactive gates — one
+contextvar read returning None per request-scoped site
+(:func:`repro.observability.reqtrace.disabled_request_cost`).  Those
+are folded into the same bound with their own conservative per-step
+site count, so a regression on *either* disabled path trips the gate.
+
 This is deterministic where an A/B wall-clock comparison against a
 stored pre-instrumentation baseline is not: host noise swings short
 runs by ±15-20%, but the site cost is measured in-process against the
@@ -44,6 +50,12 @@ import numpy as np
 #: call/health/precheck/graphgen gates, cache accounting, profiler and
 #: eager-path gates.  Generous — the real count is under a dozen.
 NON_EXECUTOR_SITES = 64
+
+#: Allowance for request-scoped tracing gates per step: serving
+#: queue/dispatch spans, coexec fragment/gap spans, dispatch notes,
+#: disk-cache probes.  Generous — a non-serving training step hits
+#: none of these, and a served request hits well under a dozen.
+REQUEST_SITES = 32
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -108,6 +120,7 @@ def main(argv=None):
 
     from repro import observability as obs
     from repro.observability.metrics import disabled_site_cost
+    from repro.observability.reqtrace import disabled_request_cost
 
     obs.set_trace_level(0)
     obs.set_metrics_enabled(False)
@@ -120,8 +133,10 @@ def main(argv=None):
 
     step_disabled = median_step_seconds(train_step, x, y)
     site_cost = disabled_site_cost()
+    request_cost = disabled_request_cost()
     sites_per_step = instruction_count(train_step) + NON_EXECUTOR_SITES
-    gate_cost = site_cost * sites_per_step
+    gate_cost = (site_cost * sites_per_step
+                 + request_cost * REQUEST_SITES)
     fraction = gate_cost / step_disabled if step_disabled else 0.0
 
     # Informational A/B: enabled vs disabled, interleaved so drift hits
@@ -137,6 +152,8 @@ def main(argv=None):
     print("  step time (metrics on):    %9.3f us  (informational)"
           % (step_enabled * 1e6))
     print("  disabled gate cost/site:   %9.3f ns" % (site_cost * 1e9))
+    print("  inactive reqtrace cost:    %9.3f ns/site x %d sites"
+          % (request_cost * 1e9, REQUEST_SITES))
     print("  gated sites/step (bound):  %9d" % sites_per_step)
     print("  gate cost/step (bound):    %9.3f ns  = %.4f%% of step"
           % (gate_cost * 1e9, fraction * 100.0))
@@ -147,6 +164,7 @@ def main(argv=None):
                 "step_disabled_s": step_disabled,
                 "step_enabled_s": step_enabled,
                 "site_cost_s": site_cost,
+                "request_site_cost_s": request_cost,
                 "sites_per_step": sites_per_step,
                 "gate_fraction": fraction,
                 "threshold": args.threshold,

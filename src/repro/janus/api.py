@@ -45,7 +45,7 @@ import time
 from ..errors import AssumptionFailed, NotConvertible
 from ..imperative.tape import GradientTape
 from ..observability import COUNTERS, DISKCACHE, HEALTH, METRICS, \
-    TRACER, override_level
+    TRACER, override_level, reqtrace
 from . import coexec as coexec_mod
 from . import diskcache as diskcache_mod
 from .cache import CacheEntry, GraphCache
@@ -139,8 +139,24 @@ class JanusFunction:
         cfg_level = self.config.trace_level
         if cfg_level is not None and cfg_level != TRACER.level:
             with override_level(cfg_level):
-                return self._call(args)
-        return self._call(args)
+                return self._dispatch(args)
+        return self._dispatch(args)
+
+    def _dispatch(self, args):
+        """One metrics wrapper around the whole dispatch decision.
+
+        ``dispatch.latency`` is windowed: the trailing-minute p95 over
+        every outcome (warm hit, fallback, recompile, ...) is the
+        per-function signal the serving layer's SLO view reads.
+        """
+        if not METRICS.enabled:
+            return self._call(args)
+        start = time.perf_counter()
+        try:
+            return self._call(args)
+        finally:
+            METRICS.observe_windowed("dispatch.latency",
+                                     time.perf_counter() - start)
 
     def _inc(self, key, amount=1):
         with self._stats_lock:
@@ -212,6 +228,8 @@ class JanusFunction:
             # flight): serve imperatively, do not duplicate the work.
             self._inc("stampede_fallbacks")
             COUNTERS.inc("dispatch.stampede_fallbacks")
+            reqtrace.note("fallback", "stampede_loss",
+                          flag="stampede_loss", function=self.__name__)
             if health is not None:
                 health.record_imperative_run()
             return self._run_imperative(args, profile=False)
@@ -457,12 +475,18 @@ class JanusFunction:
                                guard=str(exc), site=repr(exc.site))
                 TRACER.instant("fallback", self.__name__,
                                reason="assumption_failed", guard=str(exc))
+                reqtrace.flag("fallback")
+            else:
+                reqtrace.note("fallback", self.__name__, flag="fallback",
+                              reason="assumption_failed")
             site, kind = _failure_site(exc)
             if health is not None:
                 health.record_failure(site, kind=kind, guard=str(exc))
             if self._tickets.claim(signature):
                 self._inc("recompile_tickets")
                 COUNTERS.inc("dispatch.recompile_tickets")
+                reqtrace.note("graphgen", "recompile_ticket",
+                              flag="recompile", function=self.__name__)
                 background = self.config.recompile_workers > 0
                 try:
                     self._relax(exc)
@@ -478,6 +502,8 @@ class JanusFunction:
                     # callers for this signature keep falling back until
                     # the regenerated artifact is published.
                     COUNTERS.inc("dispatch.background_recompiles")
+                    reqtrace.note("graphgen", "background_recompile",
+                                  function=self.__name__)
                     recompile_pool(self.config.recompile_workers).submit(
                         self._background_regenerate, signature)
             # The measured fallback cost: the imperative re-run this
@@ -523,6 +549,10 @@ class JanusFunction:
             if TRACER.level:
                 TRACER.instant("fallback", self.__name__,
                                reason="coexec_boundary", detail=str(exc))
+                reqtrace.flag("fallback")
+            else:
+                reqtrace.note("fallback", self.__name__, flag="fallback",
+                              reason="coexec_boundary")
             if health is not None:
                 health.record_imperative_only()
                 health.record_imperative_run()

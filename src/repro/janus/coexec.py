@@ -60,7 +60,7 @@ import types
 
 from ..errors import NotConvertible
 from ..imperative.tape import _tapes
-from ..observability import COUNTERS, TRACER
+from ..observability import COUNTERS, TRACER, reqtrace
 from .compiled import CoExecArtifact
 from .coverage import scan as coverage_scan
 from .graphgen import assigned_names, read_names
@@ -510,7 +510,10 @@ class CoExecPlan:
             if seg.kind == "sym" and not imperative_fragments:
                 before = seg.jf.stats["graph_runs"]
                 try:
-                    result = seg.jf(*values)
+                    with reqtrace.span("coexec_fragment", self.name,
+                                       stmts="%d:%d" % (seg.start,
+                                                        seg.end)):
+                        result = seg.jf(*values)
                 except NotConvertible as exc:
                     # The fragment did not execute: refine the partition
                     # and resume this call at the same statement.
@@ -523,7 +526,9 @@ class CoExecPlan:
                 # through boundaries).
                 result = seg.jf.func(*values)
             else:
-                result = seg.fn(*values)
+                with reqtrace.span("coexec_gap", self.name,
+                                   stmts="%d:%d" % (seg.start, seg.end)):
+                    result = seg.fn(*values)
             done, payload = self._unpack(seg, result)
             if done:
                 return payload, frag_graph_runs, self.alive

@@ -44,7 +44,7 @@ import tempfile
 import time
 
 from .. import __version__
-from ..observability import COUNTERS, TRACER
+from ..observability import COUNTERS, TRACER, reqtrace
 from ..observability.diskcache import DISKCACHE
 from .compiled import ARTIFACT_FORMAT
 
@@ -138,8 +138,14 @@ class DiskGraphStore:
         *rebuild* (a callable payload -> artifact), returns the rebuilt
         artifact, counts a ``rebuild`` miss when it raises, and times
         the *whole* warm-start price — read + validate + rebuild — into
-        the load-latency histogram.
+        the load-latency histogram.  The probe is a ``diskcache_probe``
+        span on the active request trace (plain tracer span otherwise),
+        so a warm start is attributable to the request that paid it.
         """
+        with reqtrace.span("diskcache_probe", key[:12]):
+            return self._load(key, rebuild)
+
+    def _load(self, key, rebuild):
         start = time.perf_counter()
         entry_path = self._entry_path(key)
         try:

@@ -7,7 +7,12 @@ speculate → guard → fallback → relax lifecycle visible:
   recorder with level gating (``JANUS_TRACE`` / ``set_trace_level``),
 * :mod:`repro.observability.counters` — counters + scoped timers,
 * :mod:`repro.observability.metrics` — log-bucket latency histograms
-  with p50/p95/p99 (``JANUS_METRICS`` / ``set_metrics_enabled``),
+  with p50/p95/p99 (``JANUS_METRICS`` / ``set_metrics_enabled``), plus
+  :class:`WindowedHistogram` trailing-window views,
+* :mod:`repro.observability.reqtrace` — request-scoped tracing: a
+  contextvar-carried :class:`RequestContext` links every event a
+  served request touches under one trace id, and the
+  :class:`FlightRecorder` retains slowest/failed request exemplars,
 * :mod:`repro.observability.health` — per-``janus.function``,
   per-assumption-site speculation health (state, hit ratio, failure and
   relax chains, measured fallback/recompile cost),
@@ -15,6 +20,8 @@ speculate → guard → fallback → relax lifecycle visible:
   plain-text summary,
 * :mod:`repro.observability.cli` / ``python -m repro.observability.stats``
   — the ``janus-stats`` diagnostics report + Prometheus text exporter,
+* :mod:`repro.observability.httpstat` — a live HTTP scrape endpoint
+  (``/metrics``, ``/health``, ``/requests``) for serving workers,
 * :mod:`repro.observability.demo` — ``python -m repro.observability.demo``
   runs a small training loop with tracing on and writes ``trace.json``.
 
@@ -37,43 +44,51 @@ See ``docs/observability.md`` for the full guide and
 from .tracer import (TRACER, CATEGORIES, TraceEvent, Tracer, get_tracer,
                      override_level, set_trace_level, trace_level)
 from .counters import COUNTERS, CounterRegistry, get_counters
-from .metrics import (METRICS, Histogram, MetricsRegistry, get_metrics,
-                      metrics_enabled, set_metrics_enabled)
+from .metrics import (METRICS, Histogram, MetricsRegistry,
+                      WindowedHistogram, get_metrics, metrics_enabled,
+                      set_metrics_enabled)
 from .health import (HEALTH, HealthRegistry, SiteHealth, SpeculationHealth,
                      get_health)
 from .serving import SERVING, ServingStats, get_serving
 from .diskcache import DISKCACHE, DiskCacheStats, get_diskcache
+from . import reqtrace
+from .reqtrace import (RECORDER, FlightRecorder, RequestContext,
+                       get_flight_recorder)
 from .export import (chrome_trace_events, install_atexit_dump, text_summary,
                      write_chrome_trace)
-from .cli import (load_stats, prometheus_text, render_report,
+from .cli import (StatsBundle, load_stats, prometheus_text, render_report,
                   write_stats_json)
 
 __all__ = [
     "TRACER", "CATEGORIES", "TraceEvent", "Tracer", "get_tracer",
     "override_level", "set_trace_level", "trace_level",
     "COUNTERS", "CounterRegistry", "get_counters",
-    "METRICS", "Histogram", "MetricsRegistry", "get_metrics",
-    "metrics_enabled", "set_metrics_enabled",
+    "METRICS", "Histogram", "MetricsRegistry", "WindowedHistogram",
+    "get_metrics", "metrics_enabled", "set_metrics_enabled",
     "HEALTH", "HealthRegistry", "SiteHealth", "SpeculationHealth",
     "get_health",
     "SERVING", "ServingStats", "get_serving",
     "DISKCACHE", "DiskCacheStats", "get_diskcache",
+    "RECORDER", "FlightRecorder", "RequestContext", "get_flight_recorder",
+    "reqtrace",
     "chrome_trace_events", "install_atexit_dump", "text_summary",
     "write_chrome_trace",
-    "load_stats", "prometheus_text", "render_report", "write_stats_json",
+    "StatsBundle", "load_stats", "prometheus_text", "render_report",
+    "write_stats_json",
     "clear",
 ]
 
 
 def clear():
-    """Reset the tracer buffer, counters, histograms, health models, and
-    serving stats."""
+    """Reset the tracer buffer, counters, histograms, health models,
+    serving stats, and the flight recorder."""
     TRACER.clear()
     COUNTERS.clear()
     METRICS.clear()
     HEALTH.clear()
     SERVING.clear()
     DISKCACHE.clear()
+    RECORDER.clear()
 
 
 # Env-var-enabled tracing dumps the trace at interpreter exit.

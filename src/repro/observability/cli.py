@@ -4,14 +4,22 @@ Run as ``python -m repro.observability.stats``.  The report answers the
 questions flat counters cannot: per-function graph-hit ratio and
 convergence state, per-site assumption-failure counts with their relax
 chains, measured fallback/recompile cost, and p50/p95/p99 latency for
-graph runs, fallbacks, and recompiles.
+graph runs, fallbacks, and recompiles — plus the serving layer's
+windowed SLO view and the flight recorder's slowest/failed request
+exemplars.
 
 Input is either the **live registries** (imported and rendered in-process
 — useful from a REPL or when a training script calls
 :func:`render_report` directly) or a **saved stats JSON** produced by
 :func:`write_stats_json` (the demo writes one; any program can).  The
 ``--prometheus`` flag instead emits the scrape-friendly subset in the
-Prometheus text exposition format.
+Prometheus text exposition format; ``--requests`` dumps the flight
+recorder's post-mortem exemplars.
+
+:func:`load_stats` returns a :class:`StatsBundle` — named attribute
+access (``bundle.serving``) that still unpacks as the historical
+``(metrics, health, counters, serving, diskcache)`` 5-tuple, so the
+bundle can keep growing sections without breaking legacy callers.
 
 Typical uses::
 
@@ -24,8 +32,15 @@ Typical uses::
     # scrape-format metrics
     python -m repro.observability.stats --input stats.json --prometheus
 
+    # flight-recorder exemplars (slowest + failed/fallback requests)
+    python -m repro.observability.stats --input stats.json --requests
+
     # CI smoke: exit non-zero unless health + histograms are populated
     python -m repro.observability.stats --input stats.json --check
+
+For a *live* scrape target (no JSON hop), run the serving process with
+``python -m repro.observability.httpstat`` — it serves ``/metrics``
+(this module's Prometheus text), ``/health``, and ``/requests``.
 """
 
 import argparse
@@ -35,19 +50,71 @@ import sys
 from .counters import COUNTERS, CounterRegistry
 from .diskcache import DISKCACHE, DiskCacheStats, format_diskcache_table
 from .health import HEALTH, HealthRegistry, format_health_table
-from .metrics import METRICS, MetricsRegistry, format_histograms
+from .metrics import (METRICS, MetricsRegistry, WindowedHistogram,
+                      format_histograms)
+from .reqtrace import RECORDER, FlightRecorder
 from .serving import SERVING, ServingStats, format_serving_table
 
 #: Saved-stats file format tag (bump on incompatible change).  The
-#: ``serving`` and ``diskcache`` sections were added within format 1:
-#: readers treat them as optional, so old bundles still load.
+#: ``serving``, ``diskcache``, and ``requests`` sections were added
+#: within format 1: readers treat them as optional, so old bundles
+#: still load (with those sections empty).
 STATS_FORMAT = "janus-stats/1"
+
+
+class StatsBundle:
+    """Named registries loaded from (or backing) a janus-stats bundle.
+
+    Attribute access is the API (``bundle.serving.rejection_rate``);
+    iteration and indexing reproduce the historical 5-tuple
+    ``(metrics, health, counters, serving, diskcache)`` so legacy
+    ``a, b, c, d, e = load_stats(path)`` unpacking keeps working.
+    Sections added later (``requests``) are attribute-only — the tuple
+    view is frozen at five elements forever.
+    """
+
+    #: The frozen legacy tuple protocol.
+    _TUPLE_FIELDS = ("metrics", "health", "counters", "serving",
+                     "diskcache")
+
+    def __init__(self, metrics, health, counters, serving, diskcache,
+                 requests=None):
+        self.metrics = metrics
+        self.health = health
+        self.counters = counters
+        self.serving = serving
+        self.diskcache = diskcache
+        #: Flight-recorder exemplars (attribute-only; not in the tuple).
+        self.requests = requests if requests is not None \
+            else FlightRecorder.from_snapshot(None)
+
+    def _tuple(self):
+        return tuple(getattr(self, field) for field in self._TUPLE_FIELDS)
+
+    def __iter__(self):
+        return iter(self._tuple())
+
+    def __len__(self):
+        return len(self._TUPLE_FIELDS)
+
+    def __getitem__(self, index):
+        return self._tuple()[index]
+
+    @classmethod
+    def live(cls):
+        """The process-wide registries as one bundle."""
+        return cls(METRICS, HEALTH, COUNTERS, SERVING, DISKCACHE,
+                   RECORDER)
+
+    def __repr__(self):
+        return ("StatsBundle(metrics=%r, health=%r, serving=%r)"
+                % (self.metrics, self.health, self.serving))
 
 
 # -- persistence -------------------------------------------------------------
 
 def stats_payload(metrics=None, health=None, counters=None, serving=None,
-                  diskcache=None):
+                  diskcache=None, requests=None):
     """The JSON-serializable stats bundle for the given registries."""
     return {
         "format": STATS_FORMAT,
@@ -56,25 +123,26 @@ def stats_payload(metrics=None, health=None, counters=None, serving=None,
         "counters": (counters or COUNTERS).snapshot(),
         "serving": (serving or SERVING).snapshot(),
         "diskcache": (diskcache or DISKCACHE).snapshot(),
+        "requests": (requests or RECORDER).snapshot(),
     }
 
 
 def write_stats_json(path, metrics=None, health=None, counters=None,
-                     serving=None, diskcache=None):
+                     serving=None, diskcache=None, requests=None):
     """Save the registries for later ``janus-stats`` analysis."""
     with open(path, "w") as fh:
         json.dump(stats_payload(metrics, health, counters, serving,
-                                diskcache), fh, indent=1)
+                                diskcache, requests), fh, indent=1)
     return path
 
 
 def load_stats(path):
-    """Load a saved stats JSON into fresh registries.
+    """Load a saved stats JSON into a :class:`StatsBundle`.
 
-    Returns ``(metrics, health, counters, serving, diskcache)``.  Raises
-    ``ValueError`` on a file that is not a janus-stats bundle (e.g. a
-    raw chrome trace).  Bundles written before the serving layer / disk
-    cache existed load with empty stats for those sections.
+    Raises ``ValueError`` on a file that is not a janus-stats bundle
+    (e.g. a raw chrome trace).  Bundles written before the serving
+    layer / disk cache / flight recorder existed load with empty stats
+    for those sections.
     """
     with open(path) as fh:
         payload = json.load(fh)
@@ -93,7 +161,9 @@ def load_stats(path):
         counters._timers[name] = [int(count), float(total)]
     serving = ServingStats.from_snapshot(payload.get("serving"))
     diskcache = DiskCacheStats.from_snapshot(payload.get("diskcache"))
-    return metrics, health, counters, serving, diskcache
+    requests = FlightRecorder.from_snapshot(payload.get("requests"))
+    return StatsBundle(metrics, health, counters, serving, diskcache,
+                       requests)
 
 
 # -- report rendering --------------------------------------------------------
@@ -166,14 +236,42 @@ def post_mortem(health, name=None):
     return lines
 
 
+def _exemplar_line(summary):
+    duration = summary.get("duration_s")
+    flags = summary.get("flags") or []
+    return "  %s %-20s %8.3f ms  [%s]%s" % (
+        summary.get("trace_id", "?" * 16),
+        summary.get("name") or "?",
+        (duration or 0.0) * 1e3,
+        summary.get("outcome") or "?",
+        " " + ",".join(flags) if flags else "")
+
+
+def format_requests_table(recorder):
+    """Text lines for the flight-recorder section ([] when idle)."""
+    snap = recorder.snapshot()
+    if not snap["completed"]:
+        return []
+    lines = ["  %d requests recorded, %d retained as failed/fallback "
+             "exemplars" % (snap["completed"], snap["failures"])]
+    if snap["slowest"]:
+        lines.append("  slowest:")
+        lines.extend("  " + _exemplar_line(s) for s in snap["slowest"])
+    if snap["failed"]:
+        lines.append("  failed / flagged:")
+        lines.extend("  " + _exemplar_line(s) for s in snap["failed"])
+    return lines
+
+
 def render_report(metrics=None, health=None, counters=None, function=None,
-                  serving=None, diskcache=None):
+                  serving=None, diskcache=None, requests=None):
     """The full ``janus-stats`` text report."""
     metrics = metrics if metrics is not None else METRICS
     health = health if health is not None else HEALTH
     counters = counters if counters is not None else COUNTERS
     serving = serving if serving is not None else SERVING
     diskcache = diskcache if diskcache is not None else DISKCACHE
+    requests = requests if requests is not None else RECORDER
     lines = ["== janus-stats =="]
 
     health_lines = format_health_table(health)
@@ -193,6 +291,11 @@ def render_report(metrics=None, health=None, counters=None, function=None,
     if diskcache_lines:
         lines.append("-- disk cache --")
         lines.extend(diskcache_lines)
+
+    request_lines = format_requests_table(requests)
+    if request_lines:
+        lines.append("-- flight recorder --")
+        lines.extend(request_lines)
 
     lines.append("-- latency histograms --")
     hist_lines = format_histograms(metrics)
@@ -231,128 +334,245 @@ def _prom_name(name):
     return "".join(out)
 
 
+class _PromWriter:
+    """Accumulates exposition lines with once-per-family HELP/TYPE.
+
+    Labeled families (e.g. the per-outcome request-latency histograms)
+    emit several sample groups under one header — repeating ``# TYPE``
+    for the same metric name is invalid exposition, which is exactly
+    what the lint test checks.
+    """
+
+    def __init__(self):
+        self.lines = []
+        self._declared = set()
+
+    def header(self, name, kind, help_text):
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        self.lines.append("# HELP %s %s" % (name, help_text))
+        self.lines.append("# TYPE %s %s" % (name, kind))
+
+    def sample(self, name, value, labels=None):
+        label_text = ""
+        if labels:
+            label_text = "{%s}" % ",".join(
+                '%s="%s"' % (k, _prom_escape(v))
+                for k, v in labels.items())
+        if isinstance(value, float):
+            self.lines.append("%s%s %g" % (name, label_text, value))
+        else:
+            self.lines.append("%s%s %d" % (name, label_text, value))
+
+    def gauge(self, name, value, help_text, labels=None):
+        self.header(name, "gauge", help_text)
+        self.sample(name, value, labels)
+
+    def histogram(self, base, hist, help_text, labels=None):
+        """Standard ``_bucket``/``_sum``/``_count`` triple with
+        cumulative ``le`` labels (monotonic, ``+Inf`` last)."""
+        self.header(base, "histogram", help_text)
+        snap = hist.snapshot()
+        cumulative = 0
+        for bound, count in zip(hist.BOUNDS, snap["counts"]):
+            cumulative += count
+            bucket_labels = dict(labels or {})
+            bucket_labels["le"] = "%g" % bound
+            self.sample(base + "_bucket", cumulative, bucket_labels)
+        cumulative += snap["counts"][-1]
+        inf_labels = dict(labels or {})
+        inf_labels["le"] = "+Inf"
+        self.sample(base + "_bucket", cumulative, inf_labels)
+        self.sample(base + "_sum", float(snap["sum"]), labels)
+        self.sample(base + "_count", snap["count"], labels)
+
+    def window_quantiles(self, base, hist, help_text, labels=None):
+        """Trailing-window p50/p95/p99 as a quantile-labelled gauge."""
+        if not isinstance(hist, WindowedHistogram):
+            return
+        stats = hist.window_percentiles()
+        if not stats["count"]:
+            return
+        self.header(base, "gauge", help_text)
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("0.99", "p99")):
+            q_labels = dict(labels or {})
+            q_labels["quantile"] = quantile
+            self.sample(base, float(stats[key]), q_labels)
+
+    def text(self):
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+
 def prometheus_text(metrics=None, health=None, counters=None, serving=None,
-                    diskcache=None):
+                    diskcache=None, requests=None):
     """The scrape-friendly subset in Prometheus text exposition format.
 
     Histograms map to the standard ``_bucket``/``_sum``/``_count``
-    triple with cumulative ``le`` labels; per-function health maps to
+    triple with cumulative ``le`` labels; windowed histograms
+    additionally expose trailing-window p50/p95/p99 as
+    ``*_window_seconds`` quantile gauges; per-function health maps to
     gauges labelled by function (plus a one-hot ``state`` gauge);
     counters map to ``janus_counter_total``; the serving layer maps to
-    ``janus_serving_*`` gauges plus queue-depth / batch-size / wait
-    histograms; the disk compile cache maps to ``janus_diskcache_*``
-    gauges (misses labelled by reason) plus the load-latency histogram.
+    ``janus_serving_*`` gauges, queue/batch histograms, and the
+    per-outcome ``janus_serving_request_latency_seconds`` family; the
+    disk compile cache maps to ``janus_diskcache_*`` gauges (misses
+    labelled by reason) plus the load-latency histogram; the flight
+    recorder contributes ``janus_requests_*`` totals.
+
+    Every line is valid exposition format — HELP/TYPE once per family,
+    escaped label values, monotonic cumulative buckets — and the lint
+    test in ``tests/test_prometheus_lint.py`` holds it to that.
     """
     metrics = metrics if metrics is not None else METRICS
     health = health if health is not None else HEALTH
     counters = counters if counters is not None else COUNTERS
     serving = serving if serving is not None else SERVING
     diskcache = diskcache if diskcache is not None else DISKCACHE
-    lines = []
-
-    def emit_histogram(base, hist):
-        lines.append("# TYPE %s histogram" % base)
-        snap = hist.snapshot()
-        cumulative = 0
-        for bound, count in zip(hist.BOUNDS, snap["counts"]):
-            cumulative += count
-            lines.append('%s_bucket{le="%g"} %d'
-                         % (base, bound, cumulative))
-        cumulative += snap["counts"][-1]
-        lines.append('%s_bucket{le="+Inf"} %d' % (base, cumulative))
-        lines.append("%s_sum %g" % (base, snap["sum"]))
-        lines.append("%s_count %d" % (base, snap["count"]))
+    requests = requests if requests is not None else RECORDER
+    w = _PromWriter()
 
     for name in metrics.names():
         hist = metrics.get(name)
         if hist is None:
             continue
-        emit_histogram("janus_%s_seconds" % _prom_name(name), hist)
+        base = "janus_%s_seconds" % _prom_name(name)
+        w.histogram(base, hist, "Latency histogram for %s." % name)
+        w.window_quantiles(base + "_window", hist,
+                           "Trailing-window percentiles for %s." % name)
 
     functions = health.functions()
     if functions:
         gauges = (
-            ("janus_function_calls_total", "calls"),
-            ("janus_function_graph_runs_total", "graph_runs"),
-            ("janus_function_fallbacks_total", "fallbacks"),
-            ("janus_function_recompiles_total", "recompiles"),
-            ("janus_function_graph_hit_ratio", "graph_hit_ratio"),
+            ("janus_function_calls_total", "calls",
+             "Calls dispatched through the janus function."),
+            ("janus_function_graph_runs_total", "graph_runs",
+             "Calls served by a compiled graph."),
+            ("janus_function_fallbacks_total", "fallbacks",
+             "Calls that fell back imperatively on a failed guard."),
+            ("janus_function_recompiles_total", "recompiles",
+             "Post-relaxation graph regenerations."),
+            ("janus_function_graph_hit_ratio", "graph_hit_ratio",
+             "Fraction of calls served by a compiled graph."),
         )
-        for metric, attr in gauges:
-            lines.append("# TYPE %s gauge" % metric)
+        for metric, attr, help_text in gauges:
+            w.header(metric, "gauge", help_text)
             for fn in functions:
-                lines.append('%s{function="%s"} %g'
-                             % (metric, _prom_escape(fn.name),
-                                getattr(fn, attr)))
-        lines.append("# TYPE janus_function_state gauge")
+                w.sample(metric, getattr(fn, attr),
+                         {"function": fn.name})
+        w.header("janus_function_state", "gauge",
+                 "One-hot speculation state per function.")
         for fn in functions:
-            lines.append('janus_function_state{function="%s",state="%s"} 1'
-                         % (_prom_escape(fn.name), fn.state))
-        lines.append("# TYPE janus_site_failures_total gauge")
+            w.sample("janus_function_state", 1,
+                     {"function": fn.name, "state": fn.state})
+        w.header("janus_site_failures_total", "gauge",
+                 "Assumption failures per profiled site.")
         for fn in functions:
             for key in sorted(fn.sites):
                 sh = fn.sites[key]
                 if not sh.failures:
                     continue
-                lines.append(
-                    'janus_site_failures_total{function="%s",site="%s",'
-                    'kind="%s"} %d'
-                    % (_prom_escape(fn.name), _prom_escape(key),
-                       _prom_escape(sh.kind or "unknown"), sh.failures))
+                w.sample("janus_site_failures_total", sh.failures,
+                         {"function": fn.name, "site": key,
+                          "kind": sh.kind or "unknown"})
 
     serving_snap = serving.snapshot()
     if serving_snap["requests"] or serving_snap["rejected"] \
             or serving_snap["active_clients"]:
         serving_gauges = (
-            ("janus_serving_requests_total", "requests"),
-            ("janus_serving_rejected_total", "rejected"),
-            ("janus_serving_batches_total", "batches"),
-            ("janus_serving_batched_requests_total", "batched_requests"),
-            ("janus_serving_active_clients", "active_clients"),
-            ("janus_serving_peak_clients", "peak_clients"),
-            ("janus_serving_recompiles_in_flight", "recompiles_in_flight"),
+            ("janus_serving_requests_total", "requests",
+             "Requests accepted into an endpoint queue."),
+            ("janus_serving_rejected_total", "rejected",
+             "Requests refused at the admission bound."),
+            ("janus_serving_batches_total", "batches",
+             "Dispatches (each coalescing >= 1 request)."),
+            ("janus_serving_batched_requests_total", "batched_requests",
+             "Requests that shared a dynamic batch."),
+            ("janus_serving_active_clients", "active_clients",
+             "Currently connected client threads."),
+            ("janus_serving_peak_clients", "peak_clients",
+             "Peak concurrent client threads."),
+            ("janus_serving_recompiles_in_flight", "recompiles_in_flight",
+             "Compile tickets currently owned across endpoints."),
         )
-        for metric, key in serving_gauges:
-            lines.append("# TYPE %s gauge" % metric)
-            lines.append("%s %d" % (metric, serving_snap[key]))
-        emit_histogram("janus_serving_queue_depth", serving.queue_depth)
-        emit_histogram("janus_serving_batch_size", serving.batch_size)
-        emit_histogram("janus_serving_queue_wait_seconds",
-                       serving.queue_wait)
+        for metric, key, help_text in serving_gauges:
+            w.gauge(metric, serving_snap[key], help_text)
+        w.gauge("janus_serving_rejection_rate", serving.rejection_rate,
+                "Rejected / offered requests since start.")
+        w.histogram("janus_serving_queue_depth", serving.queue_depth,
+                    "Queue depth seen by each accepted request.")
+        w.histogram("janus_serving_batch_size", serving.batch_size,
+                    "Requests coalesced per dispatch.")
+        w.histogram("janus_serving_queue_wait_seconds",
+                    serving.queue_wait,
+                    "Seconds each request waited before dispatch.")
+        w.window_quantiles("janus_serving_queue_wait_window_seconds",
+                           serving.queue_wait,
+                           "Trailing-window queue-wait percentiles.")
+        latency_help = ("End-to-end request latency by outcome "
+                        "(ok / error / rejected).")
+        for outcome in sorted(serving.request_latency):
+            hist = serving.request_latency[outcome]
+            if not hist.count:
+                continue
+            w.histogram("janus_serving_request_latency_seconds", hist,
+                        latency_help, {"outcome": outcome})
+            w.window_quantiles(
+                "janus_serving_request_latency_window_seconds", hist,
+                "Trailing-window request-latency percentiles by outcome.",
+                {"outcome": outcome})
 
     disk_snap = diskcache.snapshot()
     if disk_snap["loads"] or disk_snap["stores"] \
             or disk_snap["store_skips"]:
         disk_gauges = (
-            ("janus_diskcache_loads_total", "loads"),
-            ("janus_diskcache_hits_total", "hits"),
-            ("janus_diskcache_stores_total", "stores"),
-            ("janus_diskcache_store_bytes_total", "store_bytes"),
-            ("janus_diskcache_store_skips_total", "store_skips"),
-            ("janus_diskcache_evictions_total", "evictions"),
-            ("janus_diskcache_bytes_on_disk", "bytes_on_disk"),
-            ("janus_diskcache_entries_on_disk", "entries_on_disk"),
+            ("janus_diskcache_loads_total", "loads",
+             "Disk-cache load attempts."),
+            ("janus_diskcache_hits_total", "hits",
+             "Disk-cache loads that produced an artifact."),
+            ("janus_diskcache_stores_total", "stores",
+             "Artifacts published to the disk tier."),
+            ("janus_diskcache_store_bytes_total", "store_bytes",
+             "Bytes written to the disk tier."),
+            ("janus_diskcache_store_skips_total", "store_skips",
+             "Publishes skipped (unportable payloads)."),
+            ("janus_diskcache_evictions_total", "evictions",
+             "Disk-tier entries evicted by the size bound."),
+            ("janus_diskcache_bytes_on_disk", "bytes_on_disk",
+             "Current bytes on disk."),
+            ("janus_diskcache_entries_on_disk", "entries_on_disk",
+             "Current entries on disk."),
         )
-        for metric, key in disk_gauges:
-            lines.append("# TYPE %s gauge" % metric)
-            lines.append("%s %d" % (metric, disk_snap[key]))
+        for metric, key, help_text in disk_gauges:
+            w.gauge(metric, disk_snap[key], help_text)
         if disk_snap["miss_reasons"]:
-            lines.append("# TYPE janus_diskcache_misses_total gauge")
+            w.header("janus_diskcache_misses_total", "gauge",
+                     "Disk-cache misses by reason.")
             for reason in sorted(disk_snap["miss_reasons"]):
-                lines.append(
-                    'janus_diskcache_misses_total{reason="%s"} %d'
-                    % (_prom_escape(reason),
-                       disk_snap["miss_reasons"][reason]))
-        emit_histogram("janus_diskcache_load_seconds",
-                       diskcache.load_latency)
+                w.sample("janus_diskcache_misses_total",
+                         disk_snap["miss_reasons"][reason],
+                         {"reason": reason})
+        w.histogram("janus_diskcache_load_seconds",
+                    diskcache.load_latency,
+                    "Disk-cache load latency.")
+
+    request_snap = requests.snapshot()
+    if request_snap["completed"]:
+        w.gauge("janus_requests_recorded_total",
+                request_snap["completed"],
+                "Requests seen by the flight recorder.")
+        w.gauge("janus_requests_failed_total", request_snap["failures"],
+                "Requests retained as failed/fallback exemplars.")
 
     counter_snap = counters.snapshot().get("counters", {})
     if counter_snap:
-        lines.append("# TYPE janus_counter_total counter")
+        w.header("janus_counter_total", "counter",
+                 "Flat runtime counters by name.")
         for name in sorted(counter_snap):
-            lines.append('janus_counter_total{name="%s"} %d'
-                         % (_prom_escape(name), counter_snap[name]))
-    return "\n".join(lines) + ("\n" if lines else "")
+            w.sample("janus_counter_total", counter_snap[name],
+                     {"name": name})
+    return w.text()
 
 
 # -- CLI entry point ---------------------------------------------------------
@@ -384,6 +604,10 @@ def main(argv=None):
         help="emit the Prometheus text exposition format instead of the "
              "report")
     parser.add_argument(
+        "--requests", action="store_true",
+        help="dump the flight recorder's request exemplars as JSON "
+             "(slowest + failed/fallback, with their captured spans)")
+    parser.add_argument(
         "--check", action="store_true",
         help="exit non-zero unless the health table and histogram counts "
              "are populated (CI smoke gate)")
@@ -391,24 +615,29 @@ def main(argv=None):
 
     if args.input:
         try:
-            metrics, health, counters, serving, diskcache = \
-                load_stats(args.input)
+            bundle = load_stats(args.input)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print("janus-stats: %s" % exc, file=sys.stderr)
             return 2
     else:
-        metrics, health, counters, serving, diskcache = (
-            METRICS, HEALTH, COUNTERS, SERVING, DISKCACHE)
+        bundle = StatsBundle.live()
 
     if args.prometheus:
-        sys.stdout.write(prometheus_text(metrics, health, counters,
-                                         serving, diskcache))
+        sys.stdout.write(prometheus_text(
+            bundle.metrics, bundle.health, bundle.counters,
+            bundle.serving, bundle.diskcache, bundle.requests))
+    elif args.requests:
+        json.dump(bundle.requests.snapshot(), sys.stdout, indent=1)
+        sys.stdout.write("\n")
     else:
-        print(render_report(metrics, health, counters, args.function,
-                            serving=serving, diskcache=diskcache))
+        print(render_report(bundle.metrics, bundle.health,
+                            bundle.counters, args.function,
+                            serving=bundle.serving,
+                            diskcache=bundle.diskcache,
+                            requests=bundle.requests))
 
     if args.check:
-        problems = _selfcheck(metrics, health)
+        problems = _selfcheck(bundle.metrics, bundle.health)
         if problems:
             for problem in problems:
                 print("janus-stats --check FAILED: %s" % problem,

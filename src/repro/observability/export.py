@@ -17,6 +17,7 @@ import threading
 from .counters import COUNTERS
 from .health import HEALTH, format_health_table
 from .metrics import METRICS, format_histograms
+from .reqtrace import RECORDER
 from .tracer import TRACER
 
 _PID = os.getpid()
@@ -58,17 +59,21 @@ def _jsonable(value):
 
 
 def write_chrome_trace(path, tracer=None, counters=None, metrics=None,
-                       health=None):
+                       health=None, requests=None):
     """Write a ``chrome://tracing``-loadable JSON file; returns ``path``.
 
     Besides the counters, ``otherData`` carries the latency-histogram
-    snapshots and per-function health summaries when any were recorded,
-    so a single trace file preserves the percentile data alongside the
-    events.
+    snapshots, per-function health summaries, and the flight recorder's
+    request exemplars when any were recorded, so a single trace file
+    preserves the percentile and per-request data alongside the events.
+    Events emitted inside a request carry ``trace_id``/``span_id``/
+    ``parent_span`` args, so one serving request renders as a causally
+    linked flow across threads.
     """
     counters = counters or COUNTERS
     metrics = metrics if metrics is not None else METRICS
     health = health if health is not None else HEALTH
+    requests = requests if requests is not None else RECORDER
     other = {
         "tool": "repro.observability",
         "counters": counters.snapshot()["counters"],
@@ -87,6 +92,9 @@ def write_chrome_trace(path, tracer=None, counters=None, metrics=None,
                       "calls": fn.calls, "fallbacks": fn.fallbacks,
                       "recompiles": fn.recompiles}
             for fn in health.functions()}
+    request_snap = requests.snapshot()
+    if request_snap["completed"]:
+        other["requests"] = request_snap
     payload = {
         "traceEvents": chrome_trace_events(tracer),
         "displayTimeUnit": "ms",

@@ -177,6 +177,124 @@ class Histogram:
             self.count, self.mean, self.max)
 
 
+class WindowedHistogram(Histogram):
+    """A histogram that also answers "over the last W seconds".
+
+    The cumulative-since-process-start statistics a plain
+    :class:`Histogram` keeps cannot drive control decisions: the
+    ROADMAP's adaptive-linger rung needs *recent* queue-wait
+    percentiles, and an SLO dashboard needs p99 over the trailing
+    minute, not the trailing week.  A ``WindowedHistogram`` keeps both:
+    it *is* a cumulative :class:`Histogram` (so every existing
+    consumer — merge, snapshot, ``format_histograms`` — keeps working),
+    plus a fixed ring of ``slices`` sub-histograms, each covering
+    ``window_s / slices`` seconds of wall time.
+
+    Rotation is lazy and O(1): each observation computes its slice
+    sequence number ``seq = int(now / slice_span)``; the ring slot
+    ``seq % slices`` is reset when its stored sequence is stale.  The
+    trailing-window view merges the slots whose sequence is within the
+    last ``slices`` periods — expired slots are simply skipped, so an
+    idle histogram decays to empty without a background thread.
+
+    Memory is bounded at ``(slices + 1)`` bucket arrays.  The ring has
+    its own lock; slice histograms have their own, so the (inherited,
+    re-entrancy-unsafe) cumulative lock is never held while a slice is
+    updated.
+    """
+
+    __slots__ = ("window_s", "slices", "_slice_span", "_ring", "_seqs",
+                 "_ring_lock", "_clock")
+
+    def __init__(self, window_s=60.0, slices=6, clock=None):
+        super().__init__()
+        if slices < 1:
+            raise ValueError("WindowedHistogram needs >= 1 slice")
+        self.window_s = float(window_s)
+        self.slices = int(slices)
+        self._slice_span = self.window_s / self.slices
+        self._ring = [Histogram() for _ in range(self.slices)]
+        self._seqs = [None] * self.slices
+        self._ring_lock = threading.Lock()
+        #: Injectable for tests; perf_counter in production.
+        self._clock = clock if clock is not None else _perf_counter
+
+    # -- recording -----------------------------------------------------------
+
+    def observe(self, value):
+        Histogram.observe(self, value)           # cumulative view
+        seq = int(self._clock() / self._slice_span)
+        slot = seq % self.slices
+        with self._ring_lock:
+            if self._seqs[slot] != seq:
+                self._ring[slot] = Histogram()   # expired: start fresh
+                self._seqs[slot] = seq
+            hist = self._ring[slot]
+        hist.observe(value)
+
+    # -- trailing-window view ------------------------------------------------
+
+    def window(self):
+        """A merged :class:`Histogram` of the trailing window."""
+        now_seq = int(self._clock() / self._slice_span)
+        merged = Histogram()
+        with self._ring_lock:
+            live = [self._ring[i] for i in range(self.slices)
+                    if self._seqs[i] is not None
+                    and now_seq - self._seqs[i] < self.slices]
+        for hist in live:
+            merged.merge(hist)
+        return merged
+
+    def window_percentiles(self):
+        """p50/p95/p99 over the trailing window plus its count."""
+        win = self.window()
+        stats = win.percentiles()
+        stats["count"] = win.count
+        return stats
+
+    # -- serialization -------------------------------------------------------
+
+    def snapshot(self):
+        """Cumulative snapshot extended with the live window's merge.
+
+        The window is point-in-time by nature, so it serializes as one
+        merged sub-snapshot rather than the raw ring; a restored
+        histogram reports the window as of when the snapshot was taken.
+        """
+        snap = super().snapshot()
+        win = self.window()
+        snap["window"] = {"window_s": self.window_s,
+                          "slices": self.slices,
+                          "merged": Histogram.snapshot(win)}
+        return snap
+
+    @classmethod
+    def from_snapshot(cls, snap):
+        win_meta = (snap or {}).get("window") or {}
+        hist = cls(window_s=win_meta.get("window_s", 60.0),
+                   slices=win_meta.get("slices", 6))
+        counts = list(snap.get("counts", ()))
+        for i, n in enumerate(counts[:len(hist.counts)]):
+            hist.counts[i] = int(n)
+        hist.count = int(snap.get("count", sum(hist.counts)))
+        hist.total = float(snap.get("sum", 0.0))
+        hist.min = snap.get("min")
+        hist.max = snap.get("max")
+        merged = win_meta.get("merged")
+        if merged:
+            # Park the restored window in slot 0 at the current seq so
+            # window() reproduces the snapshot-time view for one span.
+            seq = int(hist._clock() / hist._slice_span)
+            hist._ring[0] = Histogram.from_snapshot(merged)
+            hist._seqs[0] = seq
+        return hist
+
+    def __repr__(self):
+        return "WindowedHistogram(count=%d, window=%gs/%d slices)" % (
+            self.count, self.window_s, self.slices)
+
+
 class _ScopedObservation:
     """Context manager observing its elapsed wall time into a histogram."""
 
@@ -239,6 +357,24 @@ class MetricsRegistry:
                 hist = self._hists.setdefault(name, Histogram())
         hist.observe(value)
 
+    def observe_windowed(self, name, value, window_s=60.0, slices=6):
+        """Like :meth:`observe` but the histogram is windowed.
+
+        First caller of a name fixes its window geometry; a name
+        already registered as a plain histogram stays plain (the
+        cumulative view is a superset, so mixed callers never lose
+        data).
+        """
+        if not self.enabled:
+            return
+        hist = self._hists.get(name)
+        if hist is None:
+            with self._lock:
+                hist = self._hists.setdefault(
+                    name, WindowedHistogram(window_s=window_s,
+                                            slices=slices))
+        hist.observe(value)
+
     def timer(self, name):
         """Scoped timer observing a block's wall time (null if disabled)."""
         if not self.enabled:
@@ -282,7 +418,11 @@ class MetricsRegistry:
     def from_snapshot(cls, snap):
         registry = cls(enabled=False)
         for name, hist_snap in (snap or {}).items():
-            registry._hists[name] = Histogram.from_snapshot(hist_snap)
+            if isinstance(hist_snap, dict) and "window" in hist_snap:
+                registry._hists[name] = WindowedHistogram.from_snapshot(
+                    hist_snap)
+            else:
+                registry._hists[name] = Histogram.from_snapshot(hist_snap)
         return registry
 
     # -- control -------------------------------------------------------------

@@ -1,0 +1,455 @@
+"""Request-scoped causal tracing and the flight recorder.
+
+The tracer answers "what happened, in order"; this module answers "what
+happened *to this request*".  A :class:`RequestContext` is created when
+a request enters the serving layer (``Server.call`` → ``submit``) and
+travels with it through queueing, batch dispatch, ``janus.function``
+dispatch (warm hit / stampede loss / ticket win / background recompile /
+imperative fallback), disk-cache probes, and co-execution fragment/gap
+handoffs — Dapper-style causal propagation with the *request*, not the
+process, as the unit of observability.
+
+Two cooperating mechanisms:
+
+1. **Trace-event annotation.**  :func:`_annotate` is installed as the
+   tracer's request hook (:func:`repro.observability.tracer.set_request_hook`)
+   and runs once per *recorded* event — never on the ``JANUS_TRACE=0``
+   path.  While a request context is active on the emitting thread it
+   stamps ``trace_id``/``span_id``/``parent_span`` into the event args
+   and mirrors the event into the request's bounded capture, so every
+   existing instrumentation site (``cache_hit``, ``assumption_fail``,
+   ``diskcache_*``, …) joins the request's causal flow without being
+   rewritten.  Request contexts cross threads explicitly: the serving
+   dispatcher re-activates the context it pulled off the queue with
+   :func:`using`.
+
+2. **The flight recorder.**  Every finished request leaves a summary
+   (trace id, outcome, duration, captured spans).  :data:`RECORDER`
+   retains the N slowest plus *all* failed/fallback/rejected requests
+   as post-mortem exemplars, dumpable via ``janus-stats --requests``
+   and the ``/requests`` endpoint of
+   ``python -m repro.observability.httpstat``.
+
+Cost model, mirroring the tracer's:
+
+* ``JANUS_TRACE=0`` and recorder disabled → :func:`new_request` returns
+  None and every site degenerates to one attribute load / contextvar
+  read; no allocation, no timestamps.
+* Recorder enabled (the default for the serving layer) → one small
+  context object per request plus one dict per captured span; captures
+  are bounded by :attr:`RequestContext.MAX_EVENTS`.
+
+Standard library only, importable from any subsystem without cycles.
+"""
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from bisect import insort
+from collections import deque
+
+from . import tracer as tracer_mod
+from .tracer import TRACER, TraceEvent
+
+__all__ = ["RECORDER", "FlightRecorder", "RequestContext", "current",
+           "finish", "flag", "new_request", "note", "record_span",
+           "span", "using", "get_flight_recorder"]
+
+_perf_counter = time.perf_counter
+
+#: The active request context for this thread/task (None = no request).
+_CURRENT = contextvars.ContextVar("janus_request", default=None)
+
+
+class RequestContext:
+    """One request's causal trace: id, span stack, bounded capture."""
+
+    __slots__ = ("trace_id", "name", "started", "events", "dropped",
+                 "flags", "outcome", "detail", "duration", "_ids",
+                 "_stack")
+
+    #: Per-request capture bound; events beyond it are counted, not kept.
+    MAX_EVENTS = 200
+
+    def __init__(self, name):
+        self.trace_id = os.urandom(8).hex()
+        self.name = name
+        self.started = _perf_counter()
+        self.events = []
+        self.dropped = 0
+        #: Dispatch-path markers ("fallback", "stampede_loss", ...) set
+        #: via :func:`note`; a flagged request is retained by the
+        #: recorder even when its outcome is "ok".
+        self.flags = set()
+        self.outcome = None
+        self.detail = None
+        self.duration = None
+        self._ids = itertools.count(1)
+        self._stack = []
+
+    # -- capture -------------------------------------------------------------
+
+    def _note(self, event):
+        """Mirror one TraceEvent into the bounded capture."""
+        if len(self.events) >= self.MAX_EVENTS:
+            self.dropped += 1
+            return
+        self.events.append({
+            "cat": event.category, "name": event.name, "ph": event.ph,
+            "rel_s": event.ts - self.started, "dur_s": event.dur,
+            "args": dict(event.args) if event.args else {},
+        })
+
+    def summary(self):
+        """JSON-serializable post-mortem record for the recorder."""
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "flags": sorted(self.flags),
+            "duration_s": self.duration,
+            "started_unix": TRACER.epoch + self.started,
+            "events": list(self.events),
+            "dropped_events": self.dropped,
+        }
+
+    def __repr__(self):
+        return "RequestContext(%s, %s, %d events)" % (
+            self.trace_id, self.name, len(self.events))
+
+
+def _annotate(event):
+    """The tracer's request hook: stamp causal ids + mirror to capture.
+
+    Runs only when an event is actually recorded (trace level > 0), so
+    the disabled path never reaches it.  Events that already carry a
+    ``trace_id`` (pre-stamped by :func:`record_span` / :class:`_ReqSpan`)
+    are captured without re-stamping.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return
+    args = event.args
+    if args is None:
+        args = {}
+        event.args = args
+    if "trace_id" not in args:
+        args["trace_id"] = ctx.trace_id
+        args["span_id"] = next(ctx._ids)
+        if ctx._stack:
+            args["parent_span"] = ctx._stack[-1]
+    ctx._note(event)
+
+
+tracer_mod.set_request_hook(_annotate)
+
+
+# -- request lifecycle -------------------------------------------------------
+
+def _active():
+    return TRACER.level > 0 or RECORDER.enabled
+
+
+def new_request(name):
+    """A fresh :class:`RequestContext`, or None when request tracing is
+    fully off (``JANUS_TRACE=0`` and the flight recorder disabled)."""
+    if not _active():
+        return None
+    return RequestContext(name)
+
+
+def current():
+    """The request context active on this thread, or None."""
+    return _CURRENT.get()
+
+
+class using:
+    """Activate *ctx* on the current thread for the ``with`` body.
+
+    The serving dispatcher uses this to continue the trace a client
+    thread started; ``using(None)`` is a no-op context manager.
+    """
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx):
+        self._ctx = ctx
+
+    def __enter__(self):
+        self._token = _CURRENT.set(self._ctx) \
+            if self._ctx is not None else None
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+        return False
+
+
+def finish(ctx, outcome, detail=None):
+    """Close out a request: stamp outcome + duration, feed the recorder."""
+    if ctx is None:
+        return
+    ctx.outcome = outcome
+    ctx.detail = detail
+    ctx.duration = _perf_counter() - ctx.started
+    RECORDER.record(ctx)
+
+
+# -- span recording ----------------------------------------------------------
+
+class _ReqSpan:
+    """Timed span inside the active request (parented on the stack)."""
+
+    __slots__ = ("_ctx", "_category", "_name", "_args", "_span_id",
+                 "_parent", "_start")
+
+    def __init__(self, ctx, category, name, args):
+        self._ctx = ctx
+        self._category = category
+        self._name = name
+        self._args = args
+
+    def __enter__(self):
+        ctx = self._ctx
+        self._span_id = next(ctx._ids)
+        self._parent = ctx._stack[-1] if ctx._stack else None
+        ctx._stack.append(self._span_id)
+        self._start = _perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end = _perf_counter()
+        ctx = self._ctx
+        if ctx._stack and ctx._stack[-1] == self._span_id:
+            ctx._stack.pop()
+        args = dict(self._args)
+        if exc_type is not None:
+            args["error"] = exc_type.__name__
+        args["trace_id"] = ctx.trace_id
+        args["span_id"] = self._span_id
+        if self._parent is not None:
+            args["parent_span"] = self._parent
+        event = TraceEvent(self._category, self._name, "X", self._start,
+                           end - self._start, threading.get_ident(), args)
+        if TRACER.level:
+            TRACER._append(event)    # hook captures (trace_id pre-set)
+        else:
+            ctx._note(event)         # recorder-only mode
+        return False
+
+
+def span(category, name, **args):
+    """Context manager for a request-scoped span.
+
+    With an active request context the span joins its causal flow (and
+    its bounded capture, even at ``JANUS_TRACE=0``).  Without one it
+    degrades to a plain ``TRACER.span`` — visible in ordinary traces,
+    free when tracing is off.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return TRACER.span(category, name, **args)
+    return _ReqSpan(ctx, category, name, args)
+
+
+def record_span(ctx, category, name, start, duration, **args):
+    """Record an externally-timed span into *ctx* (no activation needed).
+
+    Used for spans measured on another thread's clock — e.g. the queue
+    wait, timed from the client thread's enqueue to the dispatcher's
+    pickup.
+    """
+    if ctx is None:
+        return
+    args["trace_id"] = ctx.trace_id
+    args["span_id"] = next(ctx._ids)
+    event = TraceEvent(category, name, "X", start, duration,
+                       threading.get_ident(), args)
+    if TRACER.level:
+        TRACER._append(event)
+    else:
+        ctx._note(event)
+
+
+def flag(name):
+    """Tag the active request (no event) so the recorder retains it.
+
+    Used next to pre-existing ``TRACER.instant`` sites whose events the
+    hook already captures — the tag adds retention without a duplicate
+    event.
+    """
+    ctx = _CURRENT.get()
+    if ctx is not None:
+        ctx.flags.add(name)
+
+
+def note(category, name, flag=None, **args):
+    """Mark an instant on the active request (no-op without one).
+
+    *flag* additionally tags the request itself ("fallback",
+    "stampede_loss", …) so the flight recorder retains it as an
+    exemplar regardless of outcome.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return
+    if flag is not None:
+        ctx.flags.add(flag)
+    args["trace_id"] = ctx.trace_id
+    args["span_id"] = next(ctx._ids)
+    if ctx._stack:
+        args["parent_span"] = ctx._stack[-1]
+    event = TraceEvent(category, name, "i", _perf_counter(), 0.0,
+                       threading.get_ident(), args)
+    if TRACER.level:
+        TRACER._append(event)
+    else:
+        ctx._note(event)
+
+
+# -- the flight recorder -----------------------------------------------------
+
+class FlightRecorder:
+    """Bounded retention of post-mortem request exemplars.
+
+    Three views, all bounded:
+
+    * **slowest** — the ``keep_slowest`` highest-latency requests seen,
+    * **failed** — the most recent ``keep_failed`` requests whose
+      outcome was not "ok" *or* that carry a dispatch flag (fallback,
+      stampede loss, …),
+    * **recent** — the last ``keep_recent`` requests regardless.
+
+    Thread-safe; snapshot/restore round-trips through the
+    ``janus-stats`` bundle like the other registries.
+    """
+
+    def __init__(self, keep_slowest=8, keep_failed=32, keep_recent=32):
+        #: Plain attribute read by the request-creation gate.
+        self.enabled = _env_enabled()
+        self.keep_slowest = int(keep_slowest)
+        self._lock = threading.Lock()
+        self._slowest = []          # [(duration, seq, summary)] ascending
+        self._seq = itertools.count()
+        self._failed = deque(maxlen=int(keep_failed))
+        self._recent = deque(maxlen=int(keep_recent))
+        self.completed = 0
+        self.failures = 0
+
+    def record(self, ctx):
+        if not self.enabled:
+            return
+        summary = ctx.summary()
+        failed = ctx.outcome != "ok" or bool(ctx.flags)
+        with self._lock:
+            self.completed += 1
+            self._recent.append(summary)
+            if failed:
+                self.failures += 1
+                self._failed.append(summary)
+            insort(self._slowest,
+                   (summary["duration_s"] or 0.0, next(self._seq),
+                    summary))
+            if len(self._slowest) > self.keep_slowest:
+                self._slowest.pop(0)
+
+    # -- inspection ----------------------------------------------------------
+
+    def slowest(self):
+        """Summaries, slowest first."""
+        with self._lock:
+            return [item[2] for item in reversed(self._slowest)]
+
+    def failed(self):
+        """Failed/flagged summaries, oldest first."""
+        with self._lock:
+            return list(self._failed)
+
+    def recent(self):
+        with self._lock:
+            return list(self._recent)
+
+    # -- serialization -------------------------------------------------------
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "completed": self.completed,
+                "failures": self.failures,
+                "slowest": [item[2] for item in reversed(self._slowest)],
+                "failed": list(self._failed),
+                "recent": list(self._recent),
+            }
+
+    @classmethod
+    def from_snapshot(cls, snap):
+        recorder = cls()
+        recorder.enabled = False     # restored recorders are read-only
+        snap = snap or {}
+        recorder.completed = int(snap.get("completed", 0))
+        recorder.failures = int(snap.get("failures", 0))
+        for summary in reversed(snap.get("slowest") or ()):
+            recorder._slowest.append(
+                (summary.get("duration_s") or 0.0,
+                 next(recorder._seq), summary))
+        recorder._slowest.sort(key=lambda item: (item[0], item[1]))
+        recorder._failed.extend(snap.get("failed") or ())
+        recorder._recent.extend(snap.get("recent") or ())
+        return recorder
+
+    def set_enabled(self, enabled):
+        self.enabled = bool(enabled)
+
+    def clear(self):
+        with self._lock:
+            self._slowest = []
+            self._failed.clear()
+            self._recent.clear()
+            self.completed = 0
+            self.failures = 0
+
+    def __repr__(self):
+        return "FlightRecorder(%s, %d completed, %d failures)" % (
+            "enabled" if self.enabled else "disabled", self.completed,
+            self.failures)
+
+
+def _env_enabled():
+    raw = os.environ.get("JANUS_FLIGHT_RECORDER", "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+#: The process-wide flight recorder; populated by the serving layer.
+#: Default on (like SERVING, a server that is up wants its post-mortem
+#: exemplars); disable with ``JANUS_FLIGHT_RECORDER=0``.
+RECORDER = FlightRecorder()
+
+
+def get_flight_recorder():
+    return RECORDER
+
+
+def disabled_request_cost(iterations=200_000):
+    """Measured per-site cost (seconds) of an *inactive* request gate.
+
+    Times the exact operation every request-scoped site performs with no
+    request in flight — one contextvar read returning None — minus empty
+    loop overhead.  Reported (informationally) by
+    ``benchmarks/bench_observability_overhead.py``.
+    """
+    get = _CURRENT.get
+    r = range(iterations)
+    start = _perf_counter()
+    for _ in r:
+        if get() is not None:
+            raise AssertionError("unreachable")
+    gated = _perf_counter() - start
+    start = _perf_counter()
+    for _ in r:
+        pass
+    empty = _perf_counter() - start
+    return max(gated - empty, 0.0) / iterations

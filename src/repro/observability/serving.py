@@ -1,4 +1,4 @@
-"""Serving-layer metrics: admission, queueing, and batching signals.
+"""Serving-layer metrics: admission, queueing, batching, and SLO signals.
 
 The multi-tenant server (:mod:`repro.serving`) multiplexes N client
 threads over shared ``janus.function`` endpoints.  The runtime-side
@@ -13,15 +13,26 @@ capacity questions a serving deployment adds on top:
 * **tenancy** — active / peak concurrent client threads,
 * **recompiles in flight** — compile tickets currently owned, sampled
   from the endpoints' single-flight tables (the §4.3 recovery machinery
-  under load).
+  under load),
+* **end-to-end latency** — per-outcome (``ok`` / ``error`` /
+  ``rejected``) request latency over a trailing window.
 
-Queue-depth and batch-size histograms reuse the log-bucket
-:class:`~repro.observability.metrics.Histogram` — the values are
-unitless counts rather than seconds, which is fine: percentile estimates
+Queue-wait, batch-size, and request-latency histograms are
+:class:`~repro.observability.metrics.WindowedHistogram`\\ s: cumulative
+since start *and* answering "what was p95 over the last minute" — the
+observed-percentile signal the ROADMAP's adaptive-linger rung trades
+``batch_linger_s`` against.  Queue depth and batch size are unitless
+counts in second-valued buckets, which is fine: percentile estimates
 clamp to the observed min/max and the fixed buckets keep snapshots
 mergeable.  Everything is thread-safe (the whole point of the layer) and
 snapshot/restore round-trips through the ``janus-stats`` bundle like the
 other registries.
+
+Rejected requests are first-class: ``ServerOverloaded`` leaves no
+queue-wait trace (it never enqueued), so admission control shows up
+only in ``request_latency{outcome="rejected"}`` and the
+:attr:`ServingStats.rejection_rate` — an overload you can alert on even
+though the rejected work consumed almost no time.
 
 The process-wide singleton is :data:`SERVING`; like the health registry
 it is populated by the serving layer regardless of ``METRICS.enabled``
@@ -31,10 +42,21 @@ histograms off.
 
 import threading
 
-from .metrics import Histogram
+from .metrics import Histogram, WindowedHistogram
 
 __all__ = ["SERVING", "ServingStats", "format_serving_table",
            "get_serving"]
+
+#: Request outcomes tracked by the per-outcome latency histograms.
+OUTCOMES = ("ok", "error", "rejected")
+
+#: Trailing-window geometry for the serving SLO histograms.
+WINDOW_S = 60.0
+WINDOW_SLICES = 6
+
+
+def _windowed():
+    return WindowedHistogram(window_s=WINDOW_S, slices=WINDOW_SLICES)
 
 
 class ServingStats:
@@ -49,9 +71,12 @@ class ServingStats:
         self.active_clients = 0      # gauge: currently connected
         self.peak_clients = 0
         self.recompiles_in_flight = 0   # gauge: sampled from endpoints
-        self.queue_depth = Histogram()  # depth seen at enqueue (count)
-        self.batch_size = Histogram()   # requests per dispatch (count)
-        self.queue_wait = Histogram()   # seconds queued before dispatch
+        self.queue_depth = Histogram()       # depth at enqueue (count)
+        self.batch_size = _windowed()        # requests per dispatch
+        self.queue_wait = _windowed()        # seconds queued
+        #: End-to-end submit → result latency, split by outcome.
+        self.request_latency = {outcome: _windowed()
+                                for outcome in OUTCOMES}
 
     # -- recording (driven by repro.serving) --------------------------------
 
@@ -71,9 +96,16 @@ class ServingStats:
             self.requests += 1
         self.queue_depth.observe(depth)
 
-    def record_reject(self):
+    def record_reject(self, duration=0.0):
+        """One request refused at the queue bound.
+
+        The (near-zero) *duration* still lands in
+        ``request_latency["rejected"]`` so rejection *rate* is visible
+        in the same windowed family operators alert on.
+        """
         with self._lock:
             self.rejected += 1
+        self.request_latency["rejected"].observe(duration)
 
     def record_batch(self, size, waits=()):
         """One dispatch of *size* coalesced requests.
@@ -89,9 +121,24 @@ class ServingStats:
         for wait in waits:
             self.queue_wait.observe(wait)
 
+    def record_request(self, duration, outcome="ok"):
+        """One completed request's end-to-end latency."""
+        hist = self.request_latency.get(outcome)
+        if hist is None:
+            hist = self.request_latency["error"]
+        hist.observe(duration)
+
     def set_recompiles_in_flight(self, value):
         with self._lock:
             self.recompiles_in_flight = int(value)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def rejection_rate(self):
+        """Rejected / offered (0.0 with no traffic)."""
+        offered = self.requests + self.rejected
+        return self.rejected / offered if offered else 0.0
 
     # -- serialization -------------------------------------------------------
 
@@ -109,6 +156,9 @@ class ServingStats:
         snap["queue_depth"] = self.queue_depth.snapshot()
         snap["batch_size"] = self.batch_size.snapshot()
         snap["queue_wait"] = self.queue_wait.snapshot()
+        snap["request_latency"] = {
+            outcome: hist.snapshot()
+            for outcome, hist in self.request_latency.items()}
         return snap
 
     @classmethod
@@ -119,10 +169,18 @@ class ServingStats:
                       "batched_requests", "active_clients", "peak_clients",
                       "recompiles_in_flight"):
             setattr(stats, field, int(snap.get(field, 0)))
-        for field in ("queue_depth", "batch_size", "queue_wait"):
+        if snap.get("queue_depth"):
+            stats.queue_depth = Histogram.from_snapshot(snap["queue_depth"])
+        for field in ("batch_size", "queue_wait"):
             if snap.get(field):
-                setattr(stats, field,
-                        Histogram.from_snapshot(snap[field]))
+                setattr(stats, field, _hist_from_snapshot(snap[field]))
+        # Legacy janus-stats/1 bundles predate request_latency: the
+        # per-outcome histograms stay empty.
+        for outcome, hist_snap in (snap.get("request_latency")
+                                   or {}).items():
+            if outcome in stats.request_latency and hist_snap:
+                stats.request_latency[outcome] = _hist_from_snapshot(
+                    hist_snap)
         return stats
 
     def clear(self):
@@ -135,12 +193,32 @@ class ServingStats:
             self.peak_clients = 0
             self.recompiles_in_flight = 0
         self.queue_depth = Histogram()
-        self.batch_size = Histogram()
-        self.queue_wait = Histogram()
+        self.batch_size = _windowed()
+        self.queue_wait = _windowed()
+        self.request_latency = {outcome: _windowed()
+                                for outcome in OUTCOMES}
 
     def __repr__(self):
         return ("ServingStats(requests=%d, batches=%d, active=%d)"
                 % (self.requests, self.batches, self.active_clients))
+
+
+def _hist_from_snapshot(snap):
+    """Windowed when the snapshot carries a window; legacy plain else."""
+    if isinstance(snap, dict) and "window" in snap:
+        return WindowedHistogram.from_snapshot(snap)
+    return Histogram.from_snapshot(snap)
+
+
+def _fmt_window(hist, unit_scale=1e3):
+    """``p50/p95 (n)`` triple over the trailing window, or None if idle."""
+    if not isinstance(hist, WindowedHistogram):
+        return None
+    stats = hist.window_percentiles()
+    if not stats["count"]:
+        return None
+    return (stats["p50"] * unit_scale, stats["p95"] * unit_scale,
+            stats["count"])
 
 
 def format_serving_table(stats):
@@ -152,9 +230,10 @@ def format_serving_table(stats):
         return []
     lines = [
         "  clients: %d active (peak %d) | requests: %d accepted, "
-        "%d rejected | recompiles in flight: %d"
+        "%d rejected (%.1f%% rejection) | recompiles in flight: %d"
         % (stats.active_clients, stats.peak_clients, stats.requests,
-           stats.rejected, stats.recompiles_in_flight)]
+           stats.rejected, stats.rejection_rate * 100.0,
+           stats.recompiles_in_flight)]
     depth = stats.queue_depth
     if depth.count:
         pct = depth.percentiles()
@@ -172,6 +251,25 @@ def format_serving_table(stats):
             "max %.0f  (%d requests rode a shared batch)"
             % (size.count, size.mean, pct["p50"], pct["p95"],
                size.max or 0.0, stats.batched_requests))
+    for outcome in OUTCOMES:
+        hist = stats.request_latency.get(outcome)
+        if hist is None or not hist.count:
+            continue
+        pct = hist.percentiles()
+        line = ("  request latency[%s]: %d obs  p50 %.3f ms  p95 %.3f ms  "
+                "p99 %.3f ms"
+                % (outcome, hist.count, pct["p50"] * 1e3,
+                   pct["p95"] * 1e3, pct["p99"] * 1e3))
+        recent = _fmt_window(hist)
+        if recent is not None:
+            line += ("   window: p50 %.3f ms  p95 %.3f ms (%d obs)"
+                     % recent)
+        lines.append(line)
+    wait_recent = _fmt_window(stats.queue_wait)
+    if wait_recent is not None:
+        lines.append(
+            "  windowed queue wait: p50 %.3f ms  p95 %.3f ms (%d obs)"
+            % wait_recent)
     return lines
 
 

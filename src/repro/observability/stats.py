@@ -2,7 +2,10 @@
 
 Thin module wrapper so the diagnostics report is runnable without
 installing an entry point; all logic lives in
-:mod:`repro.observability.cli`.
+:mod:`repro.observability.cli` (``--prometheus`` for scrape text,
+``--requests`` for flight-recorder exemplars, ``--check`` for the CI
+gate).  For a *live* HTTP scrape target inside a running process, see
+``python -m repro.observability.httpstat``.
 """
 
 import sys

@@ -52,9 +52,27 @@ CATEGORIES = (
     "level",             # parallel-schedule level timing (level 2)
     "bench",             # benchmark-harness measurement windows
     "distributed",       # cluster simulation / ring all-reduce (figure 8)
+    "serve_queue",       # request time spent queued in the serving layer
+    "serve_dispatch",    # serving-layer batch execution span
+    "coexec_fragment",   # one symbolic fragment run of a co-execution plan
+    "coexec_gap",        # one imperative gap run of a co-execution plan
+    "diskcache_probe",   # persistent-cache load attempt on the warm path
 )
 
 _perf_counter = time.perf_counter
+
+#: Request-context annotator installed by :mod:`.reqtrace`.  Called for
+#: every recorded event (so never on the disabled path) to stamp
+#: ``trace_id``/``span_id`` args and mirror the event into the active
+#: request's bounded capture.  A plain module global: one load + None
+#: test per recorded event.
+_REQUEST_HOOK = None
+
+
+def set_request_hook(hook):
+    """Install (or clear, with None) the per-event request annotator."""
+    global _REQUEST_HOOK
+    _REQUEST_HOOK = hook
 
 
 class TraceEvent:
@@ -146,6 +164,9 @@ class Tracer:
     def _append(self, event):
         # deque.append is atomic under the GIL; the lock only guards
         # clear-vs-append races from drain().
+        hook = _REQUEST_HOOK
+        if hook is not None:
+            hook(event)
         self._events.append(event)
 
     def instant(self, category, name, level=1, **args):

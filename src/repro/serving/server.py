@@ -37,7 +37,7 @@ import time
 import numpy as np
 
 from ..imperative.eager import Tensor
-from ..observability import SERVING, TRACER
+from ..observability import SERVING, TRACER, reqtrace
 
 __all__ = ["Server", "ServingConfig", "ServerClosed", "ServerOverloaded"]
 
@@ -100,9 +100,9 @@ class _Request:
     """One queued client call."""
 
     __slots__ = ("args", "key", "rows", "enqueued", "done", "result",
-                 "error")
+                 "error", "ctx")
 
-    def __init__(self, args, key, rows):
+    def __init__(self, args, key, rows, ctx=None):
         self.args = args
         self.key = key
         self.rows = rows
@@ -110,6 +110,9 @@ class _Request:
         self.done = threading.Event()
         self.result = None
         self.error = None
+        #: Request-trace context; carried across the queue so the
+        #: dispatcher thread can continue the client's causal flow.
+        self.ctx = ctx
 
     def resolve(self, result=None, error=None):
         self.result = result
@@ -138,12 +141,27 @@ class _Endpoint:
         config = self.server.config
         key, rows = _group_key(args) if self.batchable \
             and config.max_batch_size > 1 else (None, 0)
-        request = _Request(args, key, rows)
+        # Continue the caller's request trace if one is active
+        # (Server.call opened it); open one here for direct submitters.
+        ctx = reqtrace.current()
+        owns_ctx = ctx is None
+        if owns_ctx:
+            ctx = reqtrace.new_request("serve.%s" % self.name)
+        request = _Request(args, key, rows, ctx)
         with self.cond:
             if self.server.closed:
                 raise ServerClosed("server is shut down")
             if len(self.queue) >= config.max_queue_depth:
-                SERVING.record_reject()
+                duration = time.perf_counter() - request.enqueued
+                SERVING.record_reject(duration)
+                if ctx is not None:
+                    ctx.flags.add("rejected")
+                    reqtrace.record_span(ctx, "serve_queue", "rejected",
+                                         request.enqueued, duration,
+                                         endpoint=self.name)
+                    if owns_ctx:
+                        reqtrace.finish(ctx, "rejected",
+                                        detail="queue full")
                 raise ServerOverloaded(
                     "endpoint %r queue is full (%d requests)"
                     % (self.name, len(self.queue)))
@@ -199,8 +217,14 @@ class _Endpoint:
 
     def _execute(self, batch):
         dispatch = time.perf_counter()
-        SERVING.record_batch(len(batch),
-                             [dispatch - r.enqueued for r in batch])
+        waits = [dispatch - r.enqueued for r in batch]
+        SERVING.record_batch(len(batch), waits)
+        # The queue wait becomes a span on each request's trace, timed
+        # from the client thread's enqueue to this pickup.
+        for request, wait in zip(batch, waits):
+            reqtrace.record_span(request.ctx, "serve_queue", self.name,
+                                 request.enqueued, wait,
+                                 batch=len(batch))
         if TRACER.level:
             TRACER.instant("serve_dispatch", self.name,
                            batch=len(batch),
@@ -208,18 +232,25 @@ class _Endpoint:
         if len(batch) == 1:
             self._run_single(batch[0])
             return
+        lead = batch[0]
+        start = time.perf_counter()
         try:
             # Re-wrap each stacked buffer in the type of the first
             # request's argument so the batched call produces the same
             # ValueSpec signature family as its constituents.
             stacked = []
-            for position, proto in enumerate(batch[0].args):
+            for position, proto in enumerate(lead.args):
                 merged = np.concatenate(
                     [_as_array(request.args[position])
                      for request in batch], axis=0)
                 stacked.append(Tensor(merged)
                                if isinstance(proto, Tensor) else merged)
-            result = self.fn(*stacked)
+            # The lead request's trace carries the shared execution;
+            # companions get the same interval recorded post-hoc.
+            with reqtrace.using(lead.ctx):
+                with reqtrace.span("serve_dispatch", self.name,
+                                   batch=len(batch)):
+                    result = self.fn(*stacked)
             parts = _split_result(result, [r.rows for r in batch])
         except Exception:
             parts = None
@@ -230,14 +261,23 @@ class _Endpoint:
             for request in batch:
                 self._run_single(request)
             return
+        duration = time.perf_counter() - start
         for request, part in zip(batch, parts):
+            if request is not lead:
+                reqtrace.record_span(request.ctx, "serve_dispatch",
+                                     self.name, start, duration,
+                                     batch=len(batch), shared=True)
             request.resolve(result=part)
 
     def _run_single(self, request):
-        try:
-            request.resolve(result=self.fn(*request.args))
-        except Exception as exc:               # delivered to the caller
-            request.resolve(error=exc)
+        with reqtrace.using(request.ctx):
+            try:
+                with reqtrace.span("serve_dispatch", self.name,
+                                   batch=1):
+                    result = self.fn(*request.args)
+                request.resolve(result=result)
+            except Exception as exc:           # delivered to the caller
+                request.resolve(error=exc)
 
 
 def _as_array(arg):
@@ -319,12 +359,26 @@ class Server:
             raise KeyError("no endpoint %r (have %s)"
                            % (name, self.endpoints()))
         SERVING.client_started()
+        ctx = reqtrace.new_request("serve.%s" % name)
+        start = time.perf_counter()
         try:
-            request = endpoint.submit(args)
+            with reqtrace.using(ctx):
+                request = endpoint.submit(args)
             request.done.wait()
             if request.error is not None:
                 raise request.error
+            SERVING.record_request(time.perf_counter() - start, "ok")
+            reqtrace.finish(ctx, "ok")
             return request.result
+        except ServerOverloaded:
+            # record_reject already counted this into
+            # request_latency["rejected"]; submit flagged the context.
+            reqtrace.finish(ctx, "rejected", detail="queue full")
+            raise
+        except Exception as exc:
+            SERVING.record_request(time.perf_counter() - start, "error")
+            reqtrace.finish(ctx, "error", detail=type(exc).__name__)
+            raise
         finally:
             SERVING.client_finished()
 
